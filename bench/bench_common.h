@@ -1,0 +1,33 @@
+// Shared helpers for the Pandora benchmark harness.
+//
+// Each bench binary reproduces one experiment from DESIGN.md section 3 and
+// prints the paper's claim next to the measured value.  Benches are plain
+// executables (google-benchmark is linked for the micro-benchmarks that use
+// it; the system experiments below are single deterministic runs over
+// simulated time, where wall-clock benchmarking machinery adds nothing).
+#ifndef PANDORA_BENCH_BENCH_COMMON_H_
+#define PANDORA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace pandora {
+
+inline void BenchHeader(const std::string& id, const std::string& title,
+                        const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void BenchRow(const std::string& label, double value, const std::string& unit,
+                     const std::string& note = "") {
+  std::printf("  %-38s %12.3f %-8s %s\n", label.c_str(), value, unit.c_str(), note.c_str());
+}
+
+inline void BenchNote(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+}  // namespace pandora
+
+#endif  // PANDORA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,86 @@
+// E5 — Server-link capacity and context-switch rate (paper section 4.2).
+//
+// Claims: "The 20Mbit/s link to the server transputer is not a limiting
+// factor; it would be capable of taking 100 audio streams if we could
+// process them.  The context switching rate is probably around 5kHz, and is
+// not a problem for the transputer."
+//
+// Workload: N audio senders share one 20Mbit/s link (LinkRelay-style gate);
+// we measure the link utilization and the scheduler's context-switch rate
+// per simulated second.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+#include "src/segment/constants.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+namespace {
+
+// One audio stream's worth of link traffic: a 68-byte (2-block) segment
+// every 4ms, serialized through the shared gate.
+Process AudioStreamLoad(Scheduler* sched, BandwidthGate* link, Time end) {
+  const size_t segment_bytes = kAudioSegmentHeaderBytes + 2 * kAudioBlockBytes + 4;
+  Time next = sched->now();
+  while (sched->now() < end) {
+    co_await sched->WaitUntil(next);
+    next += Millis(4);
+    co_await link->Transmit(segment_bytes);
+  }
+}
+
+struct Outcome {
+  double utilization = 0.0;
+  double switch_rate_hz = 0.0;
+  double max_queue_ms = 0.0;
+};
+
+Outcome Run(int streams) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  BandwidthGate link(&sched, "server.link", 20'000'000);
+  const Time kEnd = Seconds(5);
+  for (int i = 0; i < streams; ++i) {
+    sched.Spawn(AudioStreamLoad(&sched, &link, kEnd), "stream" + std::to_string(i));
+  }
+  sched.RunUntilQuiescent();
+  Outcome outcome;
+  outcome.utilization = static_cast<double>(link.busy_time()) / static_cast<double>(kEnd);
+  outcome.switch_rate_hz = static_cast<double>(sched.context_switches()) / ToSeconds(kEnd);
+  outcome.max_queue_ms = ToMillis(link.max_queue_delay());
+  return outcome;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E5", "how many audio streams fit the 20Mbit/s server link?",
+              "the link could take ~100 audio streams; context switching ~5kHz is no problem");
+
+  std::printf("\n  %-8s %-14s %-18s %-16s\n", "streams", "link util", "ctx switches/s",
+              "max queue (ms)");
+  double util_100 = 0;
+  double switches_100 = 0;
+  for (int n : {1, 5, 25, 50, 100, 200, 400}) {
+    Outcome o = Run(n);
+    if (n == 100) {
+      util_100 = o.utilization;
+      switches_100 = o.switch_rate_hz;
+    }
+    std::printf("  %-8d %12.1f%%  %-18.0f %-16.3f %s\n", n, o.utilization * 100.0,
+                o.switch_rate_hz, o.max_queue_ms, o.utilization < 0.9 ? "" : "<- saturating");
+  }
+
+  std::printf("\n");
+  BenchRow("link utilization at 100 streams", util_100 * 100.0, "%",
+           "(paper: feasible, CPU is the limit instead)");
+  BenchRow("context switches/s at 100 streams", switches_100, "Hz",
+           "(paper: ~5kHz is no problem for the transputer)");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E4 — Audio mixing capacity of the audio-board CPU (paper section 4.2).
+//
+// Claim: "The T425 transputer used on the audio board can mix five audio
+// streams in the straightforward case, but only three if we have jitter
+// correction, muting, an outgoing stream and the interface code running at
+// the same time."
+//
+// Workload: N incoming streams feed the clawback bank at the nominal 2ms
+// block rate; the mixer charges the calibrated per-operation costs
+// (src/audio/costs.h) against a CpuModel.  A configuration "works" when the
+// mixer holds its 2ms cadence (no schedule slip) and playout never starves.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/audio/codec.h"
+#include "src/audio/costs.h"
+#include "src/audio/mixer.h"
+#include "src/audio/muting.h"
+#include "src/audio/ulaw.h"
+#include "src/buffer/clawback.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+namespace {
+
+struct Outcome {
+  double cpu_utilization = 0.0;
+  uint64_t late_ticks = 0;
+  Duration max_lateness = 0;
+  uint64_t underruns = 0;
+  bool ok = false;
+};
+
+Process FeedStreams(Scheduler* sched, ClawbackBank* bank, int streams, Time end) {
+  AudioBlock block;
+  block.samples.fill(ULawEncode(2000));
+  while (sched->now() < end) {
+    block.source_time = sched->now();
+    for (int s = 1; s <= streams; ++s) {
+      bank->Push(static_cast<StreamId>(s), block);
+    }
+    co_await sched->WaitFor(kAudioBlockDuration);
+  }
+}
+
+// Models the outgoing (microphone) stream's block handler charging the CPU.
+Process OutgoingLoad(Scheduler* sched, CpuModel* cpu, const AudioCpuCosts& costs, Time end) {
+  while (sched->now() < end) {
+    co_await cpu->Consume(costs.outgoing_stream);
+    co_await sched->WaitFor(kAudioBlockDuration);
+  }
+}
+
+// Models the interface code (command parsing, reports) running alongside.
+Process InterfaceLoad(Scheduler* sched, CpuModel* cpu, const AudioCpuCosts& costs, Time end) {
+  while (sched->now() < end) {
+    co_await cpu->Consume(costs.interface_code);
+    co_await sched->WaitFor(kAudioBlockDuration);
+  }
+}
+
+Outcome RunConfig(int streams, bool full_featured) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  CpuModel cpu(&sched, "audio.cpu");
+  ClawbackBank bank{ClawbackConfig{}};
+  CodecOutput out(&sched, {.name = "codec.out"});
+  MutingControl muting;
+  AudioCpuCosts costs;
+
+  AudioMixerOptions options;
+  options.jitter_correction = full_featured;
+  AudioMixer mixer(&sched, options, &bank, &cpu, &out, full_featured ? &muting : nullptr);
+
+  const Time kEnd = Seconds(5);
+  sched.Spawn(FeedStreams(&sched, &bank, streams, kEnd), "feed");
+  if (full_featured) {
+    sched.Spawn(OutgoingLoad(&sched, &cpu, costs, kEnd), "outgoing");
+    sched.Spawn(InterfaceLoad(&sched, &cpu, costs, kEnd), "interface");
+  }
+  out.Start();
+  mixer.Start();
+  sched.RunUntil(kEnd);
+
+  Outcome outcome;
+  outcome.cpu_utilization = cpu.Utilization();
+  outcome.late_ticks = mixer.late_ticks();
+  outcome.max_lateness = mixer.max_lateness();
+  outcome.underruns = out.underruns();
+  outcome.ok = mixer.max_lateness() == 0 && out.underruns() < 5;
+  return outcome;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E4", "how many streams can the audio board mix?",
+              "T425 mixes 5 plain streams; only 3 with jitter correction + muting + "
+              "outgoing stream + interface code");
+
+  std::printf("\n  plain mixing (no jitter correction, nothing else running):\n");
+  std::printf("  %-8s %-10s %-12s %-14s %-10s %s\n", "streams", "cpu", "late ticks",
+              "max slip(us)", "underruns", "verdict");
+  int plain_max = 0;
+  for (int n = 1; n <= 8; ++n) {
+    Outcome o = RunConfig(n, /*full_featured=*/false);
+    if (o.ok) {
+      plain_max = n;
+    }
+    std::printf("  %-8d %-10.2f %-12llu %-14lld %-10llu %s\n", n, o.cpu_utilization,
+                static_cast<unsigned long long>(o.late_ticks),
+                static_cast<long long>(o.max_lateness),
+                static_cast<unsigned long long>(o.underruns), o.ok ? "OK" : "OVERLOADED");
+  }
+
+  std::printf("\n  full-featured (jitter correction + muting + outgoing + interface):\n");
+  std::printf("  %-8s %-10s %-12s %-14s %-10s %s\n", "streams", "cpu", "late ticks",
+              "max slip(us)", "underruns", "verdict");
+  int full_max = 0;
+  for (int n = 1; n <= 6; ++n) {
+    Outcome o = RunConfig(n, /*full_featured=*/true);
+    if (o.ok) {
+      full_max = n;
+    }
+    std::printf("  %-8d %-10.2f %-12llu %-14lld %-10llu %s\n", n, o.cpu_utilization,
+                static_cast<unsigned long long>(o.late_ticks),
+                static_cast<long long>(o.max_lateness),
+                static_cast<unsigned long long>(o.underruns), o.ok ? "OK" : "OVERLOADED");
+  }
+
+  std::printf("\n");
+  BenchRow("max plain streams", plain_max, "", "(paper: 5)");
+  BenchRow("max full-featured streams", full_max, "", "(paper: 3)");
+  return 0;
+}

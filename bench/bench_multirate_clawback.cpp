@@ -1,0 +1,112 @@
+// E2 — Multi-rate clawback decay (paper section 3.7.2).
+//
+// Claim: with the block-seconds product rule at a level of 20 block-seconds,
+// "if the minimum contents were 10ms, we would be removing a 2ms block
+// every 2000 blocks, or 4 seconds.  If the minimum contents were 50ms, then
+// we would remove a 2ms block every 400 blocks, or 0.8 seconds.  The block
+// seconds level represents a time constant for the exponential decay of the
+// jitter correction delay.  The time to halve the delay when the jitter
+// source is removed is roughly 0.7 times the level that has been set for
+// the product, which would be about 14 seconds."
+//
+// Workload: a buffer pre-loaded with 100ms of correction delay (a severe
+// jitter episode just ended); steady 2ms arrivals and 2ms pops.  We log the
+// decay and measure the half-life, and separately verify the steady-state
+// drop intervals at held depths.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/buffer/clawback.h"
+#include "src/segment/audio_block.h"
+
+namespace pandora {
+namespace {
+
+ClawbackConfig MultiRate() {
+  ClawbackConfig config;
+  config.mode = ClawbackMode::kMultiRate;
+  config.per_stream_limit_blocks = 200;
+  config.block_seconds_level = 20.0;
+  return config;
+}
+
+// Steady-state drop interval with depth held constant.
+int DropInterval(int depth_blocks) {
+  ClawbackPool pool(Seconds(8));
+  ClawbackBuffer buffer(1, MultiRate(), &pool);
+  AudioBlock block;
+  for (int i = 0; i < depth_blocks; ++i) {
+    buffer.Push(block);
+  }
+  std::vector<int> drops;
+  for (int i = 1; drops.size() < 3 && i <= 200000; ++i) {
+    if (buffer.Push(block) == ClawbackPushResult::kDroppedClawback) {
+      drops.push_back(i);
+    } else {
+      buffer.Pop();
+    }
+  }
+  return drops.size() >= 3 ? drops[2] - drops[1] : -1;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E2", "multi-rate clawback: drop frequency proportional to the buffer floor",
+              "20 block-seconds: 10ms floor -> drop per 4s; 50ms -> per 0.8s; half-life ~14s");
+
+  std::printf("\n  steady-state drop interval vs held correction delay:\n");
+  std::printf("  %-12s %-16s %-16s %-14s\n", "floor", "measured", "measured", "paper");
+  std::printf("  %-12s %-16s %-16s %-14s\n", "(ms)", "(blocks)", "(seconds)", "(seconds)");
+  struct Case {
+    int depth;
+    double paper_seconds;
+  };
+  for (const auto& c : {Case{5, 4.0}, Case{25, 0.8}, Case{50, 0.4}}) {
+    int interval = DropInterval(c.depth);
+    std::printf("  %-12d %-16d %-16.2f %-14.2f\n", c.depth * 2, interval,
+                interval * 0.002, c.paper_seconds);
+  }
+
+  // Decay curve from 100ms with the jitter source removed.
+  ClawbackPool pool(Seconds(8));
+  ClawbackBuffer buffer(1, MultiRate(), &pool);
+  AudioBlock block;
+  for (int i = 0; i < 50; ++i) {
+    buffer.Push(block);  // 100ms of stale correction delay
+  }
+  std::printf("\n  decay of a 100ms correction delay (jitter gone):\n");
+  std::printf("  t(s)  delay(ms)\n");
+  // One arrival and one mixer pop per 2ms tick: a clawback drop therefore
+  // shrinks the delay by one block.  The measurement window is polluted by
+  // the fill-up ramp until the first drop resets it, so the half-life is
+  // measured from the first drop.
+  double half_life = -1;
+  const double start_ms = 100.0;
+  int first_drop_tick = -1;
+  int tick = 0;
+  for (; tick <= 120 * 500; ++tick) {  // 120 seconds of 2ms ticks
+    if (buffer.Push(block) == ClawbackPushResult::kDroppedClawback && first_drop_tick < 0) {
+      first_drop_tick = tick;
+    }
+    buffer.Pop();
+    double delay_ms = ToMillis(buffer.delay());
+    if (tick % (5 * 500) == 0) {
+      std::printf("  %4d  %8.1f\n", tick / 500, delay_ms);
+    }
+    if (half_life < 0 && first_drop_tick >= 0 && delay_ms <= start_ms / 2.0) {
+      half_life = (tick - first_drop_tick) * 0.002;
+    }
+  }
+
+  std::printf("\n");
+  BenchRow("first drop after the episode", first_drop_tick * 0.002, "s",
+           "(window priming: min tracks the pre-jitter floor until one drop)");
+  BenchRow("half-life measured from the first drop", half_life, "s",
+           "(paper: ~0.7 x 20 block-seconds = 14s)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E8 — The muting function (paper section 4.3, figure 4.1).
+//
+// Claim: hands-free echo suppression mutes the microphone in two stages —
+// 100% -> 50% for one 2ms block -> 20% while the loudspeaker is loud and
+// for 22ms after it goes quiet, then 50% for a further 22ms, then 100% —
+// with at least 4ms of reaction margin (detection happens before the
+// speaker fifo, muting after the codec output fifo).
+//
+// Workload: a loudspeaker burst from t=20ms to t=40ms; the mute factor is
+// sampled every 2ms and printed as the figure 4.1 trace.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/audio/muting.h"
+#include "src/audio/ulaw.h"
+
+namespace pandora {
+namespace {
+
+AudioBlock Block(int16_t level) {
+  AudioBlock block;
+  block.samples.fill(ULawEncode(level));
+  return block;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E8", "two-stage muting function trace",
+              "factor 100% -> 50% (2ms) -> 20%; quiet 22ms -> 50%; quiet 22ms more -> 100%");
+
+  MutingControl muting;
+  const Time burst_start = Millis(20);
+  const Time burst_end = Millis(40);
+
+  std::printf("\n  figure 4.1 trace (speaker burst %lld..%lldms):\n",
+              static_cast<long long>(ToMillis(burst_start)),
+              static_cast<long long>(ToMillis(burst_end)));
+  std::printf("  t(ms)  speaker   mic-factor\n");
+  Time first_mute = -1;
+  Time back_to_full = -1;
+  Time last_loud = -1;
+  for (Time t = 0; t <= Millis(110); t += Millis(2)) {
+    bool loud = t >= burst_start && t < burst_end;
+    if (loud) {
+      last_loud = t;
+    }
+    muting.ObserveSpeakerBlock(t, Block(loud ? 9000 : 0));
+    double factor = muting.FactorAt(t);
+    if (loud && factor < 1.0 && first_mute < 0) {
+      first_mute = t;
+    }
+    if (t > burst_end && factor == 1.0 && back_to_full < 0) {
+      back_to_full = t;
+    }
+    if (t % Millis(2) == 0) {
+      std::printf("  %5lld  %-8s  %3.0f%%\n", static_cast<long long>(ToMillis(t)),
+                  loud ? "LOUD" : "quiet", factor * 100.0);
+    }
+  }
+
+  // The mic block being scaled left the codec fifo >=4ms after detection.
+  MutingControl margin_check;
+  margin_check.ObserveSpeakerBlock(0, Block(9000));
+  AudioBlock mic = Block(10000);
+  margin_check.ApplyToMicBlock(Millis(4), &mic);
+  double attenuated = static_cast<double>(ULawDecode(mic.samples[0])) / 10000.0;
+
+  std::printf("\n");
+  BenchRow("reaction delay (first muted block)", ToMillis(first_mute - burst_start), "ms",
+           "(paper: immediate, >=4ms margin available)");
+  BenchRow("recovery after the last loud block", ToMillis(back_to_full - last_loud), "ms",
+           "(paper: 22ms at 20% + 22ms at 50%)");
+  BenchRow("mic gain 4ms after detection", attenuated * 100.0, "%", "(paper: 20%)");
+  return 0;
+}

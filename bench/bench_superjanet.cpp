@@ -1,0 +1,103 @@
+// E12 — The SuperJanet trial: high jitter across bridged networks
+// (paper section 3.7.2).
+//
+// Claim: "The efficacy of this approach was demonstrated when Pandora was
+// used in trials of a new country-wide academic computer network,
+// SuperJanet.  Unmodified Pandora's Boxes communicated audio and video
+// successfully under the high jitter conditions of a connection from
+// Cambridge to London involving several networks and protocol conversions."
+//
+// Workload: an UNMODIFIED box pair (every parameter at its default) across
+// a three-hop path with heavy, bursty jitter and a little loss, compared to
+// the same boxes on the local LAN.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/simulation.h"
+
+namespace pandora {
+namespace {
+
+struct Outcome {
+  double played_fraction = 0.0;
+  double underrun_rate_per_s = 0.0;
+  double clawback_delay_ms = 0.0;  // max jitter-correction depth
+  double net_jitter_ms = 0.0;
+  double loss_pct = 0.0;
+};
+
+Outcome Run(bool superjanet) {
+  Simulation sim(/*seed=*/2026);
+  PandoraBox::Options options;
+  options.with_video = false;
+  options.name = "cambridge";
+  PandoraBox& cam = sim.AddBox(options);
+  options.name = "london";
+  PandoraBox& lon = sim.AddBox(options);
+
+  CallPath path;
+  if (superjanet) {
+    HopQuality campus;
+    campus.bits_per_second = 34'000'000;
+    campus.jitter_max = Millis(8);
+    HopQuality backbone;
+    backbone.bits_per_second = 10'000'000;
+    backbone.jitter_max = Millis(40);  // protocol conversions, cross traffic
+    backbone.loss_rate = 0.002;
+    HopQuality metro;
+    metro.bits_per_second = 34'000'000;
+    metro.jitter_max = Millis(12);
+    path.hops.push_back(sim.network().AddHop("campus", campus));
+    path.hops.push_back(sim.network().AddHop("backbone", backbone));
+    path.hops.push_back(sim.network().AddHop("metro", metro));
+  }
+  sim.Start();
+  StreamId stream = sim.SendAudio(cam, lon, path);
+  const Duration kRun = Seconds(60);
+  sim.RunFor(kRun);
+
+  Outcome o;
+  uint64_t captured = cam.audio_sender().blocks_consumed();
+  o.played_fraction = captured == 0
+                          ? 0.0
+                          : static_cast<double>(lon.codec_out().played_blocks()) /
+                                static_cast<double>(captured);
+  o.underrun_rate_per_s = static_cast<double>(lon.codec_out().underruns()) / ToSeconds(kRun);
+  o.clawback_delay_ms = static_cast<double>(lon.clawback_bank().TotalStats().max_depth) * 2.0;
+  const CircuitStats* stats = sim.network().StatsFor(cam.port(), stream);
+  if (stats != nullptr && stats->latency.count() > 0) {
+    o.net_jitter_ms = (stats->latency.max() - stats->latency.min()) / 1000.0;
+    o.loss_pct = 100.0 * static_cast<double>(stats->lost) /
+                 static_cast<double>(stats->offered == 0 ? 1 : stats->offered);
+  }
+  return o;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E12", "unmodified boxes across a bridged, high-jitter path",
+              "Cambridge->London over several networks: audio still works, no retuning");
+
+  std::printf("\n  %-22s %-10s %-12s %-12s %-12s %-8s\n", "path", "played", "underruns/s",
+              "clawback", "net jitter", "loss");
+  std::printf("  %-22s %-10s %-12s %-12s %-12s %-8s\n", "", "", "", "max (ms)", "(ms)", "");
+  Outcome lan = Run(false);
+  std::printf("  %-22s %8.1f%% %-12.2f %-12.1f %-12.2f %6.2f%%\n", "local LAN",
+              lan.played_fraction * 100.0, lan.underrun_rate_per_s, lan.clawback_delay_ms,
+              lan.net_jitter_ms, lan.loss_pct);
+  Outcome sj = Run(true);
+  std::printf("  %-22s %8.1f%% %-12.2f %-12.1f %-12.2f %6.2f%%\n", "SuperJanet (3 hops)",
+              sj.played_fraction * 100.0, sj.underrun_rate_per_s, sj.clawback_delay_ms,
+              sj.net_jitter_ms, sj.loss_pct);
+
+  std::printf("\n");
+  BenchRow("audio delivered over the bad path", sj.played_fraction * 100.0, "%",
+           "(paper: 'communicated successfully')");
+  BenchRow("jitter absorbed by clawback buffering", sj.clawback_delay_ms, "ms",
+           "(grew automatically; LAN default ~4ms)");
+  BenchNote("no parameter was changed between rows — principle 8's local adaptation");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E7 — Audio jitter induced by non-interleaved video transmission
+// (paper section 4.2).
+//
+// Claim: "Our network code introduces more latency than necessary because
+// segment transmissions are not interleaved.  Thus video segments can hold
+// up following audio segments, introducing up to 20ms of jitter in a
+// stream."  A 50KB video segment at 20Mbit/s occupies the interface for
+// exactly 20ms.
+//
+// Workload: two boxes; a live audio stream, with and without a concurrent
+// single-strip (large-segment) video stream through the same interface.
+// We report the audio's network-latency spread (jitter) and the clawback
+// buffer's response.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/simulation.h"
+
+namespace pandora {
+namespace {
+
+struct Outcome {
+  double inter_arrival_mean_ms = 0.0;
+  double inter_arrival_max_ms = 0.0;
+  double jitter_ms = 0.0;  // max inter-arrival minus the nominal 4ms spacing
+  double clawback_depth_ms = 0.0;
+  double video_segment_ms = 0.0;  // serialization time of one video segment
+};
+
+Outcome Run(bool with_video, int segments_per_frame) {
+  Simulation sim;
+  PandoraBox::Options options;
+  options.with_video = true;
+  options.video_width = 320;
+  options.video_height = 240;
+  options.name = "tx";
+  PandoraBox& tx = sim.AddBox(options);
+  options.name = "rx";
+  PandoraBox& rx = sim.AddBox(options);
+  sim.Start();
+
+  StreamId audio = sim.SendAudio(tx, rx);
+  if (with_video) {
+    // Raw coding makes the segment big: 320x240 = 76.8KB/frame.
+    StreamId at_rx = sim.AllocateStream();
+    rx.server_switch().OpenRoute(at_rx, rx.dest_display(), true, false);
+    sim.network().OpenCircuit(tx.port(), at_rx, rx.port());
+    StreamId local = sim.AllocateStream();
+    tx.server_switch().OpenRoute(local, tx.dest_network(), false, false, at_rx);
+    tx.AddCameraStream(local, Rect{0, 0, 320, 240}, 1, 1, segments_per_frame,
+                       LineCoding::kRawLine);
+  }
+  sim.RunFor(Seconds(10));
+
+  Outcome o;
+  // The hold-up happens at the (non-interleaving) egress, BEFORE a segment
+  // enters the circuit, so it shows as stretched inter-arrival spacing at
+  // the destination rather than as circuit transit time.
+  const CircuitStats* stats = sim.network().StatsFor(tx.port(), audio);
+  if (stats != nullptr && stats->inter_arrival.count() > 0) {
+    o.inter_arrival_mean_ms = stats->inter_arrival.Mean() / 1000.0;
+    o.inter_arrival_max_ms = stats->inter_arrival.max() / 1000.0;
+    o.jitter_ms = (stats->inter_arrival.max() - 4000.0) / 1000.0;
+  }
+  auto cb = rx.clawback_bank().TotalStats();
+  o.clawback_depth_ms = static_cast<double>(cb.max_depth) * 2.0;
+  size_t video_bytes = 320 * 240 / static_cast<size_t>(segments_per_frame) +
+                       static_cast<size_t>(240 / segments_per_frame) + 68;
+  o.video_segment_ms = static_cast<double>(video_bytes) * 8.0 / 20e6 * 1000.0;
+  return o;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E7", "audio jitter behind non-interleaved video segments",
+              "video segments hold up audio at the interface: up to 20ms of jitter");
+
+  std::printf("\n  %-26s %-13s %-13s %-12s %-14s\n", "configuration", "mean spacing",
+              "max spacing", "jitter", "clawback max");
+  std::printf("  %-26s %-13s %-13s %-12s %-14s\n", "", "(ms)", "(ms)", "(ms)", "depth (ms)");
+
+  Outcome quiet = Run(false, 1);
+  std::printf("  %-26s %-13.3f %-13.3f %-12.3f %-14.1f\n", "audio alone",
+              quiet.inter_arrival_mean_ms, quiet.inter_arrival_max_ms, quiet.jitter_ms,
+              quiet.clawback_depth_ms);
+
+  Outcome whole_frame = Run(true, 1);
+  std::printf("  %-26s %-13.3f %-13.3f %-12.3f %-14.1f  <- one ~77KB segment/frame\n",
+              "audio + video (1 strip)", whole_frame.inter_arrival_mean_ms,
+              whole_frame.inter_arrival_max_ms, whole_frame.jitter_ms,
+              whole_frame.clawback_depth_ms);
+
+  Outcome sliced = Run(true, 8);
+  std::printf("  %-26s %-13.3f %-13.3f %-12.3f %-14.1f  <- 8 strips/frame\n",
+              "audio + video (8 strips)", sliced.inter_arrival_mean_ms,
+              sliced.inter_arrival_max_ms, sliced.jitter_ms, sliced.clawback_depth_ms);
+
+  std::printf("\n");
+  BenchRow("whole-frame video segment on the wire", whole_frame.video_segment_ms, "ms",
+           "(serialization at 20Mbit/s)");
+  BenchRow("audio jitter behind whole-frame video", whole_frame.jitter_ms, "ms",
+           "(paper: up to ~20ms with their ~50KB segments)");
+  BenchRow("audio jitter with smaller segments", sliced.jitter_ms, "ms",
+           "(smaller segments -> less hold-up)");
+  BenchNote("the clawback buffer grows to ride out exactly this jitter (E1)");
+  return 0;
+}

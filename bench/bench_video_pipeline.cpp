@@ -1,0 +1,126 @@
+// E14 — The video pipeline's visual-integrity machinery (paper section 3.6).
+//
+// Claims: frames are never displayed partially ("the effect of a tear can
+// be seen when part of the image is moving parallel to a segment
+// boundary"); the blit avoids the display scan; interleaved streams force
+// interpolation-state reloads (the software line cache); and the
+// compression pipeline's last slice needs a dummy-line flush.
+//
+// Workload: two interleaved camera streams through one display, swept over
+// loss rates; plus a scan-aware vs naive blit comparison.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/buffer/pool.h"
+#include "src/runtime/random.h"
+#include "src/runtime/scheduler.h"
+#include "src/video/capture.h"
+#include "src/video/display.h"
+#include "src/video/framestore.h"
+
+namespace pandora {
+namespace {
+
+struct Outcome {
+  uint64_t frames_displayed = 0;
+  uint64_t dropped_incomplete = 0;
+  uint64_t undecodable = 0;
+  uint64_t tears = 0;
+  uint64_t cache_reloads = 0;
+  double fps1 = 0.0;
+  double fps2 = 0.0;
+};
+
+Process LossyRelay(Scheduler* sched, Channel<SegmentRef>* in, Channel<SegmentRef>* out,
+                   double loss, Rng* rng) {
+  for (;;) {
+    SegmentRef ref = co_await in->Receive();
+    if (rng->Bernoulli(loss)) {
+      continue;
+    }
+    co_await out->Send(std::move(ref));
+    (void)sched;
+  }
+}
+
+Outcome Run(double loss, bool scan_aware, bool two_streams) {
+  Scheduler sched;
+  MovingBarPattern pattern(128);
+  FrameStore store(&sched, &pattern, 128, 96);
+  BufferPool pool(&sched, "pool", 256);
+  Channel<SegmentRef> from_captures(&sched, "cap.out");
+  Channel<SegmentRef> to_display(&sched, "disp.in");
+  Rng rng(7);
+  ShutdownGuard guard(&sched);
+
+  VideoCaptureOptions base;
+  base.rect = {0, 0, 128, 96};
+  base.segments_per_frame = 4;
+  base.coding = LineCoding::kDpcmLine;
+  base.per_line_cost = Micros(40);  // slow transport: blits land mid-scan
+  base.name = "cap1";
+  base.stream = 1;
+  VideoCapture cap1(&sched, base, &store, &pool, &from_captures);
+  base.name = "cap2";
+  base.stream = 2;
+  base.rect = {0, 0, 128, 48};
+  VideoCapture cap2(&sched, base, &store, &pool, &from_captures);
+
+  VideoDisplay display(
+      &sched, {.name = "disp", .width = 128, .height = 96, .scan_aware_copy = scan_aware},
+      &to_display);
+  cap1.Start();
+  if (two_streams) {
+    cap2.Start();
+  }
+  display.Start();
+  sched.Spawn(LossyRelay(&sched, &from_captures, &to_display, loss, &rng), "relay");
+  const Duration kRun = Seconds(5);
+  sched.RunFor(kRun);
+
+  Outcome o;
+  o.frames_displayed = display.frames_displayed();
+  o.dropped_incomplete = display.frames_dropped_incomplete();
+  o.undecodable = display.undecodable_segments();
+  o.tears = display.tears();
+  o.cache_reloads = display.cache_reloads();
+  o.fps1 = display.MeasuredFps(1, kRun);
+  o.fps2 = display.MeasuredFps(2, kRun);
+  return o;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main() {
+  using namespace pandora;
+  BenchHeader("E14", "video pipeline: whole frames only, scan-aware blits, line cache",
+              "no partial frames displayed; careful timing avoids tears entirely");
+
+  std::printf("\n  loss sweep (two interleaved streams, scan-aware blit):\n");
+  std::printf("  %-8s %-10s %-10s %-12s %-8s %-8s %-8s\n", "loss", "displayed", "dropped",
+              "undecodable", "tears", "fps#1", "fps#2");
+  for (double loss : {0.0, 0.02, 0.10}) {
+    Outcome o = Run(loss, /*scan_aware=*/true, /*two_streams=*/true);
+    std::printf("  %6.0f%% %-10llu %-10llu %-12llu %-8llu %-8.1f %-8.1f\n", loss * 100.0,
+                static_cast<unsigned long long>(o.frames_displayed),
+                static_cast<unsigned long long>(o.dropped_incomplete),
+                static_cast<unsigned long long>(o.undecodable),
+                static_cast<unsigned long long>(o.tears), o.fps1, o.fps2);
+  }
+
+  Outcome aware = Run(0.0, true, false);
+  Outcome naive = Run(0.0, false, false);
+  Outcome interleaved = Run(0.0, true, true);
+  std::printf("\n");
+  BenchRow("tears with scan-aware copy", static_cast<double>(aware.tears), "",
+           "(paper: 0 — microsecond scheduling)");
+  BenchRow("tears with naive copy", static_cast<double>(naive.tears), "",
+           "(what the care buys)");
+  BenchRow("line-cache reloads, one stream", static_cast<double>(aware.cache_reloads), "", "");
+  BenchRow("line-cache reloads, interleaved", static_cast<double>(interleaved.cache_reloads),
+           "", "(every stream switch reloads the engine)");
+  BenchNote("with loss, whole frames vanish but nothing partial is ever shown — the");
+  BenchNote("incomplete assemblies are dropped when the next frame starts.");
+  return 0;
+}

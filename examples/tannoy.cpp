@@ -1,0 +1,72 @@
+// Tannoy: one-to-many audio broadcast (section 4.1) with a misbehaving
+// destination — a live demonstration of principles 5 and 6.
+//
+// One source speaks to three destinations.  One destination sits behind a
+// congested bridge; the paper's design keeps the other two unaffected, and
+// the slow copy recovers via sequence numbers.  Halfway through, a fourth
+// destination joins and later leaves — without disturbing anyone.
+#include <cstdio>
+
+#include "src/core/simulation.h"
+
+int main() {
+  using namespace pandora;
+
+  Simulation sim;
+  PandoraBox::Options options;
+  options.with_video = false;
+  options.mic = MicKind::kSpeech;
+
+  options.name = "announcer";
+  PandoraBox& announcer = sim.AddBox(options);
+  options.mic = MicKind::kSilence;
+  options.name = "office1";
+  PandoraBox& office1 = sim.AddBox(options);
+  options.name = "office2";
+  PandoraBox& office2 = sim.AddBox(options);
+  options.name = "basement";
+  PandoraBox& basement = sim.AddBox(options);
+  options.name = "latecomer";
+  PandoraBox& latecomer = sim.AddBox(options);
+
+  // The basement sits behind a slow, lossy bridge.
+  HopQuality bad;
+  bad.bits_per_second = 300'000;
+  bad.jitter_max = Millis(15);
+  bad.loss_rate = 0.02;
+  NetHop* bridge = sim.network().AddHop("basement-bridge", bad);
+
+  sim.Start();
+
+  StreamId s1 = sim.SendAudio(announcer, office1);
+  StreamId s2 = sim.SplitAudioTo(announcer, announcer.mic_stream(), office2);
+  CallPath basement_path;
+  basement_path.hops.push_back(bridge);
+  StreamId s3 = sim.SplitAudioTo(announcer, announcer.mic_stream(), basement, basement_path);
+
+  std::printf("tannoy running to office1, office2 and (via a bad bridge) basement...\n");
+  sim.RunFor(Seconds(5));
+
+  std::printf("latecomer joins mid-broadcast (principle 6)...\n");
+  StreamId s4 = sim.SplitAudioTo(announcer, announcer.mic_stream(), latecomer);
+  sim.RunFor(Seconds(5));
+
+  struct Row {
+    const char* name;
+    PandoraBox* box;
+    StreamId stream;
+  };
+  for (const Row& row : {Row{"office1", &office1, s1}, Row{"office2", &office2, s2},
+                         Row{"basement", &basement, s3}, Row{"latecomer", &latecomer, s4}}) {
+    const SequenceTracker* tracker = row.box->audio_receiver().TrackerFor(row.stream);
+    std::printf("  %-9s blocks played %6llu | segments %6llu | missing %4llu | loss %5.2f%%\n",
+                row.name,
+                static_cast<unsigned long long>(row.box->codec_out().played_blocks()),
+                static_cast<unsigned long long>(tracker ? tracker->received() : 0),
+                static_cast<unsigned long long>(tracker ? tracker->missing_total() : 0),
+                tracker ? tracker->LossFraction() * 100.0 : 0.0);
+  }
+  std::printf("\nannouncer-side drops for the basement copy are invisible to the others;\n");
+  std::printf("office1/office2 missing counts above should be zero.\n");
+  return 0;
+}

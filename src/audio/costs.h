@@ -1,0 +1,43 @@
+// CPU cost calibration for the audio transputer.
+//
+// Substitution for the T425's real instruction timings (DESIGN.md): each
+// audio-board operation charges a microsecond cost against the board's
+// CpuModel.  The defaults are calibrated to reproduce the paper's capacity
+// statement (section 4.2): "The T425 transputer used on the audio board can
+// mix five audio streams in the straightforward case, but only three if we
+// have jitter correction, muting, an outgoing stream and the interface code
+// running at the same time."
+//
+// Budget per 2ms mixing tick = 2000us of CPU:
+//   plain:  base + 5*mix                   = 100 + 5*360        = 1900 <= 2000
+//           base + 6*mix                   = 100 + 6*360        = 2260  > 2000
+//   full:   base + 3*(mix+jc) + mute + outgoing + interface
+//           100 + 3*480 + 120 + 180 + 160  = 2000 <= 2000
+//           100 + 4*480 + 120 + 180 + 160  = 2480  > 2000
+#ifndef PANDORA_SRC_AUDIO_COSTS_H_
+#define PANDORA_SRC_AUDIO_COSTS_H_
+
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+struct AudioCpuCosts {
+  // Fixed scheduling/housekeeping per 2ms mixer tick.
+  Duration mixer_base = Micros(100);
+  // Mixing one stream's block into the accumulator.
+  Duration mix_per_stream = Micros(360);
+  // Clawback jitter correction per stream per tick.
+  Duration jitter_correction_per_stream = Micros(120);
+  // The muting scan + table application per tick.
+  Duration muting = Micros(120);
+  // Handling the outgoing (microphone) stream per tick.
+  Duration outgoing_stream = Micros(180);
+  // Interface code (command parsing, reports) per tick while running.
+  Duration interface_code = Micros(160);
+  // Segment header build/parse on the audio board.
+  Duration segment_handling = Micros(40);
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_AUDIO_COSTS_H_

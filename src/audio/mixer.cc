@@ -1,0 +1,102 @@
+#include "src/audio/mixer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/audio/ulaw.h"
+
+namespace pandora {
+
+AudioMixer::AudioMixer(Scheduler* sched, AudioMixerOptions options, ClawbackBank* bank,
+                       CpuModel* cpu, CodecOutput* out, MutingControl* muting)
+    : sched_(sched),
+      options_(std::move(options)),
+      bank_(bank),
+      cpu_(cpu),
+      out_(out),
+      muting_(muting) {}
+
+void AudioMixer::Start() {
+  assert(!started_);
+  started_ = true;
+  // High priority: the output side must win CPU reservations so that back
+  // pressure pushes loss toward the sources (section 3.7.1).
+  sched_->Spawn(Run(), options_.name, Priority::kHigh);
+}
+
+Process AudioMixer::Run() {
+  const double tick = ToSeconds(kAudioBlockDuration) * 1e6 / (1.0 + options_.clock_drift);
+  double next = static_cast<double>(sched_->now()) + tick;
+  for (;;) {
+    Time scheduled = static_cast<Time>(std::llround(next));
+    next += tick;
+    if (sched_->now() < scheduled) {
+      co_await sched_->WaitUntil(scheduled);
+    }
+    ++ticks_;
+    // Schedule slip: how far the previous ticks' processing has pushed this
+    // tick past its nominal time.  Work *within* the 2ms budget is not slip.
+    Duration lateness = sched_->now() - scheduled;
+    if (lateness > 0) {
+      ++late_ticks_;
+      max_lateness_ = std::max(max_lateness_, lateness);
+    }
+
+    auto streams = bank_->ActiveStreams();
+
+    if (cpu_ != nullptr) {
+      Duration cost =
+          options_.costs.mixer_base +
+          static_cast<Duration>(streams.size()) *
+              (options_.costs.mix_per_stream +
+               (options_.jitter_correction ? options_.costs.jitter_correction_per_stream : 0)) +
+          (muting_ != nullptr ? options_.costs.muting : 0);
+      co_await cpu_->Consume(cost);
+    }
+
+    int32_t accumulator[kAudioBlockSamples] = {};
+    for (StreamId stream : streams) {
+      auto block = bank_->Pop(stream);
+      if (!block.has_value()) {
+        // Buffer found empty: recover per policy.  (The bank has also
+        // deactivated the stream; arriving data re-creates it.)
+        auto last = last_block_.find(stream);
+        if (options_.recovery == MixRecovery::kReplayLast && last != last_block_.end()) {
+          block = last->second;
+          ++replays_;
+        } else {
+          ++silences_;
+          continue;
+        }
+      } else {
+        Duration block_latency = sched_->now() - block->source_time;
+        latency_[stream].Add(static_cast<double>(block_latency));
+        all_latency_.Add(static_cast<double>(block_latency));
+      }
+      for (int i = 0; i < kAudioBlockSamples; ++i) {
+        accumulator[i] += ULawDecode(block->samples[static_cast<size_t>(i)]);
+      }
+      last_block_[stream] = *block;
+      ++blocks_mixed_;
+    }
+
+    AudioBlock mixed;
+    mixed.source_time = scheduled;
+    for (int i = 0; i < kAudioBlockSamples; ++i) {
+      mixed.samples[static_cast<size_t>(i)] = ULawEncode(static_cast<int16_t>(
+          std::clamp<int32_t>(accumulator[i], -32768, 32767)));
+    }
+
+    if (muting_ != nullptr) {
+      // Echo suppression monitors the loudspeaker-bound mix before it
+      // reaches the codec input fifo (section 4.3).
+      muting_->ObserveSpeakerBlock(sched_->now(), mixed);
+    }
+    if (out_ != nullptr) {
+      out_->SubmitBlock(mixed);
+    }
+  }
+}
+
+}  // namespace pandora

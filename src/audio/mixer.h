@@ -1,0 +1,97 @@
+// AudioMixer: software real-time mixing of incoming audio streams.
+//
+// "Their accompanying audio streams are mixed by software in real-time on
+// the destination transputer.  No limit is placed on the number of incoming
+// streams that can be mixed, save that imposed by system bandwidths and CPU
+// resources." (section 2.0).
+//
+// Every 2ms the mixer reads one block from each stream's clawback buffer
+// (fig 3.8), sums them in linear space and re-encodes.  An empty buffer
+// means the stream is skipped ("equivalent to inserting 2ms of zero
+// amplitude samples") — or, with the replay policy of section 3.8, the last
+// block for that stream is repeated ("Replaying the last 2ms block
+// occasionally is perfectly acceptable for speech").
+//
+// CPU costs are charged against the audio board's CpuModel; overload makes
+// the mixing tick late, starving the playout fifo — the paper's capacity
+// limits (5 plain streams, 3 full-featured) emerge from this, measured by
+// bench E4.
+#ifndef PANDORA_SRC_AUDIO_MIXER_H_
+#define PANDORA_SRC_AUDIO_MIXER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/audio/codec.h"
+#include "src/audio/costs.h"
+#include "src/audio/muting.h"
+#include "src/buffer/clawback.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/stats.h"
+
+namespace pandora {
+
+// What to do when a stream's clawback buffer is empty at mixing time.
+enum class MixRecovery {
+  kSilence,     // skip the stream (insert zero amplitude)
+  kReplayLast,  // repeat the stream's previous block (section 3.8 default)
+};
+
+struct AudioMixerOptions {
+  std::string name = "audio.mixer";
+  double clock_drift = 0.0;
+  bool jitter_correction = true;  // charge clawback CPU per stream
+  MixRecovery recovery = MixRecovery::kReplayLast;
+  AudioCpuCosts costs;
+};
+
+class AudioMixer {
+ public:
+  AudioMixer(Scheduler* sched, AudioMixerOptions options, ClawbackBank* bank,
+             CpuModel* cpu = nullptr, CodecOutput* out = nullptr,
+             MutingControl* muting = nullptr);
+
+  void Start();
+
+  uint64_t ticks() const { return ticks_; }
+  uint64_t late_ticks() const { return late_ticks_; }
+  Duration max_lateness() const { return max_lateness_; }
+  uint64_t replays() const { return replays_; }
+  uint64_t silences() const { return silences_; }
+  uint64_t blocks_mixed() const { return blocks_mixed_; }
+
+  // Per-block end-to-end latency observed at the mixer, per stream
+  // (mixing time minus the block's source timestamp).
+  const StatAccumulator* LatencyFor(StreamId stream) const {
+    auto it = latency_.find(stream);
+    return it == latency_.end() ? nullptr : &it->second;
+  }
+  const StatAccumulator& all_latency() const { return all_latency_; }
+
+ private:
+  Process Run();
+
+  Scheduler* sched_;
+  AudioMixerOptions options_;
+  ClawbackBank* bank_;
+  CpuModel* cpu_;
+  CodecOutput* out_;
+  MutingControl* muting_;
+
+  std::map<StreamId, AudioBlock> last_block_;
+  std::map<StreamId, StatAccumulator> latency_;
+  StatAccumulator all_latency_;
+  uint64_t ticks_ = 0;
+  uint64_t late_ticks_ = 0;
+  Duration max_lateness_ = 0;
+  uint64_t replays_ = 0;
+  uint64_t silences_ = 0;
+  uint64_t blocks_mixed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_AUDIO_MIXER_H_

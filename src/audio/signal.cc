@@ -1,0 +1,61 @@
+#include "src/audio/signal.h"
+
+#include <cmath>
+
+#include "src/audio/ulaw.h"
+
+namespace pandora {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+int16_t SineSource::SampleAt(Time t) {
+  double seconds = ToSeconds(t);
+  return static_cast<int16_t>(amplitude_ * std::sin(2.0 * kPi * frequency_hz_ * seconds));
+}
+
+int16_t SpeechLikeSource::SampleAt(Time t) {
+  double seconds = ToSeconds(t);
+  // Syllable-rate gate: talk for talk_fraction_ of each cycle.
+  double phase = seconds * syllable_hz_;
+  double cycle_pos = phase - std::floor(phase);
+  if (cycle_pos > talk_fraction_) {
+    return 0;
+  }
+  // Raised-cosine envelope within the talk burst.
+  double envelope = 0.5 * (1.0 - std::cos(2.0 * kPi * cycle_pos / talk_fraction_));
+  // A fundamental plus two formant-ish harmonics.
+  double wave = 0.6 * std::sin(2.0 * kPi * 180.0 * seconds) +
+                0.3 * std::sin(2.0 * kPi * 720.0 * seconds) +
+                0.1 * std::sin(2.0 * kPi * 1440.0 * seconds);
+  return static_cast<int16_t>(amplitude_ * envelope * wave);
+}
+
+double ComputeSnrDb(SampleSource* reference, const std::vector<PlayedSample>& played,
+                    Duration latency) {
+  if (played.empty()) {
+    return 0.0;
+  }
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+  for (const PlayedSample& sample : played) {
+    double ref = static_cast<double>(reference->SampleAt(sample.when - latency));
+    // Quantise the reference through the codec so companding error does not
+    // count as channel noise.
+    double ref_q = static_cast<double>(ULawDecode(ULawEncode(static_cast<int16_t>(ref))));
+    double got = static_cast<double>(ULawDecode(sample.ulaw));
+    signal_power += ref_q * ref_q;
+    noise_power += (got - ref_q) * (got - ref_q);
+  }
+  if (noise_power <= 0.0) {
+    return 120.0;  // effectively perfect
+  }
+  if (signal_power <= 0.0) {
+    return 0.0;
+  }
+  return 10.0 * std::log10(signal_power / noise_power);
+}
+
+}  // namespace pandora

@@ -1,0 +1,101 @@
+// Test-signal sources and audio-quality metrics.
+//
+// The paper's audio quality findings (section 3.8) are subjective — dropped
+// blocks "noticeable in most music, but rarely in speech", frequent replays
+// "garbled".  The reproduction substitutes deterministic sources (pure
+// tones, a speech-like envelope, solo-violin-like sustained harmonics) and
+// objective proxies: discontinuity counts, replay-run statistics and SNR
+// against the reference signal.
+#ifndef PANDORA_SRC_AUDIO_SIGNAL_H_
+#define PANDORA_SRC_AUDIO_SIGNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/random.h"
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+// Standard microphone source kinds used by boxes and Medusa devices.
+enum class MicKind { kSine, kSpeech, kSilence };
+
+// A source of 16-bit linear PCM samples, indexed by source-clock time so
+// that the emitted waveform is a pure function of time (alignment for SNR).
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+  virtual int16_t SampleAt(Time t) = 0;
+};
+
+class SilenceSource : public SampleSource {
+ public:
+  int16_t SampleAt(Time /*t*/) override { return 0; }
+};
+
+// Pure tone.  A sustained sine is the paper's "solo violin" worst case for
+// hearing periodic sample drops.
+class SineSource : public SampleSource {
+ public:
+  SineSource(double frequency_hz, double amplitude = 8000.0)
+      : frequency_hz_(frequency_hz), amplitude_(amplitude) {}
+
+  int16_t SampleAt(Time t) override;
+
+ private:
+  double frequency_hz_;
+  double amplitude_;
+};
+
+// Speech-like: harmonics under a syllable-rate envelope with pauses, so
+// muting and loss tests see realistic talk/silence alternation.
+class SpeechLikeSource : public SampleSource {
+ public:
+  explicit SpeechLikeSource(double amplitude = 9000.0, double syllable_hz = 4.0,
+                            double talk_fraction = 0.65)
+      : amplitude_(amplitude), syllable_hz_(syllable_hz), talk_fraction_(talk_fraction) {}
+
+  int16_t SampleAt(Time t) override;
+
+ private:
+  double amplitude_;
+  double syllable_hz_;
+  double talk_fraction_;
+};
+
+// A ramp whose value encodes its own sample index (mod alphabet); lets
+// tests account for every individual sample.
+class CounterSource : public SampleSource {
+ public:
+  int16_t SampleAt(Time t) override {
+    return static_cast<int16_t>(((t / kAudioSamplePeriodForCounter) % 200) * 100 - 10000);
+  }
+
+ private:
+  static constexpr Time kAudioSamplePeriodForCounter = 125;
+};
+
+// --- Quality metrics --------------------------------------------------------
+
+// A played sample with the destination-clock time it hit the loudspeaker.
+struct PlayedSample {
+  Time when = 0;
+  uint8_t ulaw = 0;
+};
+
+// Signal-to-noise ratio (dB) of `played` against the reference waveform the
+// source would have produced for the matching source-time window.
+// `latency` is subtracted so that steady delay is not scored as noise.
+double ComputeSnrDb(SampleSource* reference, const std::vector<PlayedSample>& played,
+                    Duration latency);
+
+struct ContinuityStats {
+  uint64_t samples = 0;
+  uint64_t silence_insertions = 0;  // zero-fill events (underrun / empty buffer)
+  uint64_t replays = 0;             // replay-last-block insertions
+  uint64_t longest_replay_run = 0;  // consecutive replayed blocks (the "garble" proxy)
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_AUDIO_SIGNAL_H_

@@ -1,0 +1,42 @@
+#include "src/audio/ulaw.h"
+
+namespace pandora {
+namespace {
+
+constexpr int kBias = 0x84;  // 132
+constexpr int kClip = 32635;
+
+}  // namespace
+
+uint8_t ULawEncode(int16_t linear) {
+  int sample = linear;
+  int sign = (sample >> 8) & 0x80;
+  if (sign != 0) {
+    sample = -sample;
+  }
+  if (sample > kClip) {
+    sample = kClip;
+  }
+  sample += kBias;
+
+  // Position of the highest set bit of the biased magnitude determines the
+  // exponent (segment) of the companded value.
+  int exponent = 7;
+  for (int mask = 0x4000; (sample & mask) == 0 && exponent > 0; mask >>= 1) {
+    --exponent;
+  }
+  int mantissa = (sample >> (exponent + 3)) & 0x0F;
+  return static_cast<uint8_t>(~(sign | (exponent << 4) | mantissa));
+}
+
+int16_t ULawDecode(uint8_t ulaw) {
+  int value = ~ulaw & 0xFF;
+  int sign = value & 0x80;
+  int exponent = (value >> 4) & 0x07;
+  int mantissa = value & 0x0F;
+  int sample = ((mantissa << 3) + kBias) << exponent;
+  sample -= kBias;
+  return static_cast<int16_t>(sign != 0 ? -sample : sample);
+}
+
+}  // namespace pandora

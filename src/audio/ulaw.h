@@ -1,0 +1,24 @@
+// G.711 mu-law companding — the "standard 8-bit u-law codec" of section 3.2.
+//
+// Pandora moves audio as 8-bit u-law bytes end to end; linear conversion
+// happens only where arithmetic is needed (mixing, muting tables, quality
+// metrics).
+#ifndef PANDORA_SRC_AUDIO_ULAW_H_
+#define PANDORA_SRC_AUDIO_ULAW_H_
+
+#include <cstdint>
+
+namespace pandora {
+
+// Encodes a 16-bit linear PCM sample to 8-bit mu-law.
+uint8_t ULawEncode(int16_t linear);
+
+// Decodes an 8-bit mu-law byte to 16-bit linear PCM.
+int16_t ULawDecode(uint8_t ulaw);
+
+// The mu-law byte for digital silence (linear 0).
+inline constexpr uint8_t kULawSilence = 0xFF;
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_AUDIO_ULAW_H_

@@ -1,0 +1,141 @@
+// Decoupling buffers (paper section 3.7.1, figures 3.5 and 3.6).
+//
+// "Generic circular buffers, holding a FIFO queue of references to pandora
+// segments.  In addition to an input and an output channel for segment
+// references, they also respond to commands and generate reports."
+//
+// Two forms exist:
+//  * Plain: when full the buffer stops listening on its input, blocking the
+//    upstream sender — back pressure that pushes data loss towards the
+//    source (output processes run at high priority).
+//  * Ready-channel (fig 3.6): after EVERY accepted input the buffer replies
+//    immediately on the ready channel — TRUE if more slots remain, FALSE if
+//    not — and sends a deferred TRUE when a slot frees.  An upstream
+//    process that got FALSE may throw data away rather than block; this is
+//    how the switch protects split streams (principle 5).
+//
+// The buffer honours principle 4 by alting its command channel at the
+// highest priority, and supports dynamic resize "without any loss of data".
+#ifndef PANDORA_SRC_BUFFER_DECOUPLING_H_
+#define PANDORA_SRC_BUFFER_DECOUPLING_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/buffer/pool.h"
+#include "src/control/command.h"
+#include "src/control/report.h"
+#include "src/runtime/alt.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+class DecouplingBuffer {
+ public:
+  struct Options {
+    std::string name = "decouple";
+    size_t capacity = 16;
+    bool use_ready_channel = false;
+  };
+
+  DecouplingBuffer(Scheduler* sched, Options options, ReportSink* report_sink = nullptr);
+
+  DecouplingBuffer(const DecouplingBuffer&) = delete;
+  DecouplingBuffer& operator=(const DecouplingBuffer&) = delete;
+
+  // Spawns the buffer's processes.  Call once.
+  void Start(Priority priority = Priority::kLow);
+
+  Channel<SegmentRef>& input() { return input_; }
+  Channel<bool>& ready() { return ready_; }
+  Channel<SegmentRef>& output() { return output_; }
+  CommandChannel& commands() { return command_; }
+
+  // Observability (the numbers a kReportStatus command returns).
+  size_t depth() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return queue_.size() >= capacity_; }
+  size_t max_depth_seen() const { return max_depth_seen_; }
+  uint64_t total_in() const { return total_in_; }
+  uint64_t total_out() const { return total_out_; }
+  const std::string& name() const { return options_name_; }
+
+ private:
+  Process CoreProc();
+  Process SenderProc();
+  Task<void> HandleCommand(const Command& command);
+  Task<void> MaybeSendDeferredReady();
+
+  Scheduler* sched_;
+  std::string options_name_;
+  size_t capacity_;
+  bool use_ready_channel_;
+  Reporter reporter_;
+
+  Channel<SegmentRef> input_;
+  Channel<bool> ready_;
+  Channel<SegmentRef> output_;
+  CommandChannel command_;
+  // Internal: core hands queue heads to a dedicated sender so a slow
+  // consumer can never stall command processing.
+  Channel<SegmentRef> dispatch_;
+  Channel<bool> idle_;
+
+  std::deque<SegmentRef> queue_;
+  bool sender_idle_ = true;
+  bool owe_ready_ = false;  // we replied FALSE and owe a deferred TRUE
+  bool started_ = false;
+
+  size_t max_depth_seen_ = 0;
+  uint64_t total_in_ = 0;
+  uint64_t total_out_ = 0;
+};
+
+// Producer-side helper for the ready-channel protocol.  Tracks the latest
+// TRUE/FALSE and exposes the ready channel for inclusion in the producer's
+// alternation, exactly as section 3.7.1 prescribes.
+class ReadySender {
+ public:
+  ReadySender(Channel<SegmentRef>* input, Channel<bool>* ready) : input_(input), ready_(ready) {}
+
+  // True when the last reply said the buffer has room.
+  bool can_send() const { return can_send_; }
+
+  // Sends one segment and consumes the immediate reply.  Only valid when
+  // can_send() — callers drop instead of calling this otherwise.
+  Task<void> Send(SegmentRef ref) {
+    co_await input_->Send(std::move(ref));
+    can_send_ = co_await ready_->Receive();
+    ++sent_;
+  }
+
+  // The channel to include in the producer's alternation while blocked.
+  Channel<bool>& ready_channel() { return *ready_; }
+
+  // After the alternation selects the ready channel: take the signal.
+  Task<void> ConsumeReadySignal() { can_send_ = co_await ready_->Receive(); }
+
+  // Drains any deferred TRUE without blocking (for poll-style producers).
+  void Poll() {
+    while (auto v = ready_->TryReceive()) {
+      can_send_ = *v;
+    }
+  }
+
+  void CountDrop() { ++drops_; }
+  uint64_t drops() const { return drops_; }
+  uint64_t sent() const { return sent_; }
+
+ private:
+  Channel<SegmentRef>* input_;
+  Channel<bool>* ready_;
+  bool can_send_ = true;
+  uint64_t drops_ = 0;
+  uint64_t sent_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_BUFFER_DECOUPLING_H_

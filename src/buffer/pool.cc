@@ -1,0 +1,114 @@
+#include "src/buffer/pool.h"
+
+namespace pandora {
+
+SegmentRef SegmentRef::Dup() const {
+  if (pool_ == nullptr) {
+    return SegmentRef();
+  }
+  pool_->IncRef(index_);
+  return SegmentRef(pool_, index_);
+}
+
+Segment& SegmentRef::operator*() const { return *get(); }
+Segment* SegmentRef::operator->() const { return get(); }
+
+Segment* SegmentRef::get() const {
+  assert(pool_ != nullptr);
+  return &pool_->slots_[static_cast<size_t>(index_)].segment;
+}
+
+void SegmentRef::Reset() {
+  if (pool_ != nullptr) {
+    pool_->DecRef(index_);
+    pool_ = nullptr;
+    index_ = -1;
+  }
+}
+
+BufferPool::BufferPool(Scheduler* sched, std::string name, size_t capacity,
+                       ReportSink* report_sink)
+    : sched_(sched),
+      name_(std::move(name)),
+      reporter_(sched, report_sink, name_),
+      slots_(capacity),
+      handoff_(sched, name_ + ".handoff"),
+      min_free_seen_(capacity) {
+  free_.reserve(capacity);
+  // Hand out low indices first so tests are deterministic.
+  for (size_t i = capacity; i > 0; --i) {
+    free_.push_back(static_cast<int32_t>(i - 1));
+  }
+}
+
+Task<SegmentRef> BufferPool::Allocate() {
+  if (!free_.empty()) {
+    int32_t index = free_.back();
+    free_.pop_back();
+    if (free_.size() < min_free_seen_) {
+      min_free_seen_ = free_.size();
+    }
+    co_return MakeRef(index);
+  }
+  ++starvation_events_;
+  min_free_seen_ = 0;
+  reporter_.Report("allocator.starved", ReportSeverity::kError,
+                   "no buffers available; requester descheduled");
+  // Park until DecRef hands a freed buffer straight to us.  The slot's
+  // reference count is already set to 1 by the handoff path.
+  int32_t index = co_await handoff_.Receive();
+  ++allocations_;
+  co_return SegmentRef(this, index);
+}
+
+std::optional<SegmentRef> BufferPool::TryAllocate() {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  int32_t index = free_.back();
+  free_.pop_back();
+  if (free_.size() < min_free_seen_) {
+    min_free_seen_ = free_.size();
+  }
+  return MakeRef(index);
+}
+
+SegmentRef BufferPool::MakeRef(int32_t index) {
+  Slot& slot = slots_[static_cast<size_t>(index)];
+  assert(slot.refs == 0);
+  slot.refs = 1;
+  ++allocations_;
+  return SegmentRef(this, index);
+}
+
+void BufferPool::IncRef(int32_t index) {
+  Slot& slot = slots_[static_cast<size_t>(index)];
+  assert(slot.refs > 0);
+  ++slot.refs;
+}
+
+void BufferPool::DecRef(int32_t index) {
+  Slot& slot = slots_[static_cast<size_t>(index)];
+  assert(slot.refs > 0);
+  if (--slot.refs > 0) {
+    return;
+  }
+  // Keep the payload's capacity (real Pandora reuses fixed buffers) but
+  // drop contents so stale data cannot leak between streams.
+  slot.segment.payload.clear();
+  slot.segment.compression_args.clear();
+  slot.segment.stream = kInvalidStream;
+  if (sched_->shutting_down()) {
+    // Teardown: parked requesters' frames may already be gone; just free.
+    free_.push_back(index);
+    return;
+  }
+  if (handoff_.TrySend(index)) {
+    // A starved requester was parked: the buffer goes straight to it.
+    slot.refs = 1;
+    return;
+  }
+  free_.push_back(index);
+}
+
+}  // namespace pandora

@@ -1,0 +1,133 @@
+// BufferPool: the allocator process with reference counting (fig 3.3/3.4).
+//
+// "The input processes obtain empty buffers from an allocator process in
+// advance, fill them as the data become available, and then transmit the
+// buffer index numbers through the rest of the system...  The allocator
+// keeps a reference count of the number of processes using each buffer"
+// (section 3.4).  Copying happens once in and once out per output device;
+// everything between passes 32-bit buffer indices.
+//
+// "If there are no buffers available, then the allocator will not listen
+// for any requests, and the requesting processes will be descheduled by the
+// usual channel synchronisation mechanism until the allocator is ready to
+// receive again.  The allocator reports this (serious) fault on its report
+// channel so that it can be logged."
+//
+// SegmentRef is the RAII face of a buffer index: moving it passes the
+// reference on (no count change, the common case the paper optimises);
+// Dup() increments the count (stream splitting); destruction decrements it.
+#ifndef PANDORA_SRC_BUFFER_POOL_H_
+#define PANDORA_SRC_BUFFER_POOL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/control/report.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+
+class BufferPool;
+
+class SegmentRef {
+ public:
+  SegmentRef() = default;
+  SegmentRef(SegmentRef&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)), index_(std::exchange(other.index_, -1)) {}
+  SegmentRef& operator=(SegmentRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      index_ = std::exchange(other.index_, -1);
+    }
+    return *this;
+  }
+  SegmentRef(const SegmentRef&) = delete;
+  SegmentRef& operator=(const SegmentRef&) = delete;
+  ~SegmentRef() { Reset(); }
+
+  explicit operator bool() const { return pool_ != nullptr; }
+
+  // Takes an additional reference for a second destination.  Both handles
+  // alias the same buffer; holders must treat shared segments as read-only.
+  SegmentRef Dup() const;
+
+  Segment& operator*() const;
+  Segment* operator->() const;
+  Segment* get() const;
+
+  int32_t index() const { return index_; }
+
+  // Drops this reference (informing the allocator).
+  void Reset();
+
+ private:
+  friend class BufferPool;
+  SegmentRef(BufferPool* pool, int32_t index) : pool_(pool), index_(index) {}
+
+  BufferPool* pool_ = nullptr;
+  int32_t index_ = -1;
+};
+
+class BufferPool {
+ public:
+  // `capacity` fixed buffers are shared by all processes on the board.
+  BufferPool(Scheduler* sched, std::string name, size_t capacity,
+             ReportSink* report_sink = nullptr);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Obtains an empty buffer, parking the caller while the pool is starved
+  // (the allocator "will not listen for any requests").  Starvation is
+  // reported as the serious fault it is.
+  Task<SegmentRef> Allocate();
+
+  // Non-blocking variant for callers that would rather drop than wait.
+  std::optional<SegmentRef> TryAllocate();
+
+  size_t capacity() const { return slots_.size(); }
+  size_t free_count() const { return free_.size(); }
+  size_t in_use() const { return slots_.size() - free_.size(); }
+  uint64_t allocations() const { return allocations_; }
+  uint64_t starvation_events() const { return starvation_events_; }
+  size_t min_free_seen() const { return min_free_seen_; }
+
+  // Reference count of a slot (testing/diagnostics).
+  int RefCount(int32_t index) const { return slots_[static_cast<size_t>(index)].refs; }
+
+ private:
+  friend class SegmentRef;
+
+  struct Slot {
+    Segment segment;
+    int refs = 0;
+  };
+
+  void IncRef(int32_t index);
+  void DecRef(int32_t index);
+  SegmentRef MakeRef(int32_t index);
+
+  Scheduler* sched_;
+  std::string name_;
+  Reporter reporter_;
+  std::vector<Slot> slots_;
+  std::vector<int32_t> free_;
+  // Direct handoff to parked allocators: DecRef passes a freed index
+  // straight to the longest-waiting requester.
+  Channel<int32_t> handoff_;
+  uint64_t allocations_ = 0;
+  uint64_t starvation_events_ = 0;
+  size_t min_free_seen_;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_BUFFER_POOL_H_

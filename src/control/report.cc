@@ -1,0 +1,80 @@
+#include "src/control/report.h"
+
+#include <sstream>
+
+namespace pandora {
+namespace {
+
+const char* SeverityName(ReportSeverity severity) {
+  switch (severity) {
+    case ReportSeverity::kInfo:
+      return "INFO";
+    case ReportSeverity::kWarning:
+      return "WARN";
+    case ReportSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ReportCollector::Format() const {
+  std::ostringstream out;
+  for (const Report& report : log_) {
+    out << "[" << ToMillis(report.when) << "ms] " << SeverityName(report.severity) << " "
+        << report.source << " " << report.kind << ": " << report.text;
+    if (report.value != 0) {
+      out << " (value=" << report.value << ")";
+    }
+    if (report.suppressed > 0) {
+      out << " (+" << report.suppressed << " suppressed)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Reporter::Report(const std::string& kind, ReportSeverity severity, std::string text,
+                      int64_t value) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  KindState& state = kinds_[kind];
+  Time now = sched_->now();
+  if (state.last_emit >= 0 && now - state.last_emit < min_period_) {
+    ++state.suppressed_since;
+    ++suppressed_total_;
+    return;
+  }
+  pandora::Report report;
+  report.when = now;
+  report.source = source_;
+  report.kind = kind;
+  report.severity = severity;
+  report.text = std::move(text);
+  report.value = value;
+  report.suppressed = state.suppressed_since;
+  state.suppressed_since = 0;
+  state.last_emit = now;
+  ++emitted_;
+  sink_->Submit(std::move(report));
+}
+
+void Reporter::ReportNow(const std::string& kind, ReportSeverity severity, std::string text,
+                         int64_t value) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  pandora::Report report;
+  report.when = sched_->now();
+  report.source = source_;
+  report.kind = kind;
+  report.severity = severity;
+  report.text = std::move(text);
+  report.value = value;
+  ++emitted_;
+  sink_->Submit(std::move(report));
+}
+
+}  // namespace pandora

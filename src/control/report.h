@@ -1,0 +1,113 @@
+// Reports: the observability half of the Pandora control plane.
+//
+// "Reports are collected from all main processes, and multiplexed together.
+// They are usually in the form of text messages generated when Pandora is
+// overloaded, when some error has been detected, when a command has
+// requested some information, or on occasion just to say that everything is
+// all right.  Reports are sent to the host computer for display or logging."
+// (section 1.1).  Section 3.8 adds the throttling rule: processes send
+// messages "as soon as possible subject to a minimum period between reports
+// for any particular sort of error".
+#ifndef PANDORA_SRC_CONTROL_REPORT_H_
+#define PANDORA_SRC_CONTROL_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/scheduler.h"
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+enum class ReportSeverity {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+struct Report {
+  Time when = 0;
+  std::string source;  // reporting process, e.g. "boxA.server.switch"
+  std::string kind;    // stable event key, e.g. "decoupling.full"
+  ReportSeverity severity = ReportSeverity::kInfo;
+  std::string text;
+  int64_t value = 0;       // optional numeric payload (e.g. drop count)
+  uint64_t suppressed = 0;  // reports of this kind swallowed by rate limiting
+};
+
+// Destination for reports (the host-side multiplexer implements this).
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void Submit(Report report) = 0;
+};
+
+// Host-side collector: multiplexes reports from every process into one log,
+// as the host computer does in the paper.
+class ReportCollector : public ReportSink {
+ public:
+  void Submit(Report report) override {
+    counts_by_kind_[report.kind] += 1 + report.suppressed;
+    log_.push_back(std::move(report));
+  }
+
+  const std::vector<Report>& log() const { return log_; }
+  uint64_t CountOf(const std::string& kind) const {
+    auto it = counts_by_kind_.find(kind);
+    return it == counts_by_kind_.end() ? 0 : it->second;
+  }
+  size_t size() const { return log_.size(); }
+  void Clear() {
+    log_.clear();
+    counts_by_kind_.clear();
+  }
+
+  // Renders the log as the host would write it to a file.
+  std::string Format() const;
+
+ private:
+  std::vector<Report> log_;
+  std::map<std::string, uint64_t> counts_by_kind_;
+};
+
+// Per-process report front-end implementing the minimum-period rule.  The
+// first report of a kind goes out immediately; further reports of the same
+// kind within `min_period` are counted and folded into the next emission.
+class Reporter {
+ public:
+  Reporter(Scheduler* sched, ReportSink* sink, std::string source,
+           Duration min_period = Seconds(1))
+      : sched_(sched), sink_(sink), source_(std::move(source)), min_period_(min_period) {}
+
+  void Report(const std::string& kind, ReportSeverity severity, std::string text,
+              int64_t value = 0);
+
+  // Information requests bypass rate limiting (they answer a command).
+  void ReportNow(const std::string& kind, ReportSeverity severity, std::string text,
+                 int64_t value = 0);
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t suppressed_total() const { return suppressed_total_; }
+  const std::string& source() const { return source_; }
+  Scheduler* scheduler() const { return sched_; }
+
+ private:
+  struct KindState {
+    Time last_emit = -1;
+    uint64_t suppressed_since = 0;
+  };
+
+  Scheduler* sched_;
+  ReportSink* sink_;
+  std::string source_;
+  Duration min_period_;
+  std::map<std::string, KindState> kinds_;
+  uint64_t emitted_ = 0;
+  uint64_t suppressed_total_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_CONTROL_REPORT_H_

@@ -1,0 +1,183 @@
+#include "src/core/box.h"
+
+#include <cassert>
+
+namespace pandora {
+namespace {
+
+// Spawns a throwaway process that performs one channel send — how the host
+// injects commands into a running box.
+template <typename T>
+void SendAsync(Scheduler* sched, Channel<T>* channel, T value, const std::string& name) {
+  auto sender = [](Channel<T>* channel, T value) -> Process {
+    co_await channel->Send(std::move(value));
+  };
+  sched->Spawn(sender(channel, std::move(value)), name, Priority::kHigh);
+}
+
+}  // namespace
+
+PandoraBox::PandoraBox(Scheduler* sched, AtmNetwork* net, Options options,
+                       ReportSink* report_sink)
+    : sched_(sched),
+      net_(net),
+      options_(std::move(options)),
+      report_sink_(report_sink),
+      // --- server board ---
+      server_cpu_(sched, options_.name + ".server.cpu"),
+      pool_(sched, options_.name + ".pool", options_.pool_buffers, report_sink),
+      switch_(sched, SwitchOptions{.name = options_.name + ".switch"}, &server_cpu_, report_sink),
+      to_audio_buf_(sched,
+                    {.name = options_.name + ".buf.audio_out",
+                     .capacity = options_.audio_out_buffer,
+                     .use_ready_channel = true},
+                    report_sink),
+      to_display_buf_(sched,
+                      {.name = options_.name + ".buf.display",
+                       .capacity = options_.display_buffer,
+                       .use_ready_channel = true},
+                      report_sink),
+      port_(net->AddPort(options_.name + ".port", options_.network_egress_bps)),
+      net_out_(sched,
+               [&] {
+                 NetworkOutputOptions o = options_.netout;
+                 o.name = options_.name + ".netout";
+                 return o;
+               }(),
+               &switch_.table(), port_, report_sink),
+      net_in_(sched, {.name = options_.name + ".netin"}, port_, &pool_, &switch_.input()),
+      // --- audio board ---
+      audio_cpu_(sched, options_.name + ".audio.cpu"),
+      mic_chan_(sched, options_.name + ".mic"),
+      muting_(MutingConfig{.enabled = options_.muting_enabled}),
+      codec_in_(sched,
+                {.name = options_.name + ".codec.in", .clock_drift = options_.audio_clock_drift},
+                mic_source(), &mic_chan_),
+      audio_up_(sched, options_.name + ".audio.up"),
+      sender_(sched,
+              {.name = options_.name + ".audio.sender",
+               .stream = options_.mic_stream,
+               .start_immediately = false,
+               .costs = options_.costs},
+              &mic_chan_, &pool_, &audio_up_, &audio_cpu_,
+              options_.muting_enabled ? &muting_ : nullptr, report_sink),
+      audio_up_link_(sched, options_.name + ".link.audio_up", &audio_up_, &switch_.input()),
+      audio_down_(sched, options_.name + ".audio.down"),
+      audio_down_link_(sched, options_.name + ".link.audio_down", &to_audio_buf_.output(),
+                       &audio_down_),
+      bank_(options_.clawback, Seconds(4),
+            nullptr),  // reporter optional; clawback reports via receiver
+      receiver_(sched, {.name = options_.name + ".audio.receiver", .costs = options_.costs},
+                &audio_down_, &bank_, &audio_cpu_, report_sink),
+      codec_out_(sched, {.name = options_.name + ".codec.out",
+                         .record_samples = options_.record_played_audio}),
+      mixer_(sched,
+             AudioMixerOptions{.name = options_.name + ".audio.mixer",
+                               .clock_drift = options_.audio_clock_drift,
+                               .costs = options_.costs},
+             &bank_, &audio_cpu_, &codec_out_, options_.muting_enabled ? &muting_ : nullptr),
+      // --- video boards ---
+      video_up_(sched, options_.name + ".video.up"),
+      video_up_link_(sched, options_.name + ".fifo.video_up", &video_up_, &switch_.input(),
+                     kVideoFifoBps),
+      video_down_(sched, options_.name + ".video.down"),
+      video_down_link_(sched, options_.name + ".fifo.video_down", &to_display_buf_.output(),
+                       &video_down_, kVideoFifoBps),
+      mic_stream_(options_.mic_stream) {
+  dest_audio_out_ = switch_.AddDestination("audio_out", &to_audio_buf_);
+  dest_display_ = switch_.AddDestination("display", &to_display_buf_);
+  dest_network_ = switch_.AddDestination("network", &net_out_.input(), &net_out_.ready());
+
+  if (options_.with_video) {
+    pattern_ = std::make_unique<MovingBarPattern>(options_.video_width);
+    framestore_ = std::make_unique<FrameStore>(sched, pattern_.get(), options_.video_width,
+                                               options_.video_height);
+    display_ = std::make_unique<VideoDisplay>(
+        sched,
+        VideoDisplayOptions{.name = options_.name + ".display",
+                            .width = options_.video_width,
+                            .height = options_.video_height},
+        &video_down_, report_sink);
+  }
+  if (options_.with_repository) {
+    RepositoryOptions repo = options_.repository;
+    repo.name = options_.name + ".repo";
+    repository_ = std::make_unique<Repository>(sched, repo, report_sink);
+    dest_repository_ = switch_.AddDestination("repository", &repository_->input(),
+                                              &repository_->ready());
+  }
+}
+
+SampleSource* PandoraBox::mic_source() {
+  if (options_.custom_mic != nullptr) {
+    return options_.custom_mic;
+  }
+  switch (options_.mic) {
+    case MicKind::kSine:
+      owned_mic_ = std::make_unique<SineSource>(options_.mic_frequency, options_.mic_amplitude);
+      break;
+    case MicKind::kSpeech:
+      owned_mic_ = std::make_unique<SpeechLikeSource>(options_.mic_amplitude);
+      break;
+    case MicKind::kSilence:
+      owned_mic_ = std::make_unique<SilenceSource>();
+      break;
+  }
+  return owned_mic_.get();
+}
+
+void PandoraBox::Start() {
+  assert(!started_);
+  started_ = true;
+  switch_.Start();
+  to_audio_buf_.Start();
+  to_display_buf_.Start();
+  net_out_.Start();
+  net_in_.Start();
+
+  codec_in_.Start();
+  sender_.Start();
+  audio_up_link_.Start();
+  audio_down_link_.Start();
+  receiver_.Start();
+  codec_out_.Start();
+  mixer_.Start();
+
+  if (options_.with_video) {
+    video_up_link_.Start();
+    video_down_link_.Start();
+    display_->Start();
+  }
+  if (repository_ != nullptr) {
+    repository_->Start();
+  }
+}
+
+void PandoraBox::EnsureMicProducing() {
+  if (mic_producing_) {
+    return;
+  }
+  mic_producing_ = true;
+  SendAsync(sched_, &sender_.commands(), Command{CommandVerb::kStartStream, mic_stream_, 0, 0},
+            options_.name + ".host.startmic");
+}
+
+StreamId PandoraBox::AddCameraStream(StreamId stream, const Rect& rect, int rate_numer,
+                                     int rate_denom, int segments_per_frame, LineCoding coding) {
+  assert(options_.with_video);
+  VideoCaptureOptions capture_options;
+  capture_options.name = options_.name + ".capture." + std::to_string(stream);
+  capture_options.stream = stream;
+  capture_options.rect = rect;
+  capture_options.rate_numer = rate_numer;
+  capture_options.rate_denom = rate_denom;
+  capture_options.segments_per_frame = segments_per_frame;
+  capture_options.coding = coding;
+  captures_.push_back(std::make_unique<VideoCapture>(sched_, capture_options, framestore_.get(),
+                                                     &pool_, &video_up_, &server_cpu_,
+                                                     report_sink_));
+  captures_.back()->Start();
+  return stream;
+}
+
+}  // namespace pandora

@@ -1,0 +1,183 @@
+// PandoraBox: one complete Pandora's Box, wired per figures 1.2 and 1.3.
+//
+// Boards and their interconnect:
+//   audio board   — codec capture/playout, block handler (AudioSender),
+//                   clawback bank + receiver + mixer, muting; joined to the
+//                   server by 20 Mbit/s links.
+//   capture board — framestore + per-stream VideoCapture; video reaches the
+//                   server over a 100 Mbit/s fifo.
+//   mixer board   — VideoDisplay (frame assembly, tear-free blit), fed from
+//                   the server over a 100 Mbit/s fifo.
+//   server board  — buffer pool (allocator), the Switch, per-destination
+//                   decoupling buffers, network in/out handlers.
+//   network board — an AtmPort on the shared ATM fabric.
+//
+// The host-side control surface (allocate stream, plumb destination back to
+// source, start the source — section 1.1) lives on Simulation, which owns
+// the boxes and the network.
+#ifndef PANDORA_SRC_CORE_BOX_H_
+#define PANDORA_SRC_CORE_BOX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/audio/codec.h"
+#include "src/audio/costs.h"
+#include "src/audio/mixer.h"
+#include "src/audio/muting.h"
+#include "src/audio/receiver.h"
+#include "src/audio/sender.h"
+#include "src/audio/signal.h"
+#include "src/buffer/clawback.h"
+#include "src/buffer/decoupling.h"
+#include "src/buffer/pool.h"
+#include "src/control/report.h"
+#include "src/net/atm.h"
+#include "src/repository/repository.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+#include "src/server/netio.h"
+#include "src/server/relay.h"
+#include "src/server/switch.h"
+#include "src/video/capture.h"
+#include "src/video/display.h"
+#include "src/video/framestore.h"
+
+namespace pandora {
+
+class PandoraBox {
+ public:
+  struct Options {
+    std::string name = "box";
+    // Local stream number for the microphone (Simulation allocates these).
+    StreamId mic_stream = kInvalidStream;
+    // Audio source at this box's microphone.
+    MicKind mic = MicKind::kSine;
+    double mic_frequency = 440.0;
+    double mic_amplitude = 9000.0;
+    SampleSource* custom_mic = nullptr;  // overrides `mic` if set
+    double audio_clock_drift = 0.0;      // quartz tolerance, ~1e-5
+    bool muting_enabled = false;
+    bool record_played_audio = false;  // codec playout keeps every sample
+    // Video hardware.
+    bool with_video = true;
+    int video_width = 64;
+    int video_height = 48;
+    // Server resources.
+    size_t pool_buffers = 256;
+    // Network interface rate ("mixed traffic 20 Mbit/s link", fig 1.2).
+    int64_t network_egress_bps = 20'000'000;
+    size_t audio_out_buffer = 32;
+    size_t display_buffer = 16;
+    NetworkOutputOptions netout;
+    // CPU cost calibration.
+    AudioCpuCosts costs;
+    ClawbackConfig clawback;
+    // Attach a repository (recording reverses P1 on this box).
+    bool with_repository = false;
+    RepositoryOptions repository;
+  };
+
+  PandoraBox(Scheduler* sched, AtmNetwork* net, Options options, ReportSink* report_sink);
+
+  void Start();
+
+  // --- Host-side controls ---------------------------------------------------
+
+  // The local microphone stream's id (starts producing on first use).
+  StreamId mic_stream() const { return mic_stream_; }
+  void EnsureMicProducing();
+
+  // Adds a camera stream; returns its local stream id (video must be on).
+  StreamId AddCameraStream(StreamId stream, const Rect& rect, int rate_numer, int rate_denom,
+                           int segments_per_frame, LineCoding coding = LineCoding::kDpcmLine);
+
+  // --- Topology handles (used by Simulation's plumbing) ----------------------
+
+  Switch& server_switch() { return switch_; }
+  AtmPort* port() { return port_; }
+  DestinationId dest_audio_out() const { return dest_audio_out_; }
+  DestinationId dest_display() const { return dest_display_; }
+  DestinationId dest_network() const { return dest_network_; }
+  DestinationId dest_repository() const { return dest_repository_; }
+  Channel<SegmentRef>& switch_input() { return switch_.input(); }
+  BufferPool& pool() { return pool_; }
+
+  // --- Observability ----------------------------------------------------------
+
+  const std::string& name() const { return options_.name; }
+  AudioMixer& mixer() { return mixer_; }
+  CodecOutput& codec_out() { return codec_out_; }
+  AudioReceiver& audio_receiver() { return receiver_; }
+  AudioSender& audio_sender() { return sender_; }
+  ClawbackBank& clawback_bank() { return bank_; }
+  MutingControl& muting() { return muting_; }
+  VideoDisplay* display() { return display_.get(); }
+  FrameStore* framestore() { return framestore_.get(); }
+  VideoCapture* capture(size_t i) { return captures_.at(i).get(); }
+  NetworkOutput& network_output() { return net_out_; }
+  NetworkInput& network_input() { return net_in_; }
+  Repository* repository() { return repository_.get(); }
+  CpuModel& audio_cpu() { return audio_cpu_; }
+  CpuModel& server_cpu() { return server_cpu_; }
+  DecouplingBuffer& audio_out_buffer() { return to_audio_buf_; }
+
+ private:
+  SampleSource* mic_source();
+
+  Scheduler* sched_;
+  AtmNetwork* net_;
+  Options options_;
+  ReportSink* report_sink_;
+
+  // Server board.
+  CpuModel server_cpu_;
+  BufferPool pool_;
+  Switch switch_;
+  DecouplingBuffer to_audio_buf_;
+  DecouplingBuffer to_display_buf_;
+  AtmPort* port_;
+  NetworkOutput net_out_;
+  NetworkInput net_in_;
+  DestinationId dest_audio_out_ = kInvalidDestination;
+  DestinationId dest_display_ = kInvalidDestination;
+  DestinationId dest_network_ = kInvalidDestination;
+  DestinationId dest_repository_ = kInvalidDestination;
+
+  // Audio board.
+  CpuModel audio_cpu_;
+  std::unique_ptr<SampleSource> owned_mic_;
+  Channel<AudioBlock> mic_chan_;
+  MutingControl muting_;
+  CodecInput codec_in_;
+  Channel<SegmentRef> audio_up_;
+  AudioSender sender_;
+  LinkRelay audio_up_link_;
+  Channel<SegmentRef> audio_down_;
+  LinkRelay audio_down_link_;
+  ClawbackBank bank_;
+  AudioReceiver receiver_;
+  CodecOutput codec_out_;
+  AudioMixer mixer_;
+
+  // Capture + mixer (display) boards.
+  std::unique_ptr<MovingBarPattern> pattern_;
+  std::unique_ptr<FrameStore> framestore_;
+  Channel<SegmentRef> video_up_;
+  LinkRelay video_up_link_;
+  Channel<SegmentRef> video_down_;
+  LinkRelay video_down_link_;
+  std::unique_ptr<VideoDisplay> display_;
+  std::vector<std::unique_ptr<VideoCapture>> captures_;
+
+  std::unique_ptr<Repository> repository_;
+
+  StreamId mic_stream_ = kInvalidStream;
+  bool mic_producing_ = false;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_CORE_BOX_H_

@@ -1,0 +1,48 @@
+// The eight Pandora design principles (paper section 2), as a checklist of
+// where each one lives in this codebase.
+//
+//  P1 kOutgoingPriority — under overload, incoming streams degrade before
+//     outgoing ones (reversed for repositories).
+//     -> server/degrade.h (DegradesBefore), Repository's high-priority disk.
+//  P2 kAudioPriority — video degrades before audio.
+//     -> server/degrade.h; server/netio.h (separate audio/video buffers,
+//        audio drained first, small video buffer).
+//  P3 kNewStreamPriority — longest-open streams degrade first.
+//     -> server/degrade.h (open_order term), server/stream_table.h stamps.
+//  P4 kCommandPriority — stream processing can never lock out commands.
+//     -> runtime/alt.h (PRI ALT); every process lists its command channel
+//        as guard 0 (switch, buffers, senders, capture).
+//  P5 kUpstreamIndependence — a split stream's slow destination must not
+//     affect the other copies.
+//     -> buffer/decoupling.h (ready channel), server/switch.cc (drop, never
+//        block), segment/sequence.h (destination-side recovery).
+//  P6 kReconfigurationContinuity — adding/removing destinations leaves the
+//     other copies undisturbed.
+//     -> server/stream_table.h + switch command handling (tables updated
+//        between segments, never during one).
+//  P7 kMinimiseDelay — delay minimised at every stage.
+//     -> 2-block/4ms default segments (audio/sender.h), segments despatched
+//        as soon as ready (video/capture.cc), clawback's 4ms lower target.
+//  P8 kLocalAdaptation — buffering/timing decisions adapt to local
+//     observations.
+//     -> buffer/clawback.h (growth + clawback, auto stream lifecycle),
+//        server/degrade.h (pressure-driven suppression with decay).
+#ifndef PANDORA_SRC_CORE_PRINCIPLES_H_
+#define PANDORA_SRC_CORE_PRINCIPLES_H_
+
+namespace pandora {
+
+enum class Principle {
+  kOutgoingPriority = 1,
+  kAudioPriority = 2,
+  kNewStreamPriority = 3,
+  kCommandPriority = 4,
+  kUpstreamIndependence = 5,
+  kReconfigurationContinuity = 6,
+  kMinimiseDelay = 7,
+  kLocalAdaptation = 8,
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_CORE_PRINCIPLES_H_

@@ -1,0 +1,117 @@
+#include "src/core/simulation.h"
+
+namespace pandora {
+
+Simulation::Simulation(uint64_t seed) : sched_(), reports_(), net_(&sched_, seed) {}
+
+Simulation::~Simulation() {
+  // Destroy every coroutine frame before the boxes (whose pools and
+  // channels the frames reference) go away.
+  sched_.Shutdown();
+}
+
+PandoraBox& Simulation::AddBox(PandoraBox::Options options) {
+  if (options.mic_stream == kInvalidStream) {
+    options.mic_stream = AllocateStream();
+  }
+  boxes_.push_back(std::make_unique<PandoraBox>(&sched_, &net_, std::move(options), &reports_));
+  if (started_) {
+    boxes_.back()->Start();
+  }
+  return *boxes_.back();
+}
+
+void Simulation::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (auto& box : boxes_) {
+    box->Start();
+  }
+}
+
+StreamId Simulation::SendAudio(PandoraBox& src, PandoraBox& dst, const CallPath& path) {
+  // 1. The destination allocates the stream number and is configured first.
+  StreamId at_dst = AllocateStream();
+  dst.server_switch().OpenRoute(at_dst, dst.dest_audio_out(), /*incoming=*/true, /*audio=*/true);
+  // 2. The network circuit (the VCI carries the destination's stream id).
+  net_.OpenCircuit(src.port(), at_dst, dst.port(), path.hops, path.direct);
+  // 3. The source's switch routes the microphone stream to the network.
+  src.server_switch().OpenRoute(src.mic_stream(), src.dest_network(), /*incoming=*/false,
+                                /*audio=*/true, /*out_vci=*/at_dst);
+  // 4. Finally, command the source to begin producing data.
+  src.EnsureMicProducing();
+  return at_dst;
+}
+
+StreamId Simulation::SplitAudioTo(PandoraBox& src, StreamId src_stream, PandoraBox& dst,
+                                  const CallPath& path) {
+  StreamId at_dst = AllocateStream();
+  dst.server_switch().OpenRoute(at_dst, dst.dest_audio_out(), /*incoming=*/true, /*audio=*/true);
+  net_.OpenCircuit(src.port(), at_dst, dst.port(), path.hops, path.direct);
+  // The route table update adds the new VCI without disturbing the copies
+  // already flowing (principle 6).
+  src.server_switch().OpenRoute(src_stream, src.dest_network(), /*incoming=*/false,
+                                /*audio=*/true, /*out_vci=*/at_dst);
+  src.EnsureMicProducing();
+  return at_dst;
+}
+
+StreamId Simulation::SendVideo(PandoraBox& src, PandoraBox& dst, const Rect& rect,
+                               int rate_numer, int rate_denom, int segments_per_frame,
+                               const CallPath& path) {
+  StreamId at_dst = AllocateStream();
+  dst.server_switch().OpenRoute(at_dst, dst.dest_display(), /*incoming=*/true, /*audio=*/false);
+  net_.OpenCircuit(src.port(), at_dst, dst.port(), path.hops, path.direct);
+  StreamId local = AllocateStream();
+  src.server_switch().OpenRoute(local, src.dest_network(), /*incoming=*/false, /*audio=*/false,
+                                /*out_vci=*/at_dst);
+  src.AddCameraStream(local, rect, rate_numer, rate_denom, segments_per_frame);
+  return at_dst;
+}
+
+StreamId Simulation::ShowLocalVideo(PandoraBox& box, const Rect& rect, int rate_numer,
+                                    int rate_denom, int segments_per_frame) {
+  StreamId local = AllocateStream();
+  box.server_switch().OpenRoute(local, box.dest_display(), /*incoming=*/false, /*audio=*/false);
+  box.AddCameraStream(local, rect, rate_numer, rate_denom, segments_per_frame);
+  return local;
+}
+
+void Simulation::HangUpAudio(PandoraBox& src, PandoraBox& dst, StreamId at_dst) {
+  // Reverse of the set-up order: source first, so no more traffic enters
+  // the circuit, then the circuit, then the destination's plumbing.
+  src.server_switch().CloseNetworkCopy(src.mic_stream(), at_dst, src.dest_network());
+  net_.CloseCircuit(src.port(), at_dst);
+  dst.server_switch().CloseRoute(at_dst, dst.dest_audio_out());
+}
+
+void Simulation::RecordStream(PandoraBox& box, StreamId stream, bool audio) {
+  box.repository()->Arm(stream);
+  box.server_switch().OpenRoute(stream, box.dest_repository(), /*incoming=*/true, audio);
+}
+
+void Simulation::FinishRecording(PandoraBox& box, StreamId stream) {
+  box.server_switch().CloseRoute(stream, box.dest_repository());
+  box.repository()->Finish(stream);
+}
+
+StreamId Simulation::PlayRecording(PandoraBox& box, StreamId stored, int blocks_per_segment) {
+  StreamId playback = AllocateStream();
+  box.server_switch().OpenRoute(playback, box.dest_audio_out(), /*incoming=*/true,
+                                /*audio=*/true);
+  box.repository()->Play(stored, playback, &box.switch_input(), &box.pool(),
+                         blocks_per_segment);
+  return playback;
+}
+
+StreamId Simulation::PlayVideoRecording(PandoraBox& box, StreamId stored) {
+  StreamId playback = AllocateStream();
+  box.server_switch().OpenRoute(playback, box.dest_display(), /*incoming=*/true,
+                                /*audio=*/false);
+  box.repository()->Play(stored, playback, &box.switch_input(), &box.pool());
+  return playback;
+}
+
+}  // namespace pandora

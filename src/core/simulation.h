@@ -1,0 +1,93 @@
+// Simulation: the top-level facade — a scheduler, an ATM fabric, a host-side
+// report log and any number of Pandora boxes, plus the host plumbing of
+// section 1.1: "To set data flowing, it is necessary to allocate a new
+// stream number, inform each process from the destination back to the
+// source what is to be done to that stream, and then command the source to
+// begin producing data.  The data will then flow indefinitely without any
+// further interaction with the host."
+#ifndef PANDORA_SRC_CORE_SIMULATION_H_
+#define PANDORA_SRC_CORE_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/box.h"
+#include "src/net/atm.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+// Options for one network leg (direct quality or bridged hops).
+struct CallPath {
+  std::vector<NetHop*> hops;
+  HopQuality direct;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+
+  Scheduler& scheduler() { return sched_; }
+  AtmNetwork& network() { return net_; }
+  ReportCollector& reports() { return reports_; }
+  Time now() const { return sched_.now(); }
+
+  PandoraBox& AddBox(PandoraBox::Options options);
+
+  // Starts every box (call after adding boxes, before Run*).
+  void Start();
+
+  void RunFor(Duration d) { sched_.RunFor(d); }
+  void RunUntil(Time t) { sched_.RunUntil(t); }
+
+  StreamId AllocateStream() { return next_stream_++; }
+
+  // --- Host plumbing (destination back to source) ---------------------------
+
+  // One-way live audio: src's microphone to dst's loudspeaker.  Returns the
+  // stream id at the DESTINATION (per the paper, the VCI carries it).
+  StreamId SendAudio(PandoraBox& src, PandoraBox& dst, const CallPath& path = {});
+
+  // One-way live video: a camera rectangle of src shown on dst's display.
+  StreamId SendVideo(PandoraBox& src, PandoraBox& dst, const Rect& rect, int rate_numer = 1,
+                     int rate_denom = 1, int segments_per_frame = 4,
+                     const CallPath& path = {});
+
+  // Local camera shown on the box's own display (no network leg).
+  StreamId ShowLocalVideo(PandoraBox& box, const Rect& rect, int rate_numer = 1,
+                          int rate_denom = 1, int segments_per_frame = 4);
+
+  // Adds dst as a further destination of an existing audio stream from src
+  // (stream splitting, principles 5/6).  `src_stream` is the stream id at
+  // the SOURCE box (e.g. src.mic_stream()).
+  StreamId SplitAudioTo(PandoraBox& src, StreamId src_stream, PandoraBox& dst,
+                        const CallPath& path = {});
+
+  // Tears down one audio leg set up by SendAudio/SplitAudioTo: the source
+  // stops sending on that VCI, the circuit closes, and the destination's
+  // route is removed — without disturbing any other copies (principle 6).
+  void HangUpAudio(PandoraBox& src, PandoraBox& dst, StreamId at_dst);
+
+  // Records a stream arriving at (or produced by) `box` into its repository.
+  void RecordStream(PandoraBox& box, StreamId stream, bool audio = true);
+  void FinishRecording(PandoraBox& box, StreamId stream);
+  // Plays a recording on the same box's loudspeaker; returns playback stream.
+  StreamId PlayRecording(PandoraBox& box, StreamId stored,
+                         int blocks_per_segment = kDefaultBlocksPerSegment);
+  // Plays a recorded video stream on the same box's display.
+  StreamId PlayVideoRecording(PandoraBox& box, StreamId stored);
+
+ private:
+  Scheduler sched_;
+  ReportCollector reports_;
+  AtmNetwork net_;
+  std::vector<std::unique_ptr<PandoraBox>> boxes_;
+  StreamId next_stream_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_CORE_SIMULATION_H_

@@ -1,0 +1,132 @@
+#include "src/net/atm.h"
+
+#include <algorithm>
+
+namespace pandora {
+
+AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps)
+    : sched_(sched),
+      net_(net),
+      name_(std::move(name)),
+      tx_(sched, name_ + ".tx"),
+      rx_(sched, name_ + ".rx"),
+      egress_(sched, name_ + ".egress", egress_bps) {}
+
+Process AtmPort::TxProc() {
+  for (;;) {
+    NetTx out = co_await tx_.Receive();
+    // Whole-segment serialization at the interface: no interleaving, so a
+    // large video segment delays any audio queued behind it (section 4.2).
+    co_await egress_.Transmit(out.segment->EncodedSize());
+    ++sent_;
+
+    auto it = net_->circuits_.find({this, out.vci});
+    if (it == net_->circuits_.end()) {
+      ++unrouted_;
+      continue;  // circuit closed mid-flight: traffic discarded
+    }
+    AtmNetwork::Circuit* circuit = it->second.get();
+    ++circuit->stats.offered;
+    // "Incoming streams from the network carry the stream number allocated
+    // by the destination box in their VCIs."  Copy the payload out of the
+    // source box's buffer (now fully serialized) so the buffer can be
+    // recycled immediately.
+    Segment wire_copy = *out.segment;
+    wire_copy.stream = out.vci;
+    out.segment.Reset();
+    sched_->Spawn(net_->ForwardProc(circuit, std::move(wire_copy)),
+                  name_ + ".fwd", Priority::kHigh);
+  }
+}
+
+AtmNetwork::AtmNetwork(Scheduler* sched, uint64_t seed) : sched_(sched), rng_(seed) {}
+
+AtmPort* AtmNetwork::AddPort(const std::string& name, int64_t egress_bps) {
+  ports_.push_back(std::make_unique<AtmPort>(sched_, this, name, egress_bps));
+  AtmPort* port = ports_.back().get();
+  sched_->Spawn(port->TxProc(), name + ".txproc", Priority::kHigh);
+  return port;
+}
+
+NetHop* AtmNetwork::AddHop(const std::string& name, const HopQuality& quality) {
+  hops_.push_back(std::make_unique<NetHop>(sched_, name, quality, rng_.Fork()));
+  return hops_.back().get();
+}
+
+void AtmNetwork::OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<NetHop*> path,
+                             const HopQuality& direct) {
+  auto circuit = std::make_unique<Circuit>();
+  circuit->dst = dst;
+  circuit->path = std::move(path);
+  circuit->direct = direct;
+  circuit->stage_last_exit.assign(std::max<size_t>(1, circuit->path.size()), 0);
+  circuits_[{src, vci}] = std::move(circuit);
+}
+
+void AtmNetwork::CloseCircuit(AtmPort* src, Vci vci) { circuits_.erase({src, vci}); }
+
+const CircuitStats* AtmNetwork::StatsFor(AtmPort* src, Vci vci) const {
+  auto it = circuits_.find({src, vci});
+  return it == circuits_.end() ? nullptr : &it->second->stats;
+}
+
+Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
+  const Time departed = sched_->now();
+  const size_t bytes = segment.EncodedSize();
+
+  // FIFO per circuit: each stage's exit time is computed and CLAMPED
+  // against the previous segment's exit BEFORE waiting, so segments that
+  // draw a small jitter sample cannot overtake earlier ones — virtual
+  // circuits are order-preserving, and jitter is queueing, which is FIFO.
+  // ForwardProcs start in send order (spawned FIFO by the port), so each
+  // stage's bookkeeping executes in send order too.
+  if (circuit->path.empty()) {
+    if (rng_.Bernoulli(circuit->direct.loss_rate)) {
+      ++circuit->stats.lost;
+      ++total_lost_;
+      co_return;
+    }
+    Duration jitter = circuit->direct.jitter_max > 0
+                          ? static_cast<Duration>(rng_.Uniform(
+                                0.0, static_cast<double>(circuit->direct.jitter_max)))
+                          : 0;
+    Time exit_at =
+        std::max(sched_->now() + circuit->direct.propagation + jitter,
+                 circuit->stage_last_exit[0] + 1);
+    circuit->stage_last_exit[0] = exit_at;
+    co_await sched_->WaitUntil(exit_at);
+  } else {
+    for (size_t i = 0; i < circuit->path.size(); ++i) {
+      NetHop* hop = circuit->path[i];
+      if (hop->rng.Bernoulli(hop->quality.loss_rate) ||
+          hop->gate.current_queue_delay() > hop->quality.max_queue) {
+        ++circuit->stats.lost;
+        ++total_lost_;
+        co_return;
+      }
+      // The gate serializes whole segments FIFO across every circuit
+      // sharing the hop (contention); reservations are made in program
+      // order, which per circuit is send order by induction.
+      co_await hop->gate.Transmit(bytes);
+      Duration jitter = hop->quality.jitter_max > 0
+                            ? static_cast<Duration>(hop->rng.Uniform(
+                                  0.0, static_cast<double>(hop->quality.jitter_max)))
+                            : 0;
+      Time exit_at = std::max(sched_->now() + hop->quality.propagation + jitter,
+                              circuit->stage_last_exit[i] + 1);
+      circuit->stage_last_exit[i] = exit_at;
+      co_await sched_->WaitUntil(exit_at);
+    }
+  }
+
+  ++circuit->stats.delivered;
+  ++total_delivered_;
+  circuit->stats.latency.Add(static_cast<double>(sched_->now() - departed));
+  if (circuit->last_rx_time >= 0) {
+    circuit->stats.inter_arrival.Add(static_cast<double>(sched_->now() - circuit->last_rx_time));
+  }
+  circuit->last_rx_time = sched_->now();
+  co_await circuit->dst->rx().Send(std::move(segment));
+}
+
+}  // namespace pandora

@@ -1,0 +1,156 @@
+// ATM network simulation (sections 1.1, 4.2; DESIGN.md substitution).
+//
+// Pandora boxes exchange segments over a dedicated ATM network; "incoming
+// streams from the network carry the stream number allocated by the
+// destination box in their VCIs".  The reproduction models the properties
+// the paper's mechanisms react to:
+//
+//  * each box's network interface serializes whole segments at its link
+//    rate and does NOT interleave transmissions — "video segments can hold
+//    up following audio segments, introducing up to 20ms of jitter in a
+//    stream" (section 4.2, measured by bench E7);
+//  * a circuit may traverse several store-and-forward hops (bridges,
+//    backbone links, protocol conversions — the SuperJanet trial of
+//    section 3.7.2), each with its own bandwidth, propagation delay,
+//    queueing jitter and loss;
+//  * delivery is FIFO per circuit (jitter never reorders one stream).
+#ifndef PANDORA_SRC_NET_ATM_H_
+#define PANDORA_SRC_NET_ATM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/buffer/pool.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/random.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/stats.h"
+#include "src/segment/constants.h"
+
+namespace pandora {
+
+// Characteristics of one hop of a network path.
+struct HopQuality {
+  int64_t bits_per_second = 100'000'000;
+  Duration propagation = Micros(20);
+  Duration jitter_max = 0;  // uniform [0, jitter_max) queueing delay
+  double loss_rate = 0.0;
+  // Queue bound: a segment arriving when the hop's backlog exceeds this is
+  // discarded (bridges have finite buffers; overload shows as loss, not as
+  // unbounded delay).
+  Duration max_queue = Millis(500);
+};
+
+// A shared store-and-forward element (backbone link, bridge).  Contention:
+// simultaneous circuits queue on its gate.
+class NetHop {
+ public:
+  NetHop(Scheduler* sched, std::string name, const HopQuality& quality, Rng rng)
+      : quality(quality), gate(sched, std::move(name), quality.bits_per_second), rng(rng) {}
+
+  HopQuality quality;
+  BandwidthGate gate;
+  Rng rng;
+};
+
+// What the box's network output handler hands to its port.
+struct NetTx {
+  Vci vci = 0;
+  SegmentRef segment;
+};
+
+class AtmNetwork;
+
+class AtmPort {
+ public:
+  AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps);
+
+  // Box-side channels.  Delivery is by value: each box owns its own buffer
+  // memory, so the network input handler copies arriving segments into the
+  // destination box's pool ("copy once into memory", section 3.4), and the
+  // source box's buffer is freed as soon as serialization completes.
+  Channel<NetTx>& tx() { return tx_; }
+  Channel<Segment>& rx() { return rx_; }
+
+  // The non-interleaving interface gate (the E7 bottleneck).
+  BandwidthGate& egress() { return egress_; }
+
+  const std::string& name() const { return name_; }
+  uint64_t sent() const { return sent_; }
+  uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  friend class AtmNetwork;
+  Process TxProc();
+
+  Scheduler* sched_;
+  AtmNetwork* net_;
+  std::string name_;
+  Channel<NetTx> tx_;
+  Channel<Segment> rx_;
+  BandwidthGate egress_;
+  uint64_t sent_ = 0;
+  uint64_t unrouted_ = 0;
+};
+
+// One virtual circuit: (source port, VCI) -> destination port; the VCI is
+// the stream number the destination box allocated for this stream.
+struct CircuitStats {
+  uint64_t offered = 0;
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  StatAccumulator latency;        // network transit per segment (us)
+  StatAccumulator inter_arrival;  // spacing at destination (us), for jitter
+};
+
+class AtmNetwork {
+ public:
+  AtmNetwork(Scheduler* sched, uint64_t seed = 1);
+
+  AtmPort* AddPort(const std::string& name, int64_t egress_bps = 20'000'000);
+  NetHop* AddHop(const std::string& name, const HopQuality& quality);
+
+  // Opens a circuit; `path` lists intermediate hops (may be empty for a
+  // direct LAN connection with `direct` quality).
+  void OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<NetHop*> path = {},
+                   const HopQuality& direct = HopQuality{});
+  void CloseCircuit(AtmPort* src, Vci vci);
+
+  const CircuitStats* StatsFor(AtmPort* src, Vci vci) const;
+  uint64_t total_delivered() const { return total_delivered_; }
+  uint64_t total_lost() const { return total_lost_; }
+
+ private:
+  friend class AtmPort;
+
+  struct Circuit {
+    AtmPort* dst = nullptr;
+    std::vector<NetHop*> path;
+    HopQuality direct;
+    // Per-stage FIFO clamps (one per hop, or one for a direct path): the
+    // exit time of the previous segment of THIS circuit through each stage.
+    std::vector<Time> stage_last_exit;
+    Time last_rx_time = -1;
+    CircuitStats stats;
+  };
+
+  // Walks the remaining hops of one segment's journey; spawned per segment
+  // so transmissions overlap (store and forward).
+  Process ForwardProc(Circuit* circuit, Segment segment);
+
+  Scheduler* sched_;
+  Rng rng_;
+  std::vector<std::unique_ptr<AtmPort>> ports_;
+  std::vector<std::unique_ptr<NetHop>> hops_;
+  std::map<std::pair<AtmPort*, Vci>, std::unique_ptr<Circuit>> circuits_;
+  uint64_t total_delivered_ = 0;
+  uint64_t total_lost_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_NET_ATM_H_

@@ -1,0 +1,71 @@
+#include "src/runtime/alt.h"
+
+#include <algorithm>
+
+namespace pandora {
+
+int Alt::ScanReady() const {
+  for (size_t i = 0; i < guards_.size(); ++i) {
+    const Guard& guard = guards_[i];
+    switch (guard.kind) {
+      case Guard::kChannel:
+        if (guard.channel->InputReady()) {
+          return static_cast<int>(i);
+        }
+        break;
+      case Guard::kTimeout:
+        if (sched_->now() >= guard.deadline) {
+          return static_cast<int>(i);
+        }
+        break;
+      case Guard::kSkip:
+        return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Alt::SuspendOp::await_suspend(std::coroutine_handle<> h) {
+  Scheduler* sched = alt->sched_;
+  ProcessCtx* ctx = sched->current();
+  ctx->resume_point = h;
+  alt->waiting_ctx_ = ctx;
+  alt->notified_ = false;
+
+  Time earliest = kNever;
+  for (const Guard& guard : alt->guards_) {
+    if (guard.kind == Guard::kChannel) {
+      guard.channel->RegisterAltWaiter(alt);
+    } else if (guard.kind == Guard::kTimeout) {
+      earliest = std::min(earliest, guard.deadline);
+    }
+  }
+  if (earliest != kNever) {
+    alt->timeout_timer_ = sched->AddTimer(earliest, [alt = alt] { alt->NotifyFromChannel(); });
+  }
+}
+
+void Alt::SuspendOp::await_resume() {
+  for (const Guard& guard : alt->guards_) {
+    if (guard.kind == Guard::kChannel) {
+      guard.channel->UnregisterAltWaiter(alt);
+    }
+  }
+  alt->timeout_timer_.Cancel();
+  alt->waiting_ctx_ = nullptr;
+}
+
+Task<int> Alt::Select() {
+  for (;;) {
+    int ready = ScanReady();
+    if (ready >= 0) {
+      co_return ready;
+    }
+    // Park until a sender arrives on some guard channel or a timeout guard
+    // expires.  A lost race (another receiver took the data first) simply
+    // loops and parks again.
+    co_await SuspendOp{this};
+  }
+}
+
+}  // namespace pandora

@@ -1,0 +1,100 @@
+// Alt: prioritized alternation over channel inputs, timeouts and skip.
+//
+// Models the Occam 2 PRI ALT construct (paper section 3.1): a process can
+// wait on several inputs at once, and "the alternatives in the clause can be
+// prioritised so that important channels (such as those receiving commands)
+// cannot be ignored even if other alternatives are always ready".  This is
+// the mechanism behind Principle 4 (command priority): every Pandora process
+// lists its command channel as the first guard.
+//
+// Usage:
+//   Alt alt(sched);
+//   alt.OnReceive(command_channel)   // guard 0 = highest priority
+//      .OnReceive(data_channel)      // guard 1
+//      .OnTimeoutAfter(Millis(2));   // guard 2
+//   int chosen = co_await alt.Select();
+//   if (chosen == 0) { Command c = co_await command_channel.Receive(); ... }
+//
+// Select returns the index of a ready guard; the caller then performs the
+// actual Receive, which completes immediately because the peer sender stays
+// parked on the channel until the data is taken.
+#ifndef PANDORA_SRC_RUNTIME_ALT_H_
+#define PANDORA_SRC_RUNTIME_ALT_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "src/runtime/channel.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+class Alt : public AltWaiter {
+ public:
+  explicit Alt(Scheduler* sched) : sched_(sched) {}
+
+  Alt(const Alt&) = delete;
+  Alt& operator=(const Alt&) = delete;
+
+  // Guards are checked in the order added; index 0 has highest priority.
+  Alt& OnReceive(ChannelBase& channel) {
+    guards_.push_back(Guard{Guard::kChannel, &channel, kNever});
+    return *this;
+  }
+  Alt& OnTimeout(Time deadline) {
+    guards_.push_back(Guard{Guard::kTimeout, nullptr, deadline});
+    return *this;
+  }
+  Alt& OnTimeoutAfter(Duration d) { return OnTimeout(sched_->now() + d); }
+  // A skip guard is always ready; it makes Select non-blocking.
+  Alt& OnSkip() {
+    guards_.push_back(Guard{Guard::kSkip, nullptr, kNever});
+    return *this;
+  }
+
+  // Waits until some guard is ready; returns the index of the
+  // highest-priority ready guard.
+  Task<int> Select();
+
+  // AltWaiter:
+  void NotifyFromChannel() override {
+    if (notified_ || waiting_ctx_ == nullptr) {
+      return;
+    }
+    notified_ = true;
+    sched_->Ready(waiting_ctx_);
+  }
+
+ private:
+  struct Guard {
+    enum Kind { kChannel, kTimeout, kSkip } kind;
+    ChannelBase* channel;
+    Time deadline;
+  };
+
+  // Index of the highest-priority ready guard, or -1.
+  int ScanReady() const;
+
+  // State mutated across the suspension lives in the Alt object (a named
+  // frame local of the selecting process), never in the awaiter: GCC 12 can
+  // relocate co_await operand temporaries between suspend and resume.
+  struct SuspendOp {
+    Alt* alt;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume();
+  };
+
+  Scheduler* sched_;
+  std::vector<Guard> guards_;
+  ProcessCtx* waiting_ctx_ = nullptr;
+  TimerHandle timeout_timer_;
+  bool notified_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_ALT_H_

@@ -1,0 +1,218 @@
+// Rendezvous channels, modelled on Occam/transputer channel semantics.
+//
+// Interprocess communication in Pandora "is by rendezvous between the sender
+// and receiver of some data on a unidirectional transputer channel" (paper
+// section 3.1): the hardware blocks whichever party arrives first and wakes
+// it when the transfer completes.  Channel<T> reproduces this: Send parks
+// the sender until a receiver takes the value (or completes instantly if a
+// receiver is already parked), and vice versa.
+//
+// Unlike a strict Occam channel we permit multiple concurrent senders and
+// receivers (queued FIFO); Pandora uses this where Occam code would use an
+// array of channels plus a replicated ALT.
+//
+// Implementation note: no address of an awaiter subobject is ever retained
+// across a suspension.  A parked sender's value moves INTO the channel's
+// (heap-stable) deque before suspending, and a woken receiver claims its
+// delivery from the channel by ticket.  GCC 12 materializes co_await
+// operand temporaries on the stack and copies them into the coroutine frame
+// around the suspension point, so pointers captured into an awaiter during
+// await_suspend may not survive to await_resume; values do.
+#ifndef PANDORA_SRC_RUNTIME_CHANNEL_H_
+#define PANDORA_SRC_RUNTIME_CHANNEL_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/process.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+// Something (an Alt) that wants to learn when a channel becomes readable.
+class AltWaiter {
+ public:
+  virtual void NotifyFromChannel() = 0;
+
+ protected:
+  ~AltWaiter() = default;
+};
+
+// Type-erased channel interface used by Alt guards.
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+
+  // True when a Receive would complete without blocking.
+  virtual bool InputReady() const = 0;
+
+  void RegisterAltWaiter(AltWaiter* waiter) { alt_waiters_.push_back(waiter); }
+  void UnregisterAltWaiter(AltWaiter* waiter) {
+    for (auto it = alt_waiters_.begin(); it != alt_waiters_.end(); ++it) {
+      if (*it == waiter) {
+        alt_waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+ protected:
+  void NotifyAltWaiters() {
+    // Notify is idempotent and waiters re-check readiness, so waking all of
+    // them is safe even though only one will win the data.
+    for (AltWaiter* waiter : alt_waiters_) {
+      waiter->NotifyFromChannel();
+    }
+  }
+
+ private:
+  std::vector<AltWaiter*> alt_waiters_;
+};
+
+template <typename T>
+class Channel : public ChannelBase {
+ public:
+  explicit Channel(Scheduler* sched, std::string name = "chan")
+      : sched_(sched), name_(std::move(name)) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  bool InputReady() const override { return !senders_.empty(); }
+  size_t waiting_senders() const { return senders_.size(); }
+  size_t waiting_receivers() const { return receivers_.size(); }
+  const std::string& name() const { return name_; }
+  uint64_t transfers() const { return transfers_; }
+
+  struct SendAwaiter {
+    Channel* channel;
+    T value;
+
+    bool await_ready() {
+      if (!channel->receivers_.empty()) {
+        // A receiver is already parked: deliver into the channel's inbox
+        // under its ticket and wake it.  Rendezvous complete; the sender
+        // continues without suspending.
+        ParkedReceiver receiver = channel->receivers_.front();
+        channel->receivers_.pop_front();
+        channel->delivered_.emplace(receiver.ticket, std::move(value));
+        ++channel->transfers_;
+        channel->sched_->Ready(receiver.ctx);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ProcessCtx* ctx = channel->sched_->current();
+      ctx->resume_point = h;
+      // The value parks INSIDE the channel (heap-stable), never by address
+      // into this possibly-relocating awaiter.
+      channel->senders_.push_back(ParkedSender{ctx, std::move(value)});
+      // A parked sender makes the channel "ready" for any waiting Alt.  The
+      // sender stays parked until an actual Receive takes the value, so an
+      // Alt that loses the race simply re-checks and finds nothing.
+      channel->NotifyAltWaiters();
+    }
+    void await_resume() const {}
+  };
+
+  struct RecvAwaiter {
+    Channel* channel;
+    // Fast path (no suspension): the value rides in the awaiter, which is
+    // safe because await_ready and await_resume run on the same object when
+    // no suspension intervenes.
+    std::optional<T> immediate;
+    uint64_t ticket = 0;
+
+    bool await_ready() {
+      if (!channel->senders_.empty()) {
+        ParkedSender& sender = channel->senders_.front();
+        immediate.emplace(std::move(sender.value));
+        ++channel->transfers_;
+        channel->sched_->Ready(sender.ctx);
+        channel->senders_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ProcessCtx* ctx = channel->sched_->current();
+      ctx->resume_point = h;
+      ticket = channel->next_ticket_++;
+      channel->receivers_.push_back(ParkedReceiver{ctx, ticket});
+    }
+    T await_resume() {
+      if (immediate.has_value()) {
+        return std::move(*immediate);
+      }
+      // Parked path: claim the delivery by ticket (a value, so it survives
+      // any frame relocation of this awaiter).
+      auto it = channel->delivered_.find(ticket);
+      assert(it != channel->delivered_.end());
+      T value = std::move(it->second);
+      channel->delivered_.erase(it);
+      return value;
+    }
+  };
+
+  // co_await channel.Send(v): rendezvous write.
+  SendAwaiter Send(T value) { return SendAwaiter{this, std::move(value)}; }
+
+  // co_await channel.Receive(): rendezvous read.
+  RecvAwaiter Receive() { return RecvAwaiter{this, std::nullopt, 0}; }
+
+  // Non-blocking send: succeeds only if a receiver is already parked.
+  bool TrySend(T value) {
+    if (receivers_.empty()) {
+      return false;
+    }
+    ParkedReceiver receiver = receivers_.front();
+    receivers_.pop_front();
+    delivered_.emplace(receiver.ticket, std::move(value));
+    ++transfers_;
+    sched_->Ready(receiver.ctx);
+    return true;
+  }
+
+  // Non-blocking receive: succeeds only if a sender is already parked.
+  std::optional<T> TryReceive() {
+    if (senders_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> value(std::move(senders_.front().value));
+    sched_->Ready(senders_.front().ctx);
+    senders_.pop_front();
+    ++transfers_;
+    return value;
+  }
+
+ private:
+  struct ParkedSender {
+    ProcessCtx* ctx;
+    T value;
+  };
+  struct ParkedReceiver {
+    ProcessCtx* ctx;
+    uint64_t ticket;
+  };
+
+  Scheduler* sched_;
+  std::string name_;
+  std::deque<ParkedSender> senders_;
+  std::deque<ParkedReceiver> receivers_;
+  // Values handed to woken-but-not-yet-resumed receivers, keyed by ticket.
+  std::map<uint64_t, T> delivered_;
+  uint64_t next_ticket_ = 0;
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_CHANNEL_H_

@@ -1,0 +1,135 @@
+// Process: the top-level coroutine type for Pandora runtime processes.
+//
+// Pandora processes mirror the long-lived Occam processes of the paper: each
+// board runs a mesh of communicating processes (input handlers, switches,
+// buffers, mixers...) that exchange data over rendezvous channels.  A
+// Process is a C++20 coroutine spawned onto a Scheduler; it may never
+// terminate (device handlers "run for all time", section 3.4) or may finish
+// after a bounded job (lifetimes "measured in microseconds").
+#ifndef PANDORA_SRC_RUNTIME_PROCESS_H_
+#define PANDORA_SRC_RUNTIME_PROCESS_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+class Scheduler;
+
+// Scheduling priority: the transputer has two hardware priority levels.
+// Pandora runs output/device processes at high priority so that under
+// overload, back-pressure pushes data loss towards the source (section
+// 3.7.1).
+enum class Priority : uint8_t {
+  kHigh = 0,
+  kLow = 1,
+};
+
+inline constexpr int kNumPriorities = 2;
+
+// Per-process bookkeeping owned by the Scheduler.  Channel and timer
+// awaitables park and ready processes through this record.
+struct ProcessCtx {
+  Scheduler* sched = nullptr;
+  std::string name;
+  Priority priority = Priority::kLow;
+
+  // Top-level coroutine frame; destroyed by the Scheduler.
+  std::coroutine_handle<> top;
+  // Innermost suspended frame to resume next (may belong to a nested Task).
+  std::coroutine_handle<> resume_point;
+
+  bool done = false;
+  bool queued = false;  // present in a ready queue
+  std::exception_ptr error;
+  uint64_t resumptions = 0;  // context switches into this process
+};
+
+// Coroutine return type for top-level processes.  A Process is inert until
+// handed to Scheduler::Spawn, which takes ownership of the frame.
+class Process {
+ public:
+  struct promise_type {
+    ProcessCtx* ctx = nullptr;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      if (ctx != nullptr) {
+        ctx->error = std::current_exception();
+      } else {
+        std::terminate();
+      }
+    }
+  };
+
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        handle_.destroy();
+      }
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+ private:
+  friend class Scheduler;
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> Release() { return std::exchange(handle_, nullptr); }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// Lightweight observer of a spawned process, returned by Scheduler::Spawn.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  bool valid() const { return ctx_ != nullptr; }
+  bool done() const { return ctx_ != nullptr && ctx_->done; }
+  const std::string& name() const { return ctx_->name; }
+  uint64_t resumptions() const { return ctx_->resumptions; }
+
+  // Rethrows the process's unhandled exception, if any.
+  void CheckError() const {
+    if (ctx_ != nullptr && ctx_->error) {
+      std::rethrow_exception(ctx_->error);
+    }
+  }
+
+ private:
+  friend class Scheduler;
+  explicit ProcessHandle(ProcessCtx* ctx) : ctx_(ctx) {}
+
+  ProcessCtx* ctx_ = nullptr;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_PROCESS_H_

@@ -1,0 +1,167 @@
+#include "src/runtime/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pandora {
+
+void Process::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  ProcessCtx* ctx = h.promise().ctx;
+  ctx->sched->OnProcessDone(ctx);
+}
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::Shutdown() {
+  shutting_down_ = true;
+  // Destroying a frame runs destructors of objects held inside it (e.g.
+  // SegmentRefs, which return buffers to their pool); Ready() is a no-op
+  // during shutdown so nothing gets queued.
+  for (auto& ctx : processes_) {
+    if (!ctx->done && ctx->top) {
+      ctx->top.destroy();
+      ctx->top = nullptr;
+      ctx->done = true;
+      --live_processes_;
+    }
+  }
+  for (auto& queue : ready_) {
+    queue.clear();
+  }
+  while (!timers_.empty()) {
+    timers_.pop();
+  }
+}
+
+ProcessHandle Scheduler::Spawn(Process process, std::string name, Priority priority) {
+  auto handle = process.Release();
+  auto ctx = std::make_unique<ProcessCtx>();
+  ctx->sched = this;
+  ctx->name = std::move(name);
+  ctx->priority = priority;
+  ctx->top = handle;
+  ctx->resume_point = handle;
+  handle.promise().ctx = ctx.get();
+
+  ProcessCtx* raw = ctx.get();
+  processes_.push_back(std::move(ctx));
+  ++live_processes_;
+  Ready(raw);
+  return ProcessHandle(raw);
+}
+
+void Scheduler::Ready(ProcessCtx* ctx) {
+  assert(ctx != nullptr);
+  if (shutting_down_ || ctx->done || ctx->queued) {
+    return;
+  }
+  ctx->queued = true;
+  ready_[static_cast<int>(ctx->priority)].push_back(ctx);
+}
+
+TimerHandle Scheduler::AddTimer(Time when, std::function<void()> fire) {
+  auto record = std::make_shared<TimerHandle::Record>();
+  record->when = when;
+  record->seq = timer_seq_++;
+  record->fire = std::move(fire);
+  timers_.push(record);
+  return TimerHandle(record);
+}
+
+size_t Scheduler::PruneCompleted() {
+  size_t before = processes_.size();
+  std::erase_if(processes_, [](const std::unique_ptr<ProcessCtx>& ctx) {
+    return ctx->done && !ctx->error;
+  });
+  return before - processes_.size();
+}
+
+void Scheduler::OnProcessDone(ProcessCtx* ctx) {
+  ctx->done = true;
+  --live_processes_;
+}
+
+ProcessCtx* Scheduler::PopReady() {
+  for (auto& queue : ready_) {
+    if (!queue.empty()) {
+      ProcessCtx* ctx = queue.front();
+      queue.pop_front();
+      ctx->queued = false;
+      return ctx;
+    }
+  }
+  return nullptr;
+}
+
+bool Scheduler::DispatchOne() {
+  ProcessCtx* ctx = PopReady();
+  if (ctx == nullptr) {
+    return false;
+  }
+  current_ = ctx;
+  ++context_switches_;
+  ++ctx->resumptions;
+  std::coroutine_handle<> h = ctx->resume_point;
+  ctx->resume_point = nullptr;
+  h.resume();
+  current_ = nullptr;
+  if (ctx->done && ctx->top) {
+    ctx->top.destroy();
+    ctx->top = nullptr;
+    MaybeRethrow(ctx);
+  }
+  return true;
+}
+
+bool Scheduler::AdvanceToNextTimer(Time limit) {
+  while (!timers_.empty() && timers_.top()->cancelled) {
+    timers_.pop();
+  }
+  if (timers_.empty() || timers_.top()->when > limit) {
+    return false;
+  }
+  auto record = timers_.top();
+  timers_.pop();
+  if (record->when > now_) {
+    now_ = record->when;
+  }
+  record->fired = true;
+  record->fire();
+  return true;
+}
+
+void Scheduler::MaybeRethrow(ProcessCtx* ctx) {
+  if (rethrow_process_errors_ && ctx->error) {
+    std::exception_ptr error = std::exchange(ctx->error, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void Scheduler::RunUntilQuiescent() {
+  for (;;) {
+    while (DispatchOne()) {
+    }
+    if (!AdvanceToNextTimer(kNever)) {
+      return;
+    }
+  }
+}
+
+void Scheduler::RunUntil(Time limit) {
+  for (;;) {
+    while (DispatchOne()) {
+    }
+    if (!AdvanceToNextTimer(limit)) {
+      break;
+    }
+  }
+  if (now_ < limit) {
+    now_ = limit;
+  }
+}
+
+}  // namespace pandora

@@ -1,0 +1,207 @@
+// Discrete-event cooperative scheduler with a simulated microsecond clock.
+//
+// Models the aspects of the Inmos transputer runtime that the Pandora design
+// depends on (paper section 3.1): two hardware priority levels, very cheap
+// context switches, channel rendezvous synchronisation and a timer with one
+// microsecond resolution.  The clock only advances when no process is
+// runnable, so an 8-second clawback experiment simulates in milliseconds of
+// wall time, deterministically.
+#ifndef PANDORA_SRC_RUNTIME_SCHEDULER_H_
+#define PANDORA_SRC_RUNTIME_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/runtime/process.h"
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+// Handle to a pending timer; allows cancellation (used by Alt timeouts).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void Cancel() {
+    if (record_) {
+      record_->cancelled = true;
+      record_.reset();
+    }
+  }
+  bool active() const { return record_ != nullptr && !record_->cancelled && !record_->fired; }
+
+ private:
+  friend class Scheduler;
+  struct Record {
+    Time when = 0;
+    uint64_t seq = 0;
+    std::function<void()> fire;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<Record> r) : record_(std::move(r)) {}
+
+  std::shared_ptr<Record> record_;
+};
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- Process management -------------------------------------------------
+
+  // Takes ownership of the coroutine and queues it for execution.
+  ProcessHandle Spawn(Process process, std::string name, Priority priority = Priority::kLow);
+
+  // The process currently being executed (valid only from inside awaitables
+  // running on this scheduler).
+  ProcessCtx* current() const { return current_; }
+
+  // Moves a parked process back onto its ready queue.
+  void Ready(ProcessCtx* ctx);
+
+  // --- Clock & timers ------------------------------------------------------
+
+  Time now() const { return now_; }
+
+  // Schedules `fire` to run (in scheduler context, not process context) when
+  // the clock reaches `when`.
+  TimerHandle AddTimer(Time when, std::function<void()> fire);
+
+  // --- Running -------------------------------------------------------------
+
+  // Runs until no process is runnable and no timer is pending.
+  void RunUntilQuiescent();
+
+  // Runs until the clock would pass `limit`; on return now() <= limit.  If
+  // the system goes quiescent earlier, returns early with now() == limit
+  // only when a timer or runnable work reached it; otherwise leaves the
+  // clock at the quiescence point advanced to `limit`.
+  void RunUntil(Time limit);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // If true (default), an unhandled exception escaping a process is
+  // re-thrown out of the Run* call that observed it.
+  void set_rethrow_process_errors(bool v) { rethrow_process_errors_ = v; }
+
+  // Destroys all live coroutine frames and pending timers.  Call before
+  // destroying channels/pools that parked processes may reference; the
+  // destructor calls it as a last resort.  Nothing may run afterwards.
+  void Shutdown();
+  bool shutting_down() const { return shutting_down_; }
+
+  // --- Awaitables ----------------------------------------------------------
+
+  // co_await sched.WaitUntil(t): suspend until the simulated clock reaches t.
+  auto WaitUntil(Time when) {
+    struct Awaiter {
+      Scheduler* sched;
+      Time when;
+      bool await_ready() const { return when <= sched->now_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ProcessCtx* ctx = sched->current_;
+        ctx->resume_point = h;
+        sched->AddTimer(when, [sched = sched, ctx] { sched->Ready(ctx); });
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this, when};
+  }
+
+  auto WaitFor(Duration d) { return WaitUntil(now_ + d); }
+
+  // co_await sched.Yield(): requeue behind peers of the same priority.
+  auto Yield() {
+    struct Awaiter {
+      Scheduler* sched;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ProcessCtx* ctx = sched->current_;
+        ctx->resume_point = h;
+        sched->Ready(ctx);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+  // --- Housekeeping ---------------------------------------------------------
+
+  // Releases bookkeeping for completed processes (their frames are already
+  // destroyed).  Long simulations that spawn short-lived processes per
+  // message (e.g. the network's per-segment forwarders) call this to bound
+  // memory.  Invalidates ProcessHandles of completed processes.
+  size_t PruneCompleted();
+
+  // --- Statistics ----------------------------------------------------------
+
+  uint64_t context_switches() const { return context_switches_; }
+  size_t live_process_count() const { return live_processes_; }
+  size_t tracked_process_count() const { return processes_.size(); }
+
+ private:
+  friend struct Process::promise_type::FinalAwaiter;
+
+  void OnProcessDone(ProcessCtx* ctx);
+  ProcessCtx* PopReady();
+  // Runs one process slice; false if nothing is runnable.
+  bool DispatchOne();
+  // Fires timers due at or before `limit` after advancing the clock to the
+  // earliest pending timer.  Returns false if no timer is pending within
+  // `limit`.
+  bool AdvanceToNextTimer(Time limit);
+  void MaybeRethrow(ProcessCtx* ctx);
+
+  struct TimerCompare {
+    bool operator()(const std::shared_ptr<TimerHandle::Record>& a,
+                    const std::shared_ptr<TimerHandle::Record>& b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;  // min-heap on time
+      }
+      return a->seq > b->seq;  // FIFO among equal times
+    }
+  };
+
+  Time now_ = 0;
+  ProcessCtx* current_ = nullptr;
+  std::deque<ProcessCtx*> ready_[kNumPriorities];
+  std::priority_queue<std::shared_ptr<TimerHandle::Record>,
+                      std::vector<std::shared_ptr<TimerHandle::Record>>, TimerCompare>
+      timers_;
+  uint64_t timer_seq_ = 0;
+  std::vector<std::unique_ptr<ProcessCtx>> processes_;
+  size_t live_processes_ = 0;
+  uint64_t context_switches_ = 0;
+  bool rethrow_process_errors_ = true;
+  bool shutting_down_ = false;
+};
+
+// Declare after the resources a test's processes reference and it will stop
+// the world first:
+//   Scheduler sched;
+//   BufferPool pool(&sched, ...);
+//   ShutdownGuard guard(&sched);  // destroyed first -> frames die before pool
+class ShutdownGuard {
+ public:
+  explicit ShutdownGuard(Scheduler* sched) : sched_(sched) {}
+  ~ShutdownGuard() { sched_->Shutdown(); }
+  ShutdownGuard(const ShutdownGuard&) = delete;
+  ShutdownGuard& operator=(const ShutdownGuard&) = delete;
+
+ private:
+  Scheduler* sched_;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_SCHEDULER_H_

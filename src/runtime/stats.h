@@ -1,0 +1,50 @@
+// Small numeric accumulators used by metrics throughout the system.
+#ifndef PANDORA_SRC_RUNTIME_STATS_H_
+#define PANDORA_SRC_RUNTIME_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pandora {
+
+// Streaming min/mean/max/stddev accumulator.
+class StatAccumulator {
+ public:
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    sum_sq_ += value * value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double Variance() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    double mean = Mean();
+    double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+    return var < 0.0 ? 0.0 : var;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  void Reset() { *this = StatAccumulator(); }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_STATS_H_

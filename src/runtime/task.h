@@ -1,0 +1,142 @@
+// Task<T>: nested awaitable coroutine for decomposing processes.
+//
+// Occam processes are built by composing simpler processes (section 3.4:
+// "many of these processes will be found to contain several long-lived Occam
+// processes inside").  Task<T> is the sequential-composition half of that:
+// a process can factor work into coroutine subroutines that themselves await
+// channels and timers.  Completion returns control to the awaiting frame by
+// symmetric transfer, so nesting costs no scheduler round-trip.
+#ifndef PANDORA_SRC_RUNTIME_TASK_H_
+#define PANDORA_SRC_RUNTIME_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace pandora {
+
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace task_internal {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    // Resume whoever co_awaited this task.  A task is always awaited before
+    // it runs (lazy start), so continuation is never null here.
+    return h.promise().continuation;
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace task_internal
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : task_internal::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        handle_.destroy();
+      }
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;  // start the task body
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) {
+      std::rethrow_exception(p.error);
+    }
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : task_internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        handle_.destroy();
+      }
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_TASK_H_

@@ -1,0 +1,49 @@
+// Simulated-time units for the Pandora runtime.
+//
+// The original Pandora's Box is built on Inmos transputers whose hardware
+// timer has one-microsecond resolution (paper, section 3.1).  The whole
+// reproduction therefore runs on a discrete-event clock measured in integer
+// microseconds since box boot.  Segment timestamps are carried at the
+// paper's 64 microsecond resolution (section 3.2) and converted at the edge.
+#ifndef PANDORA_SRC_RUNTIME_TIME_H_
+#define PANDORA_SRC_RUNTIME_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace pandora {
+
+// Absolute simulated time, microseconds since boot.
+using Time = int64_t;
+
+// A span of simulated time, microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+
+// A time later than every representable event.
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+constexpr Duration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Millis(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+
+// Fractional seconds, rounded to the nearest microsecond.
+constexpr Duration SecondsF(double s) { return static_cast<Duration>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)); }
+
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+// Pandora segment timestamps have 64us resolution (paper fig 3.1).
+inline constexpr Duration kTimestampTick = 64;
+
+constexpr uint32_t ToTimestampTicks(Time t) { return static_cast<uint32_t>(t / kTimestampTick); }
+constexpr Time FromTimestampTicks(uint32_t ticks) {
+  return static_cast<Time>(ticks) * kTimestampTick;
+}
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_TIME_H_

@@ -1,0 +1,48 @@
+// AudioBlock: the 2ms, 16-sample unit of audio handling.
+//
+// "It is handled in blocks of 16 samples, representing 2ms of audio"
+// (section 3.2).  Blocks are the granularity of clawback buffering, mixing,
+// loss recovery (drop/replay a block) and muting.
+#ifndef PANDORA_SRC_SEGMENT_AUDIO_BLOCK_H_
+#define PANDORA_SRC_SEGMENT_AUDIO_BLOCK_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/time.h"
+#include "src/segment/constants.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+
+struct AudioBlock {
+  std::array<uint8_t, kAudioBlockBytes> samples{};
+  // Source-clock time of the first sample (full resolution, for metrics).
+  Time source_time = 0;
+};
+
+// Splits an audio segment's payload into 2ms blocks, reconstructing each
+// block's source time from the segment timestamp.  A trailing partial block
+// (possible after single-sample loss recovery) is dropped.
+inline std::vector<AudioBlock> SplitIntoBlocks(const Segment& segment) {
+  std::vector<AudioBlock> blocks;
+  const size_t whole = segment.payload.size() / kAudioBlockBytes;
+  blocks.reserve(whole);
+  Time t = segment.source_time();
+  for (size_t b = 0; b < whole; ++b) {
+    AudioBlock block;
+    for (int i = 0; i < kAudioBlockBytes; ++i) {
+      block.samples[static_cast<size_t>(i)] =
+          segment.payload[b * kAudioBlockBytes + static_cast<size_t>(i)];
+    }
+    block.source_time = t;
+    blocks.push_back(block);
+    t += kAudioBlockDuration;
+  }
+  return blocks;
+}
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SEGMENT_AUDIO_BLOCK_H_

@@ -1,0 +1,51 @@
+// Stream and audio-format constants shared across the system.
+//
+// Paper section 3.2: "Audio is sampled by a standard 8-bit u-law codec at
+// 125us intervals.  It is handled in blocks of 16 samples, representing 2ms
+// of audio."  Live segments usually carry 2 blocks (4ms, principle 7) but
+// anywhere from 1 to 12 blocks (2..24ms) depending on recipient capacity;
+// the repository repacks stored audio into 40ms/20-block segments.
+#ifndef PANDORA_SRC_SEGMENT_CONSTANTS_H_
+#define PANDORA_SRC_SEGMENT_CONSTANTS_H_
+
+#include <cstdint>
+
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+// Stream numbers label every data stream through a box (section 3.4); they
+// are allocated by the interface code and carried in ATM VCIs between boxes.
+using StreamId = uint32_t;
+inline constexpr StreamId kInvalidStream = 0;
+
+// Virtual circuit identifier on the ATM network.
+using Vci = uint32_t;
+
+// --- Audio timing --------------------------------------------------------
+
+inline constexpr uint32_t kAudioSampleRateHz = 8000;
+inline constexpr Duration kAudioSamplePeriod = 125;  // microseconds
+inline constexpr int kAudioBlockSamples = 16;
+inline constexpr int kAudioBlockBytes = 16;  // 8-bit u-law, 1 byte/sample
+inline constexpr Duration kAudioBlockDuration = Millis(2);
+
+// Default blocks per live segment: 2 blocks = 4ms (principle 7).
+inline constexpr int kDefaultBlocksPerSegment = 2;
+inline constexpr int kMinBlocksPerSegment = 1;    // 2ms, lowest latency
+inline constexpr int kMaxBlocksPerSegment = 12;   // 24ms, overloaded receiver
+
+// Repository storage format: 40ms segments of 320 bytes (section 3.2).
+inline constexpr int kRepositoryBlocksPerSegment = 20;
+inline constexpr int kRepositorySegmentBytes = 320;
+inline constexpr Duration kRepositorySegmentDuration = Millis(40);
+
+// --- Video timing ---------------------------------------------------------
+
+// Full frame rate of the PAL-derived capture hardware.
+inline constexpr int kFullFrameRateHz = 25;
+inline constexpr Duration kFramePeriod = kSecond / kFullFrameRateHz;  // 40ms
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SEGMENT_CONSTANTS_H_

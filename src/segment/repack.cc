@@ -1,0 +1,92 @@
+#include "src/segment/repack.h"
+
+#include <cassert>
+
+namespace pandora {
+namespace {
+
+// Source time of the byte at `offset` within a run of contiguous samples
+// starting at `start`.
+Time TimeAtByte(Time start, size_t offset) {
+  return start + static_cast<Time>(offset) * kAudioSamplePeriod;
+}
+
+}  // namespace
+
+std::vector<Segment> AudioRepacker::Push(const Segment& live) {
+  assert(live.is_audio());
+  if (!have_pending_time_ && !live.payload.empty()) {
+    pending_start_time_ = live.source_time();
+    have_pending_time_ = true;
+  }
+  pending_.insert(pending_.end(), live.payload.begin(), live.payload.end());
+  blocks_consumed_ += static_cast<uint64_t>(live.payload.size()) / kAudioBlockBytes;
+
+  std::vector<Segment> out;
+  while (pending_.size() >= kRepositorySegmentBytes) {
+    out.push_back(Emit(kRepositorySegmentBytes));
+  }
+  return out;
+}
+
+std::optional<Segment> AudioRepacker::Flush() {
+  if (pending_.empty()) {
+    return std::nullopt;
+  }
+  return Emit(pending_.size());
+}
+
+Segment AudioRepacker::Emit(size_t bytes) {
+  std::vector<uint8_t> data(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(bytes));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(bytes));
+  Segment segment = MakeAudioSegment(stream_, out_sequence_++, pending_start_time_, std::move(data));
+  segment.audio().compression = AudioCoding::kRepacked;
+  segment.header.length = static_cast<uint32_t>(segment.EncodedSize());
+  pending_start_time_ = TimeAtByte(pending_start_time_, bytes);
+  if (pending_.empty()) {
+    have_pending_time_ = false;
+  }
+  return segment;
+}
+
+std::vector<Segment> AudioUnpacker::Push(const Segment& stored) {
+  assert(stored.is_audio());
+  if (!have_pending_time_ && !stored.payload.empty()) {
+    pending_start_time_ = stored.source_time();
+    have_pending_time_ = true;
+  }
+  pending_.insert(pending_.end(), stored.payload.begin(), stored.payload.end());
+
+  const size_t chunk = static_cast<size_t>(blocks_per_segment_) * kAudioBlockBytes;
+  std::vector<Segment> out;
+  while (pending_.size() >= chunk) {
+    out.push_back(Emit(chunk));
+  }
+  return out;
+}
+
+std::optional<Segment> AudioUnpacker::Flush() {
+  if (pending_.empty()) {
+    return std::nullopt;
+  }
+  return Emit(pending_.size());
+}
+
+Segment AudioUnpacker::Emit(size_t bytes) {
+  std::vector<uint8_t> data(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(bytes));
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(bytes));
+  Segment segment = MakeAudioSegment(stream_, out_sequence_++, pending_start_time_, std::move(data));
+  pending_start_time_ = TimeAtByte(pending_start_time_, bytes);
+  if (pending_.empty()) {
+    have_pending_time_ = false;
+  }
+  return segment;
+}
+
+double AudioHeaderOverhead(int blocks) {
+  double header = static_cast<double>(kAudioSegmentHeaderBytes);
+  double data = static_cast<double>(blocks) * kAudioBlockBytes;
+  return header / (header + data);
+}
+
+}  // namespace pandora

@@ -1,0 +1,71 @@
+#include "src/segment/segment.h"
+
+#include <sstream>
+
+namespace pandora {
+
+size_t Segment::EncodedSize() const {
+  size_t size = kCommonHeaderBytes;
+  if (std::holds_alternative<AudioHeader>(sub)) {
+    size += kAudioHeaderBytes;
+  } else if (std::holds_alternative<VideoHeader>(sub)) {
+    size += kVideoHeaderFixedBytes + compression_args.size() * 4;
+  }
+  return size + payload.size();
+}
+
+int Segment::AudioBlockCount() const {
+  if (!is_audio()) {
+    return 0;
+  }
+  return static_cast<int>(payload.size() / kAudioBlockBytes);
+}
+
+Segment MakeAudioSegment(StreamId stream, uint32_t sequence, Time source_time,
+                         std::vector<uint8_t> samples) {
+  Segment segment;
+  segment.stream = stream;
+  segment.header.sequence = sequence;
+  segment.header.timestamp = ToTimestampTicks(source_time);
+  segment.header.type = SegmentType::kAudio;
+  AudioHeader ah;
+  ah.data_length = static_cast<uint32_t>(samples.size());
+  segment.sub = ah;
+  segment.payload = std::move(samples);
+  segment.header.length = static_cast<uint32_t>(segment.EncodedSize());
+  return segment;
+}
+
+Segment MakeVideoSegment(StreamId stream, uint32_t sequence, Time source_time,
+                         const VideoHeader& vh, std::vector<uint8_t> data) {
+  Segment segment;
+  segment.stream = stream;
+  segment.header.sequence = sequence;
+  segment.header.timestamp = ToTimestampTicks(source_time);
+  segment.header.type = SegmentType::kVideo;
+  VideoHeader header = vh;
+  header.data_length = static_cast<uint32_t>(data.size());
+  segment.sub = header;
+  segment.payload = std::move(data);
+  segment.header.length = static_cast<uint32_t>(segment.EncodedSize());
+  return segment;
+}
+
+std::string DescribeSegment(const Segment& segment) {
+  std::ostringstream out;
+  out << "stream=" << segment.stream << " seq=" << segment.header.sequence
+      << " ts=" << segment.header.timestamp;
+  if (segment.is_audio()) {
+    out << " audio blocks=" << segment.AudioBlockCount() << " rate=" << segment.audio().sampling_rate;
+  } else if (segment.is_video()) {
+    const VideoHeader& vh = segment.video();
+    out << " video frame=" << vh.frame_number << " seg=" << vh.segment_number << "/"
+        << vh.segments_in_frame << " rect=" << vh.x_width << "x" << vh.line_count << "@("
+        << vh.x_offset << "," << vh.y_offset << ")";
+  } else {
+    out << " test bytes=" << segment.payload.size();
+  }
+  return out.str();
+}
+
+}  // namespace pandora

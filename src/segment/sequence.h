@@ -1,0 +1,97 @@
+// Per-stream sequence tracking for loss detection and recovery.
+//
+// "As all pandora segments carry sequence numbers, the destination can
+// detect that segments are missing as soon as a later one arrives.  Action
+// appropriate to the type of data can then be taken." (section 3.8).  Also
+// the recovery half of principle 5: a split point silently drops segments
+// for a stalled destination, and it is "the destination's responsibility to
+// detect (by segment sequence number) and recover from this".
+#ifndef PANDORA_SRC_SEGMENT_SEQUENCE_H_
+#define PANDORA_SRC_SEGMENT_SEQUENCE_H_
+
+#include <cstdint>
+
+namespace pandora {
+
+class SequenceTracker {
+ public:
+  enum class Outcome {
+    kFirst,      // first segment seen on the stream
+    kInOrder,    // expected next sequence number
+    kGap,        // one or more segments missing before this one
+    kDuplicate,  // sequence number already consumed
+    kStale,      // older than anything useful (late reordered arrival)
+  };
+
+  struct Observation {
+    Outcome outcome = Outcome::kFirst;
+    uint32_t missing = 0;  // count of skipped sequence numbers, if kGap
+  };
+
+  // Feeds the sequence number of an arriving segment.
+  Observation Observe(uint32_t sequence) {
+    Observation obs;
+    if (!started_) {
+      started_ = true;
+      next_expected_ = sequence + 1;
+      ++received_;
+      obs.outcome = Outcome::kFirst;
+      return obs;
+    }
+    if (sequence == next_expected_) {
+      ++received_;
+      ++next_expected_;
+      obs.outcome = Outcome::kInOrder;
+      return obs;
+    }
+    // Wrap-aware signed distance from the expected number.
+    int32_t delta = static_cast<int32_t>(sequence - next_expected_);
+    if (delta > 0) {
+      obs.outcome = Outcome::kGap;
+      obs.missing = static_cast<uint32_t>(delta);
+      missing_total_ += static_cast<uint32_t>(delta);
+      if (static_cast<uint32_t>(delta) > max_gap_) {
+        max_gap_ = static_cast<uint32_t>(delta);
+      }
+      ++gap_events_;
+      ++received_;
+      next_expected_ = sequence + 1;
+      return obs;
+    }
+    if (delta == -1) {
+      ++duplicates_;
+      obs.outcome = Outcome::kDuplicate;
+      return obs;
+    }
+    ++stale_;
+    obs.outcome = Outcome::kStale;
+    return obs;
+  }
+
+  uint64_t received() const { return received_; }
+  uint64_t missing_total() const { return missing_total_; }
+  uint64_t gap_events() const { return gap_events_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t stale() const { return stale_; }
+  uint32_t max_gap() const { return max_gap_; }
+  double LossFraction() const {
+    uint64_t offered = received_ + missing_total_;
+    return offered == 0 ? 0.0 : static_cast<double>(missing_total_) / static_cast<double>(offered);
+  }
+
+  void Reset() { *this = SequenceTracker(); }
+
+ private:
+  bool started_ = false;
+  uint32_t next_expected_ = 0;
+  uint64_t received_ = 0;
+  uint64_t missing_total_ = 0;
+  uint64_t gap_events_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t stale_ = 0;
+  uint32_t max_gap_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SEGMENT_SEQUENCE_H_

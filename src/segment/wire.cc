@@ -1,0 +1,203 @@
+#include "src/segment/wire.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace pandora {
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  out->push_back(static_cast<uint8_t>(value & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 24) & 0xff));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* out) {
+    if (pos_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *out = static_cast<uint32_t>(bytes_[pos_]) | (static_cast<uint32_t>(bytes_[pos_ + 1]) << 8) |
+           (static_cast<uint32_t>(bytes_[pos_ + 2]) << 16) |
+           (static_cast<uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetBytes(size_t n, std::vector<uint8_t>* out) {
+    if (pos_ + n > bytes_.size()) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+                bytes_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+DecodeResult Fail(std::string error) {
+  DecodeResult result;
+  result.ok = false;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSegment(const Segment& segment, StreamField stream_field) {
+  std::vector<uint8_t> out;
+  out.reserve(segment.EncodedSize() + 4);
+  if (stream_field == StreamField::kIncluded) {
+    PutU32(&out, segment.stream);
+  }
+  PutU32(&out, segment.header.version_id);
+  PutU32(&out, segment.header.sequence);
+  PutU32(&out, segment.header.timestamp);
+  PutU32(&out, static_cast<uint32_t>(segment.header.type));
+  PutU32(&out, static_cast<uint32_t>(segment.EncodedSize()));
+
+  if (const auto* audio = std::get_if<AudioHeader>(&segment.sub)) {
+    PutU32(&out, audio->sampling_rate);
+    PutU32(&out, static_cast<uint32_t>(audio->format));
+    PutU32(&out, static_cast<uint32_t>(audio->compression));
+    PutU32(&out, static_cast<uint32_t>(segment.payload.size()));
+  } else if (const auto* video = std::get_if<VideoHeader>(&segment.sub)) {
+    PutU32(&out, video->frame_number);
+    PutU32(&out, video->segments_in_frame);
+    PutU32(&out, video->segment_number);
+    PutU32(&out, video->x_offset);
+    PutU32(&out, video->y_offset);
+    PutU32(&out, static_cast<uint32_t>(video->pixel_format));
+    PutU32(&out, static_cast<uint32_t>(video->compression_type));
+    PutU32(&out, static_cast<uint32_t>(segment.compression_args.size()));
+    for (uint32_t arg : segment.compression_args) {
+      PutU32(&out, arg);
+    }
+    PutU32(&out, video->x_width);
+    PutU32(&out, video->start_line_y);
+    PutU32(&out, video->line_count);
+    PutU32(&out, static_cast<uint32_t>(segment.payload.size()));
+  }
+  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  return out;
+}
+
+DecodeResult DecodeSegment(const std::vector<uint8_t>& bytes, StreamField stream_field,
+                           StreamId vci_stream) {
+  Reader reader(bytes);
+  DecodeResult result;
+  Segment& segment = result.segment;
+
+  if (stream_field == StreamField::kIncluded) {
+    uint32_t stream = 0;
+    if (!reader.GetU32(&stream)) {
+      return Fail("truncated stream field");
+    }
+    segment.stream = stream;
+  } else {
+    segment.stream = vci_stream;
+  }
+
+  uint32_t type_raw = 0;
+  uint32_t length = 0;
+  if (!reader.GetU32(&segment.header.version_id) || !reader.GetU32(&segment.header.sequence) ||
+      !reader.GetU32(&segment.header.timestamp) || !reader.GetU32(&type_raw) ||
+      !reader.GetU32(&length)) {
+    return Fail("truncated common header");
+  }
+  if (segment.header.version_id != kSegmentVersionId) {
+    return Fail("bad version id");
+  }
+  segment.header.type = static_cast<SegmentType>(type_raw);
+  segment.header.length = length;
+
+  switch (segment.header.type) {
+    case SegmentType::kAudio: {
+      AudioHeader audio;
+      uint32_t format = 0;
+      uint32_t compression = 0;
+      uint32_t data_length = 0;
+      if (!reader.GetU32(&audio.sampling_rate) || !reader.GetU32(&format) ||
+          !reader.GetU32(&compression) || !reader.GetU32(&data_length)) {
+        return Fail("truncated audio header");
+      }
+      audio.format = static_cast<AudioFormat>(format);
+      audio.compression = static_cast<AudioCoding>(compression);
+      audio.data_length = data_length;
+      if (data_length != reader.remaining()) {
+        return Fail("audio data length mismatch");
+      }
+      if (!reader.GetBytes(data_length, &segment.payload)) {
+        return Fail("truncated audio data");
+      }
+      segment.sub = audio;
+      break;
+    }
+    case SegmentType::kVideo: {
+      VideoHeader video;
+      uint32_t pixel_format = 0;
+      uint32_t compression = 0;
+      uint32_t argument_count = 0;
+      if (!reader.GetU32(&video.frame_number) || !reader.GetU32(&video.segments_in_frame) ||
+          !reader.GetU32(&video.segment_number) || !reader.GetU32(&video.x_offset) ||
+          !reader.GetU32(&video.y_offset) || !reader.GetU32(&pixel_format) ||
+          !reader.GetU32(&compression) || !reader.GetU32(&argument_count)) {
+        return Fail("truncated video header");
+      }
+      if (argument_count > 64) {
+        return Fail("unreasonable compression argument count");
+      }
+      segment.compression_args.resize(argument_count);
+      for (uint32_t i = 0; i < argument_count; ++i) {
+        if (!reader.GetU32(&segment.compression_args[i])) {
+          return Fail("truncated compression arguments");
+        }
+      }
+      uint32_t data_length = 0;
+      if (!reader.GetU32(&video.x_width) || !reader.GetU32(&video.start_line_y) ||
+          !reader.GetU32(&video.line_count) || !reader.GetU32(&data_length)) {
+        return Fail("truncated video geometry");
+      }
+      video.pixel_format = static_cast<PixelFormat>(pixel_format);
+      video.compression_type = static_cast<VideoCoding>(compression);
+      video.data_length = data_length;
+      if (video.segments_in_frame == 0 || video.segment_number >= video.segments_in_frame) {
+        return Fail("bad segment-in-frame numbering");
+      }
+      if (data_length != reader.remaining()) {
+        return Fail("video data length mismatch");
+      }
+      if (!reader.GetBytes(data_length, &segment.payload)) {
+        return Fail("truncated video data");
+      }
+      segment.sub = video;
+      break;
+    }
+    case SegmentType::kTest: {
+      if (!reader.GetBytes(reader.remaining(), &segment.payload)) {
+        return Fail("truncated test data");
+      }
+      break;
+    }
+    default:
+      return Fail("unknown segment type");
+  }
+
+  if (segment.EncodedSize() != length) {
+    return Fail("common header length disagrees with contents");
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pandora

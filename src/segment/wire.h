@@ -1,0 +1,47 @@
+// Wire encoding of Pandora segments.
+//
+// Serializes segments exactly as figs 3.1/3.2 lay them out: 32-bit fields,
+// common header first, then the type-specific header (with a variable count
+// of compression arguments for video), then the data.  Within a box the
+// 32-bit stream number travels as an extra field preceding the header
+// (section 3.4); over the ATM network the stream number rides in the VCI
+// instead, so encoders can omit the prefix.
+//
+// Byte order is little-endian (the transputer is a little-endian machine).
+#ifndef PANDORA_SRC_SEGMENT_WIRE_H_
+#define PANDORA_SRC_SEGMENT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/segment/segment.h"
+
+namespace pandora {
+
+enum class StreamField {
+  kIncluded,  // intra-box: stream number prefixes the header
+  kOmitted,   // network: stream number carried in the VCI
+};
+
+// Encodes `segment` to bytes.  The result's length equals
+// segment.EncodedSize() (+4 if the stream field is included).
+std::vector<uint8_t> EncodeSegment(const Segment& segment,
+                                   StreamField stream_field = StreamField::kIncluded);
+
+struct DecodeResult {
+  bool ok = false;
+  std::string error;
+  Segment segment;
+};
+
+// Decodes bytes back into a segment, validating version id, type, length
+// consistency and header/data agreement.  When the stream field is omitted,
+// pass the stream id recovered from the VCI.
+DecodeResult DecodeSegment(const std::vector<uint8_t>& bytes,
+                           StreamField stream_field = StreamField::kIncluded,
+                           StreamId vci_stream = kInvalidStream);
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SEGMENT_WIRE_H_

@@ -1,0 +1,121 @@
+#include "src/server/netio.h"
+
+namespace pandora {
+
+NetworkOutput::NetworkOutput(Scheduler* sched, NetworkOutputOptions options, StreamTable* table,
+                             AtmPort* port, ReportSink* report_sink)
+    : sched_(sched),
+      options_(std::move(options)),
+      table_(table),
+      port_(port),
+      reporter_(sched, report_sink, options_.name),
+      input_(sched, options_.name + ".in"),
+      ready_(sched, options_.name + ".ready"),
+      audio_buffer_(sched,
+                    {.name = options_.name + ".audio",
+                     .capacity = options_.audio_buffer_capacity,
+                     .use_ready_channel = true},
+                    report_sink),
+      video_buffer_(sched,
+                    {.name = options_.name + ".video",
+                     .capacity = options_.video_buffer_capacity,
+                     .use_ready_channel = true},
+                    report_sink),
+      audio_sender_(&audio_buffer_.input(), &audio_buffer_.ready()),
+      video_sender_(&video_buffer_.input(), &video_buffer_.ready()) {}
+
+void NetworkOutput::Start() {
+  assert(!started_);
+  started_ = true;
+  audio_buffer_.Start();
+  video_buffer_.Start();
+  sched_->Spawn(SplitterProc(), options_.name + ".split", Priority::kLow);
+  sched_->Spawn(SenderProc(), options_.name + ".send", Priority::kHigh);
+}
+
+Process NetworkOutput::SplitterProc() {
+  for (;;) {
+    Alt alt(sched_);
+    alt.OnReceive(input_);
+    alt.OnReceive(audio_sender_.ready_channel());
+    alt.OnReceive(video_sender_.ready_channel());
+    int chosen = co_await alt.Select();
+    if (chosen == 1) {
+      co_await audio_sender_.ConsumeReadySignal();
+      continue;
+    }
+    if (chosen == 2) {
+      co_await video_sender_.ConsumeReadySignal();
+      continue;
+    }
+
+    SegmentRef ref = co_await input_.Receive();
+    ReadySender& sender = ref->is_audio() ? audio_sender_ : video_sender_;
+    if (sender.can_send()) {
+      co_await sender.Send(std::move(ref));
+    } else {
+      // The interface is saturated: excess video (usually) is discarded
+      // here, keeping its queueing delay bounded while audio rides the
+      // bigger buffer (principle 2).
+      sender.CountDrop();
+      reporter_.Report(ref->is_audio() ? "netout.audio_drop" : "netout.video_drop",
+                       ReportSeverity::kWarning, "interface saturated; segment discarded",
+                       static_cast<int64_t>(ref->stream));
+    }
+    // The splitter itself never fills: answer the switch immediately.
+    co_await ready_.Send(true);
+  }
+}
+
+Process NetworkOutput::SenderProc() {
+  for (;;) {
+    Alt alt(sched_);
+    if (options_.audio_priority) {
+      alt.OnReceive(audio_buffer_.output());  // audio strictly first (P2)
+      alt.OnReceive(video_buffer_.output());
+    } else {
+      // Ablation: the guard order is reversed, so queued video always wins
+      // the interface — the behaviour the split + priority exist to avoid.
+      alt.OnReceive(video_buffer_.output());
+      alt.OnReceive(audio_buffer_.output());
+    }
+    int raw = co_await alt.Select();
+    int chosen = options_.audio_priority ? raw : 1 - raw;
+    // Plain if/else rather than `cond ? co_await a : co_await b`: GCC 12
+    // generates incorrect temporary cleanups for co_await inside the
+    // conditional operator, double-releasing the move-only result.
+    SegmentRef ref;
+    if (chosen == 0) {
+      ref = co_await audio_buffer_.output().Receive();
+    } else {
+      ref = co_await video_buffer_.output().Receive();
+    }
+    // One wire copy per far-end circuit (the VCI relabels the stream with
+    // the id the destination box allocated).
+    std::vector<Vci> vcis;
+    if (const StreamRoute* route = table_->Find(ref->stream);
+        route != nullptr && !route->out_vcis.empty()) {
+      vcis = route->out_vcis;
+    } else {
+      vcis.push_back(ref->stream);
+    }
+    // Note: the NetTx is built in a named local before the co_await; GCC
+    // 12 miscompiles move-only aggregate temporaries materialized inside
+    // co_await argument expressions (the moved-from ref was destroyed as
+    // if still live, double-releasing the buffer).
+    for (size_t i = 0; i + 1 < vcis.size(); ++i) {
+      ++sent_;
+      NetTx tx;
+      tx.vci = vcis[i];
+      tx.segment = ref.Dup();
+      co_await port_->tx().Send(std::move(tx));
+    }
+    ++sent_;
+    NetTx tx;
+    tx.vci = vcis.back();
+    tx.segment = std::move(ref);
+    co_await port_->tx().Send(std::move(tx));
+  }
+}
+
+}  // namespace pandora

@@ -1,0 +1,119 @@
+// Network input/output device handlers (sections 3.4, 3.7.1, fig 3.7).
+//
+// Output: "The first limit that tends to be exceeded in normal operation is
+// the bandwidth of the interface to the network...  We limit the size of
+// this buffer so that the video delays do not become aggravating to the
+// user, and buffer the audio separately so that it can be given priority
+// (principle 2)."  NetworkOutput is the splitter of fig 3.7: one switch
+// destination that classifies segments into a generously-sized audio
+// decoupling buffer and a deliberately small video one; its sender drains
+// audio strictly before video into the port's (non-interleaving) interface.
+//
+// Input: receives segments off the wire (already re-labelled with this
+// box's stream numbers via the VCI), copies them into this box's buffer
+// pool — the "copy once into memory" — and hands references to the switch.
+#ifndef PANDORA_SRC_SERVER_NETIO_H_
+#define PANDORA_SRC_SERVER_NETIO_H_
+
+#include <cassert>
+#include <string>
+
+#include "src/buffer/decoupling.h"
+#include "src/buffer/pool.h"
+#include "src/control/report.h"
+#include "src/net/atm.h"
+#include "src/runtime/alt.h"
+#include "src/runtime/scheduler.h"
+#include "src/server/stream_table.h"
+
+namespace pandora {
+
+struct NetworkOutputOptions {
+  std::string name = "server.netout";
+  size_t audio_buffer_capacity = 64;  // audio rarely queues long
+  size_t video_buffer_capacity = 6;   // small: bound the video delay
+  // Principle 2 at the interface; false only for ablation studies.
+  bool audio_priority = true;
+};
+
+class NetworkOutput {
+ public:
+  NetworkOutput(Scheduler* sched, NetworkOutputOptions options, StreamTable* table, AtmPort* port,
+                ReportSink* report_sink = nullptr);
+
+  void Start();
+
+  // The switch-facing destination endpoint (ready protocol).
+  Channel<SegmentRef>& input() { return input_; }
+  Channel<bool>& ready() { return ready_; }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t audio_drops() const { return audio_sender_.drops(); }
+  uint64_t video_drops() const { return video_sender_.drops(); }
+  DecouplingBuffer& audio_buffer() { return audio_buffer_; }
+  DecouplingBuffer& video_buffer() { return video_buffer_; }
+
+ private:
+  Process SplitterProc();
+  Process SenderProc();
+
+  Scheduler* sched_;
+  NetworkOutputOptions options_;
+  StreamTable* table_;
+  AtmPort* port_;
+  Reporter reporter_;
+
+  Channel<SegmentRef> input_;
+  Channel<bool> ready_;
+  DecouplingBuffer audio_buffer_;
+  DecouplingBuffer video_buffer_;
+  ReadySender audio_sender_;
+  ReadySender video_sender_;
+  uint64_t sent_ = 0;
+  bool started_ = false;
+};
+
+struct NetworkInputOptions {
+  std::string name = "server.netin";
+};
+
+class NetworkInput {
+ public:
+  NetworkInput(Scheduler* sched, NetworkInputOptions options, AtmPort* port, BufferPool* pool,
+               Channel<SegmentRef>* to_switch)
+      : sched_(sched), options_(std::move(options)), port_(port), pool_(pool),
+        to_switch_(to_switch) {}
+
+  void Start(Priority priority = Priority::kLow) {
+    assert(!started_);
+    started_ = true;
+    sched_->Spawn(Run(), options_.name, priority);
+  }
+
+  uint64_t received() const { return received_; }
+
+ private:
+  Process Run() {
+    for (;;) {
+      Segment segment = co_await port_->rx().Receive();
+      // Copy into this box's buffer memory; pool starvation applies back
+      // pressure all the way into the network delivery path.
+      SegmentRef ref = co_await pool_->Allocate();
+      *ref = std::move(segment);
+      ++received_;
+      co_await to_switch_->Send(std::move(ref));
+    }
+  }
+
+  Scheduler* sched_;
+  NetworkInputOptions options_;
+  AtmPort* port_;
+  BufferPool* pool_;
+  Channel<SegmentRef>* to_switch_;
+  uint64_t received_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SERVER_NETIO_H_

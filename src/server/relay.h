@@ -1,0 +1,65 @@
+// LinkRelay: an inter-board Inmos link carrying segment references.
+//
+// Boards exchange commands and audio over 20Mbit/s links and video over
+// 100Mbit/s fifos (fig 1.2).  A relay serializes each segment at the link
+// rate; rendezvous on its input provides the hardware's natural back
+// pressure ("if a process writes to a link before the previous message has
+// been received... the writer will be blocked", section 3.5).
+#ifndef PANDORA_SRC_SERVER_RELAY_H_
+#define PANDORA_SRC_SERVER_RELAY_H_
+
+#include <cassert>
+#include <string>
+
+#include "src/buffer/pool.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/resource.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+inline constexpr int64_t kInmosLinkBps = 20'000'000;   // serial link
+inline constexpr int64_t kVideoFifoBps = 100'000'000;  // memory-mapped fifo
+
+class LinkRelay {
+ public:
+  LinkRelay(Scheduler* sched, std::string name, Channel<SegmentRef>* in, Channel<SegmentRef>* out,
+            int64_t bits_per_second = kInmosLinkBps)
+      : sched_(sched),
+        name_(std::move(name)),
+        in_(in),
+        out_(out),
+        gate_(sched, name_ + ".gate", bits_per_second) {}
+
+  void Start(Priority priority = Priority::kHigh) {
+    assert(!started_);
+    started_ = true;
+    sched_->Spawn(Run(), name_, priority);
+  }
+
+  BandwidthGate& gate() { return gate_; }
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  Process Run() {
+    for (;;) {
+      SegmentRef ref = co_await in_->Receive();
+      // +4 for the intra-box stream-number field preceding the header.
+      co_await gate_.Transmit(ref->EncodedSize() + 4);
+      ++forwarded_;
+      co_await out_->Send(std::move(ref));
+    }
+  }
+
+  Scheduler* sched_;
+  std::string name_;
+  Channel<SegmentRef>* in_;
+  Channel<SegmentRef>* out_;
+  BandwidthGate gate_;
+  uint64_t forwarded_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SERVER_RELAY_H_

@@ -1,0 +1,116 @@
+// Per-stream routing and state tables on the server transputer (section 3.4).
+//
+// "Any process which handles a variety of streams in differing manners will
+// use the stream number to index private tables that describe the
+// operations to be performed on the segments of each stream (e.g. which
+// processes to send them to, what outgoing VCI to use etc.) and hold the
+// state of that stream (e.g. number of dropped segments...).  The tables
+// are updated without disturbing the flows of data when commands are
+// received" — principle 6.
+#ifndef PANDORA_SRC_SERVER_STREAM_TABLE_H_
+#define PANDORA_SRC_SERVER_STREAM_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/segment/constants.h"
+#include "src/server/degrade.h"
+
+namespace pandora {
+
+// Identifies one switch output (an output device handler's buffer).
+using DestinationId = int;
+inline constexpr DestinationId kInvalidDestination = -1;
+
+struct StreamRoute {
+  StreamAttrs attrs;
+  // VCIs used when the destination is the network: one per far-end copy
+  // (a tannoy stream fans out to several circuits).
+  std::vector<Vci> out_vcis;
+  std::vector<DestinationId> destinations;
+  uint64_t segments = 0;
+  uint64_t drops = 0;  // segments discarded at the switch for this stream
+};
+
+class StreamTable {
+ public:
+  // Creates or fetches a stream's entry; stamps open order on creation.
+  StreamRoute& Open(StreamId stream, bool incoming, bool audio) {
+    auto it = table_.find(stream);
+    if (it == table_.end()) {
+      StreamRoute route;
+      route.attrs.stream = stream;
+      route.attrs.incoming = incoming;
+      route.attrs.audio = audio;
+      route.attrs.open_order = next_open_order_++;
+      it = table_.emplace(stream, std::move(route)).first;
+    }
+    return it->second;
+  }
+
+  StreamRoute* Find(StreamId stream) {
+    auto it = table_.find(stream);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  const StreamRoute* Find(StreamId stream) const {
+    auto it = table_.find(stream);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  void AddDestination(StreamId stream, DestinationId destination) {
+    StreamRoute* route = Find(stream);
+    if (route == nullptr) {
+      return;
+    }
+    for (DestinationId d : route->destinations) {
+      if (d == destination) {
+        return;
+      }
+    }
+    route->destinations.push_back(destination);
+  }
+
+  void RemoveDestination(StreamId stream, DestinationId destination) {
+    StreamRoute* route = Find(stream);
+    if (route == nullptr) {
+      return;
+    }
+    std::erase(route->destinations, destination);
+  }
+
+  void RemoveVci(StreamId stream, Vci vci) {
+    StreamRoute* route = Find(stream);
+    if (route == nullptr) {
+      return;
+    }
+    std::erase(route->out_vcis, vci);
+  }
+
+  void Close(StreamId stream) { table_.erase(stream); }
+
+  // Streams currently routed towards `destination` (for the degrader).
+  std::vector<StreamAttrs> ActiveTowards(DestinationId destination) const {
+    std::vector<StreamAttrs> active;
+    for (const auto& [stream, route] : table_) {
+      for (DestinationId d : route.destinations) {
+        if (d == destination) {
+          active.push_back(route.attrs);
+          break;
+        }
+      }
+    }
+    return active;
+  }
+
+  size_t size() const { return table_.size(); }
+  const std::map<StreamId, StreamRoute>& entries() const { return table_; }
+
+ private:
+  std::map<StreamId, StreamRoute> table_;
+  uint64_t next_open_order_ = 1;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_SERVER_STREAM_TABLE_H_

@@ -1,0 +1,158 @@
+#include "src/server/switch.h"
+
+#include <algorithm>
+
+#include <cassert>
+
+namespace pandora {
+
+Switch::Switch(Scheduler* sched, SwitchOptions options, CpuModel* cpu, ReportSink* report_sink)
+    : sched_(sched),
+      options_(std::move(options)),
+      cpu_(cpu),
+      reporter_(sched, report_sink, options_.name),
+      input_(sched, options_.name + ".in"),
+      command_(sched, options_.name + ".cmd") {}
+
+DestinationId Switch::AddDestination(const std::string& name, Channel<SegmentRef>* input,
+                                     Channel<bool>* ready) {
+  auto destination = std::make_unique<Destination>(
+      Destination{name, ReadySender(input, ready), AdaptiveDegrader(options_.degrade), 0});
+  destinations_.push_back(std::move(destination));
+  return static_cast<DestinationId>(destinations_.size() - 1);
+}
+
+void Switch::Start(Priority priority) {
+  assert(!started_);
+  started_ = true;
+  sched_->Spawn(Run(), options_.name, priority);
+}
+
+void Switch::OpenRoute(StreamId stream, DestinationId destination, bool incoming, bool audio,
+                       Vci out_vci) {
+  StreamRoute& route = table_.Open(stream, incoming, audio);
+  if (out_vci != 0 &&
+      std::find(route.out_vcis.begin(), route.out_vcis.end(), out_vci) == route.out_vcis.end()) {
+    route.out_vcis.push_back(out_vci);
+  }
+  table_.AddDestination(stream, destination);
+}
+
+void Switch::CloseNetworkCopy(StreamId stream, Vci vci, DestinationId network_destination) {
+  table_.RemoveVci(stream, vci);
+  const StreamRoute* route = table_.Find(stream);
+  if (route != nullptr && route->out_vcis.empty()) {
+    CloseRoute(stream, network_destination);
+  }
+}
+
+void Switch::CloseRoute(StreamId stream, DestinationId destination) {
+  table_.RemoveDestination(stream, destination);
+  const StreamRoute* route = table_.Find(stream);
+  if (route != nullptr && route->destinations.empty()) {
+    table_.Close(stream);
+  }
+}
+
+void Switch::HandleCommand(const Command& command) {
+  switch (command.verb) {
+    case CommandVerb::kOpenRoute:
+      // P6: "the tables are updated without disturbing the flows of data".
+      OpenRoute(command.stream, static_cast<DestinationId>(command.arg0),
+                /*incoming=*/command.arg1 != 0, /*audio=*/true);
+      break;
+    case CommandVerb::kCloseRoute:
+      CloseRoute(command.stream, static_cast<DestinationId>(command.arg0));
+      break;
+    case CommandVerb::kReportStatus:
+      reporter_.ReportNow("switch.status", ReportSeverity::kInfo,
+                          "streams=" + std::to_string(table_.size()) +
+                              " switched=" + std::to_string(segments_switched_) +
+                              " dropped=" + std::to_string(segments_dropped_),
+                          static_cast<int64_t>(segments_switched_));
+      break;
+    default:
+      break;
+  }
+}
+
+Task<void> Switch::HandleSegment(SegmentRef ref) {
+  if (cpu_ != nullptr) {
+    co_await cpu_->Consume(options_.segment_cost);
+  }
+  StreamRoute* route = table_.Find(ref->stream);
+  if (route == nullptr) {
+    // Unrouted stream: discarded (and reported — it usually means a race
+    // with teardown or a plumbing mistake).
+    reporter_.Report("switch.unrouted", ReportSeverity::kWarning,
+                     "segment for unknown stream " + std::to_string(ref->stream));
+    co_return;
+  }
+  ++route->segments;
+  ++segments_switched_;
+
+  const size_t fanout = route->destinations.size();
+  for (size_t i = 0; i < fanout; ++i) {
+    Destination& destination = *destinations_[static_cast<size_t>(route->destinations[i])];
+    destination.sender.Poll();  // absorb any deferred READY=TRUE
+    destination.degrader.MaybeRecover(sched_->now());
+
+    const bool last = (i == fanout - 1);
+    bool drop = false;
+    if (!destination.sender.can_send()) {
+      // Principle 5: never block on a congested destination — the split-off
+      // copies continue; this destination recovers via sequence numbers.
+      drop = true;
+      destination.degrader.OnBufferFull(sched_->now());
+    } else if (destination.degrader.ShouldDrop(
+                   route->attrs, table_.ActiveTowards(route->destinations[i]))) {
+      // Principles 1-3: sustained overload sheds whole streams in
+      // degradation order rather than shaving every stream equally.
+      drop = true;
+    }
+    if (drop) {
+      ++destination.drops;
+      ++route->drops;
+      ++segments_dropped_;
+      destination.sender.CountDrop();
+      reporter_.Report("switch.dropped." + destination.name, ReportSeverity::kWarning,
+                       "discarding traffic for congested output " + destination.name,
+                       static_cast<int64_t>(destination.drops));
+      continue;
+    }
+    // The common case passes the reference on; extra destinations take a
+    // duplicate (reference count increment).  Hoisted to a named local:
+    // GCC 12 destroys stale bitwise snapshots of owning argument
+    // temporaries inside co_await expressions that suspend.
+    SegmentRef to_send = last ? std::move(ref) : ref.Dup();
+    co_await destination.sender.Send(std::move(to_send));
+  }
+}
+
+Process Switch::Run() {
+  for (;;) {
+    Alt alt(sched_);
+    alt.OnReceive(command_);  // P4: commands pre-empt data
+    alt.OnReceive(input_);
+    // Deferred READY signals from destination buffers, so a deferred TRUE
+    // can never wedge a buffer core against an inattentive switch.
+    const int ready_base = 2;
+    for (auto& destination : destinations_) {
+      alt.OnReceive(destination->sender.ready_channel());
+    }
+
+    int chosen = co_await alt.Select();
+    if (chosen == 0) {
+      Command command = co_await command_.Receive();
+      HandleCommand(command);
+    } else if (chosen == 1) {
+      SegmentRef ref = co_await input_.Receive();
+      co_await HandleSegment(std::move(ref));
+    } else {
+      co_await destinations_[static_cast<size_t>(chosen - ready_base)]
+          ->sender.ConsumeReadySignal();
+    }
+  }
+}
+
+}  // namespace pandora

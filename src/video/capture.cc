@@ -1,0 +1,193 @@
+#include "src/video/capture.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pandora {
+
+VideoCapture::VideoCapture(Scheduler* sched, VideoCaptureOptions options, FrameStore* store,
+                           BufferPool* pool, Channel<SegmentRef>* segments_out, CpuModel* cpu,
+                           ReportSink* report_sink)
+    : sched_(sched),
+      options_(std::move(options)),
+      store_(store),
+      pool_(pool),
+      segments_out_(segments_out),
+      cpu_(cpu),
+      reporter_(sched, report_sink, options_.name),
+      command_(sched, options_.name + ".cmd"),
+      producing_(options_.start_immediately) {
+  assert(options_.rate_numer >= 0 && options_.rate_denom > 0);
+  assert(options_.segments_per_frame > 0);
+}
+
+void VideoCapture::Start(Priority priority) {
+  assert(!started_);
+  started_ = true;
+  sched_->Spawn(Run(), options_.name, priority);
+}
+
+void VideoCapture::HandleCommand(const Command& command) {
+  switch (command.verb) {
+    case CommandVerb::kStartStream:
+      producing_ = true;
+      break;
+    case CommandVerb::kStop:
+      producing_ = false;
+      break;
+    case CommandVerb::kSetFrameRate:
+      if (command.arg1 > 0 && command.arg0 >= 0 && command.arg0 <= command.arg1) {
+        options_.rate_numer = static_cast<int>(command.arg0);
+        options_.rate_denom = static_cast<int>(command.arg1);
+        rate_accumulator_ = 0;
+      }
+      break;
+    case CommandVerb::kReportStatus:
+      reporter_.ReportNow("capture.status", ReportSeverity::kInfo,
+                          "frames=" + std::to_string(frames_captured_) +
+                              " segments=" + std::to_string(segments_sent_),
+                          static_cast<int64_t>(frames_captured_));
+      break;
+    default:
+      break;
+  }
+}
+
+Task<void> VideoCapture::CaptureFrame(uint32_t frame_number) {
+  const int strip_height =
+      (options_.rect.height + options_.segments_per_frame - 1) / options_.segments_per_frame;
+  int emitted = 0;
+  // Last line of the previous strip, for vertical-delta coding of the next
+  // strip's first line (the display reconstructs it from its line cache).
+  std::vector<uint8_t> prev_strip_last_line;
+  for (int strip = 0; strip < options_.segments_per_frame; ++strip) {
+    const int y0 = options_.rect.y + strip * strip_height;
+    const int lines = std::min(strip_height, options_.rect.y + options_.rect.height - y0);
+    if (lines <= 0) {
+      break;
+    }
+    Rect strip_rect{options_.rect.x, y0, options_.rect.width, lines};
+    // "The reading of the blocks is carefully timed" — never tears.
+    FrameStore::ReadResult read = co_await store_->ReadRectangleSafe(strip_rect);
+
+    // Compress line by line.  The strip's first line self-codes on the
+    // frame's first strip; later strips vertically code against the last
+    // line of the previous strip (resolved by the display's line cache).
+    std::vector<uint8_t> data;
+    const uint8_t* previous_line = nullptr;
+    for (int line = 0; line < lines; ++line) {
+      const uint8_t* pixels = read.pixels.data() + static_cast<size_t>(line) * strip_rect.width;
+      LineCoding coding;
+      const uint8_t* above = nullptr;
+      if (line == 0) {
+        if (strip == 0 || prev_strip_last_line.empty()) {
+          coding = options_.coding;  // self-coded: no cross-segment state
+        } else {
+          coding = LineCoding::kVerticalDelta;
+          above = prev_strip_last_line.data();
+        }
+      } else {
+        coding = options_.coding;
+        above = previous_line;
+      }
+      std::vector<uint8_t> compressed = CompressLine(coding, pixels, strip_rect.width, above);
+      data.insert(data.end(), compressed.begin(), compressed.end());
+      previous_line = pixels;
+    }
+    prev_strip_last_line.assign(
+        read.pixels.end() - strip_rect.width, read.pixels.end());
+
+    // Transport through the slice pipeline: descriptions over the link,
+    // data through the fifo + non-draining compression engine.
+    SliceDesc header{SliceKind::kHeaderDesc, options_.stream, sequence_, 0, 0};
+    holdback_.Push(header);
+    const int total_lines = lines;
+    int lines_left = total_lines;
+    size_t offset = 0;
+    while (lines_left > 0) {
+      int slice_lines = std::min(options_.lines_per_slice, lines_left);
+      size_t slice_bytes = 0;
+      for (int l = 0; l < slice_lines; ++l) {
+        // Sizes are deterministic per coding; header byte included.
+        LineCoding lc = static_cast<LineCoding>(data[offset + slice_bytes]);
+        slice_bytes += CompressedLineSize(lc, strip_rect.width);
+      }
+      std::vector<uint8_t> slice(data.begin() + static_cast<ptrdiff_t>(offset),
+                                 data.begin() + static_cast<ptrdiff_t>(offset + slice_bytes));
+      offset += slice_bytes;
+      lines_left -= slice_lines;
+      compressor_.Push(std::move(slice));
+      holdback_.Push(SliceDesc{SliceKind::kSliceDesc, options_.stream, sequence_,
+                               static_cast<uint32_t>(slice_lines),
+                               static_cast<uint32_t>(slice_bytes)});
+      // Fifo/engine transport time for the slice.
+      co_await sched_->WaitFor(static_cast<Duration>(slice_lines) * options_.per_line_cost);
+    }
+    holdback_.Push(SliceDesc{SliceKind::kTailDesc, options_.stream, sequence_, 0, 0});
+    // Dummy flush: pushes the last real slice out of the engine; its own
+    // description is held back until the next segment's data arrives.
+    compressor_.Push(std::vector<uint8_t>());
+    holdback_.Push(SliceDesc{SliceKind::kDummyDesc, options_.stream, sequence_, 2, 0});
+    co_await sched_->WaitFor(2 * options_.per_line_cost);
+
+    if (cpu_ != nullptr) {
+      co_await cpu_->Consume(Micros(20) + static_cast<Duration>(lines));
+    }
+
+    // Build and launch the Pandora segment (fig 3.2).
+    VideoHeader vh;
+    vh.frame_number = frame_number;
+    vh.segments_in_frame = static_cast<uint32_t>(options_.segments_per_frame);
+    vh.segment_number = static_cast<uint32_t>(strip);
+    vh.x_offset = static_cast<uint32_t>(strip_rect.x);
+    vh.y_offset = static_cast<uint32_t>(strip_rect.y);
+    vh.pixel_format = PixelFormat::kGrey8;
+    vh.compression_type = options_.coding == LineCoding::kRawLine ? VideoCoding::kRaw
+                                                                  : VideoCoding::kDpcmSubsampled;
+    vh.x_width = static_cast<uint32_t>(strip_rect.width);
+    vh.start_line_y = static_cast<uint32_t>(y0);
+    vh.line_count = static_cast<uint32_t>(lines);
+
+    SegmentRef ref = co_await pool_->Allocate();
+    *ref = MakeVideoSegment(options_.stream, sequence_++, sched_->now(), vh, std::move(data));
+    ref->compression_args = {static_cast<uint32_t>(options_.coding)};
+    ref->header.length = static_cast<uint32_t>(ref->EncodedSize());
+    bytes_sent_ += ref->EncodedSize();
+    ++segments_sent_;
+    ++emitted;
+    co_await segments_out_->Send(std::move(ref));
+  }
+  if (emitted > 0) {
+    ++frames_captured_;
+  }
+}
+
+Process VideoCapture::Run() {
+  Time next_frame = ((sched_->now() / kFramePeriod) + 1) * kFramePeriod;
+  for (;;) {
+    Alt alt(sched_);
+    alt.OnReceive(command_);
+    alt.OnTimeout(next_frame);
+    int chosen = co_await alt.Select();
+    if (chosen == 0) {
+      Command command = co_await command_.Receive();
+      HandleCommand(command);
+      continue;
+    }
+    next_frame += kFramePeriod;
+    if (!producing_) {
+      continue;
+    }
+    // Bresenham-style fraction of the 25Hz tick: capture when the
+    // accumulator crosses the denominator.
+    rate_accumulator_ += options_.rate_numer;
+    if (rate_accumulator_ < options_.rate_denom) {
+      continue;
+    }
+    rate_accumulator_ -= options_.rate_denom;
+    co_await CaptureFrame(frame_counter_);
+    ++frame_counter_;
+  }
+}
+
+}  // namespace pandora

@@ -1,0 +1,194 @@
+#include "src/video/display.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pandora {
+
+VideoDisplay::VideoDisplay(Scheduler* sched, VideoDisplayOptions options,
+                           Channel<SegmentRef>* segments_in, ReportSink* report_sink)
+    : sched_(sched),
+      options_(std::move(options)),
+      segments_in_(segments_in),
+      reporter_(sched, report_sink, options_.name),
+      screen_(static_cast<size_t>(options_.width) * static_cast<size_t>(options_.height), 0) {}
+
+void VideoDisplay::Start(Priority priority) {
+  assert(!started_);
+  started_ = true;
+  sched_->Spawn(Run(), options_.name, priority);
+}
+
+double VideoDisplay::MeasuredFps(StreamId stream, Duration elapsed) const {
+  auto it = frames_by_stream_.find(stream);
+  if (it == frames_by_stream_.end() || elapsed <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(it->second) / ToSeconds(elapsed);
+}
+
+bool VideoDisplay::DecompressInto(const Segment& segment, Assembly* assembly) {
+  const VideoHeader& vh = segment.video();
+  const int width = static_cast<int>(vh.x_width);
+  const int lines = static_cast<int>(vh.line_count);
+  Part part;
+  part.rect = {static_cast<int>(vh.x_offset), static_cast<int>(vh.start_line_y), width, lines};
+  part.pixels.reserve(static_cast<size_t>(width) * static_cast<size_t>(lines));
+
+  size_t offset = 0;
+  std::vector<uint8_t> previous_line;
+  for (int line = 0; line < lines; ++line) {
+    if (offset >= segment.payload.size()) {
+      return false;
+    }
+    LineCoding coding = static_cast<LineCoding>(segment.payload[offset]);
+    size_t line_size = CompressedLineSize(coding, width);
+    if (line_size == 0 || offset + line_size > segment.payload.size()) {
+      return false;
+    }
+    std::vector<uint8_t> bytes(segment.payload.begin() + static_cast<ptrdiff_t>(offset),
+                               segment.payload.begin() + static_cast<ptrdiff_t>(offset + line_size));
+    offset += line_size;
+
+    const uint8_t* above = nullptr;
+    if (coding == LineCoding::kVerticalDelta) {
+      if (line == 0) {
+        // Cross-segment vertical interpolation: reload the engine from the
+        // per-stream software cache (the paper's choice 3).
+        const std::vector<uint8_t>* cached = line_cache_.Fetch(segment.stream);
+        if (cached == nullptr || cached->size() != static_cast<size_t>(width)) {
+          return false;  // interpolation state lost (e.g. after a gap)
+        }
+        above = cached->data();
+      } else {
+        above = previous_line.data();
+      }
+    }
+    DecompressedLine decoded = DecompressLine(bytes, width, above);
+    if (!decoded.ok) {
+      return false;
+    }
+    part.pixels.insert(part.pixels.end(), decoded.pixels.begin(), decoded.pixels.end());
+    previous_line = std::move(decoded.pixels);
+  }
+  line_cache_.Store(segment.stream, previous_line);
+  assembly->parts.push_back(std::move(part));
+  return true;
+}
+
+Task<void> VideoDisplay::DisplayFrame(StreamId stream, Assembly& assembly) {
+  // Union of rows touched, for scan avoidance.
+  int top = options_.height;
+  int bottom = 0;
+  for (const Part& part : assembly.parts) {
+    top = std::min(top, part.rect.y);
+    bottom = std::max(bottom, part.rect.y + part.rect.height);
+  }
+
+  if (!options_.scan_aware_copy) {
+    // A naive blit lands wherever the scan happens to be: if the scan is
+    // sweeping the region's rows, part of the old frame is still being
+    // shown below it while we overwrite above — a visible tear.
+    int scan = ScanLineAt(sched_->now());
+    if (scan > top && scan < bottom) {
+      ++tears_;
+      reporter_.Report("display.tear", ReportSeverity::kWarning,
+                       "blit crossed the display scan", static_cast<int64_t>(stream));
+    }
+  }
+  // Scan-aware copy needs no waiting: "the ability to schedule processes
+  // with precisions of a few microseconds allows us to make full use of our
+  // knowledge of the display scan, copying frames both in front of and
+  // behind the scan" — every row is written either after the scan passed it
+  // or before the scan reaches it, so the copy never tears.
+
+  co_await sched_->WaitFor(options_.copy_duration);
+  for (const Part& part : assembly.parts) {
+    for (int row = 0; row < part.rect.height; ++row) {
+      int y = part.rect.y + row;
+      if (y < 0 || y >= options_.height) {
+        continue;
+      }
+      for (int col = 0; col < part.rect.width; ++col) {
+        int x = part.rect.x + col;
+        if (x < 0 || x >= options_.width) {
+          continue;
+        }
+        screen_[static_cast<size_t>(y) * options_.width + static_cast<size_t>(x)] =
+            part.pixels[static_cast<size_t>(row) * part.rect.width + static_cast<size_t>(col)];
+      }
+    }
+  }
+  ++frames_displayed_;
+  ++frames_by_stream_[stream];
+  frame_latency_.Add(static_cast<double>(sched_->now() - assembly.first_segment_time));
+}
+
+Task<void> VideoDisplay::HandleSegment(SegmentRef ref) {
+  const Segment& segment = *ref;
+  if (!segment.is_video()) {
+    co_return;
+  }
+  ++segments_received_;
+  const VideoHeader& vh = segment.video();
+
+  auto observation = trackers_[segment.stream].Observe(segment.header.sequence);
+  if (observation.outcome == SequenceTracker::Outcome::kGap) {
+    // Interpolation state is no longer trustworthy across the hole.
+    line_cache_.Drop(segment.stream);
+    reporter_.Report("display.gap", ReportSeverity::kWarning,
+                     "missing video segments on stream " + std::to_string(segment.stream),
+                     static_cast<int64_t>(observation.missing));
+  } else if (observation.outcome == SequenceTracker::Outcome::kDuplicate ||
+             observation.outcome == SequenceTracker::Outcome::kStale) {
+    co_return;
+  }
+
+  Assembly& assembly = assemblies_[segment.stream];
+  if (assembly.have_segment.empty() || assembly.frame_number != vh.frame_number) {
+    if (!assembly.have_segment.empty() &&
+        assembly.segments_received < assembly.segments_expected) {
+      // A new frame started before the old one completed: the old frame is
+      // never displayed (no partial frames, no tears).
+      ++frames_dropped_incomplete_;
+      reporter_.Report("display.incomplete", ReportSeverity::kWarning,
+                       "frame dropped with missing segments", assembly.frame_number);
+    }
+    assembly = Assembly();
+    assembly.frame_number = vh.frame_number;
+    assembly.segments_expected = vh.segments_in_frame;
+    assembly.first_segment_time = segment.source_time();
+    assembly.have_segment.assign(vh.segments_in_frame, false);
+  }
+  if (vh.segment_number >= assembly.have_segment.size() ||
+      assembly.have_segment[vh.segment_number]) {
+    co_return;
+  }
+  assembly.have_segment[vh.segment_number] = true;
+  ++assembly.segments_received;
+
+  if (!DecompressInto(segment, &assembly)) {
+    ++undecodable_segments_;
+    assembly.poisoned = true;
+    reporter_.Report("display.undecodable", ReportSeverity::kError,
+                     "segment thrown away: decode failed", static_cast<int64_t>(segment.stream));
+  }
+
+  if (assembly.segments_received == assembly.segments_expected) {
+    if (!assembly.poisoned) {
+      co_await DisplayFrame(segment.stream, assembly);
+    } else {
+      ++frames_dropped_incomplete_;
+    }
+    assemblies_.erase(segment.stream);
+  }
+}
+
+Process VideoDisplay::Run() {
+  for (;;) {
+    SegmentRef ref = co_await segments_in_->Receive();
+    co_await HandleSegment(std::move(ref));
+  }
+}
+
+}  // namespace pandora

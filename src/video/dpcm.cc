@@ -1,0 +1,111 @@
+#include "src/video/dpcm.h"
+
+#include <cassert>
+
+namespace pandora {
+
+size_t CompressedLineSize(LineCoding coding, int width) {
+  switch (coding) {
+    case LineCoding::kRawLine:
+    case LineCoding::kDpcmLine:
+    case LineCoding::kVerticalDelta:
+      return 1 + static_cast<size_t>(width);
+    case LineCoding::kSubsampledDpcmLine:
+      return 1 + static_cast<size_t>((width + 1) / 2);
+  }
+  return 0;
+}
+
+std::vector<uint8_t> CompressLine(LineCoding coding, const uint8_t* pixels, int width,
+                                  const uint8_t* above) {
+  std::vector<uint8_t> out;
+  out.reserve(CompressedLineSize(coding, width));
+  out.push_back(static_cast<uint8_t>(coding));
+  switch (coding) {
+    case LineCoding::kRawLine:
+      out.insert(out.end(), pixels, pixels + width);
+      break;
+    case LineCoding::kDpcmLine: {
+      uint8_t prediction = 0;
+      for (int i = 0; i < width; ++i) {
+        out.push_back(static_cast<uint8_t>(pixels[i] - prediction));
+        prediction = pixels[i];
+      }
+      break;
+    }
+    case LineCoding::kSubsampledDpcmLine: {
+      uint8_t prediction = 0;
+      for (int i = 0; i < width; i += 2) {
+        out.push_back(static_cast<uint8_t>(pixels[i] - prediction));
+        prediction = pixels[i];
+      }
+      break;
+    }
+    case LineCoding::kVerticalDelta: {
+      assert(above != nullptr);
+      for (int i = 0; i < width; ++i) {
+        out.push_back(static_cast<uint8_t>(pixels[i] - above[i]));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+DecompressedLine DecompressLine(const std::vector<uint8_t>& bytes, int width,
+                                const uint8_t* above) {
+  DecompressedLine result;
+  if (bytes.empty()) {
+    return result;
+  }
+  LineCoding coding = static_cast<LineCoding>(bytes[0]);
+  if (bytes.size() != CompressedLineSize(coding, width)) {
+    return result;
+  }
+  result.pixels.resize(static_cast<size_t>(width));
+  switch (coding) {
+    case LineCoding::kRawLine:
+      for (int i = 0; i < width; ++i) {
+        result.pixels[static_cast<size_t>(i)] = bytes[static_cast<size_t>(i) + 1];
+      }
+      break;
+    case LineCoding::kDpcmLine: {
+      uint8_t value = 0;
+      for (int i = 0; i < width; ++i) {
+        value = static_cast<uint8_t>(value + bytes[static_cast<size_t>(i) + 1]);
+        result.pixels[static_cast<size_t>(i)] = value;
+      }
+      break;
+    }
+    case LineCoding::kSubsampledDpcmLine: {
+      // Recover the even pixels, then interpolate odd ones horizontally.
+      uint8_t value = 0;
+      for (int i = 0, j = 1; i < width; i += 2, ++j) {
+        value = static_cast<uint8_t>(value + bytes[static_cast<size_t>(j)]);
+        result.pixels[static_cast<size_t>(i)] = value;
+      }
+      for (int i = 1; i < width; i += 2) {
+        int left = result.pixels[static_cast<size_t>(i - 1)];
+        int right = (i + 1 < width) ? result.pixels[static_cast<size_t>(i + 1)] : left;
+        result.pixels[static_cast<size_t>(i)] = static_cast<uint8_t>((left + right) / 2);
+      }
+      break;
+    }
+    case LineCoding::kVerticalDelta: {
+      if (above == nullptr) {
+        return result;  // interpolation state missing: undecodable
+      }
+      for (int i = 0; i < width; ++i) {
+        result.pixels[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(above[i] + bytes[static_cast<size_t>(i) + 1]);
+      }
+      break;
+    }
+    default:
+      return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pandora

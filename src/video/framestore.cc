@@ -1,0 +1,61 @@
+#include "src/video/framestore.h"
+
+#include <cassert>
+
+namespace pandora {
+
+FrameStore::FrameStore(Scheduler* sched, const FramePattern* pattern, int width, int height)
+    : sched_(sched), pattern_(pattern), width_(width), height_(height) {
+  assert(width > 0 && height > 0);
+}
+
+uint8_t FrameStore::PixelAtTime(Time t, int x, int y) const {
+  // Rows at or above the camera scan hold the frame being written; rows
+  // below still hold the previous frame.
+  uint32_t writing = FrameAt(t);
+  int scan = ScanLineAt(t);
+  uint32_t frame = (y < scan) ? writing : (writing == 0 ? 0 : writing - 1);
+  return pattern_->PixelAt(frame, x, y);
+}
+
+FrameStore::ReadResult FrameStore::ReadRectangleNow(const Rect& rect) const {
+  assert(rect.x >= 0 && rect.y >= 0);
+  assert(rect.x + rect.width <= width_ && rect.y + rect.height <= height_);
+  Time now = sched_->now();
+  ReadResult result;
+  result.pixels.reserve(static_cast<size_t>(rect.width) * static_cast<size_t>(rect.height));
+  for (int row = 0; row < rect.height; ++row) {
+    for (int col = 0; col < rect.width; ++col) {
+      result.pixels.push_back(PixelAtTime(now, rect.x + col, rect.y + row));
+    }
+  }
+  int scan = ScanLineAt(now);
+  result.torn = scan > rect.y && scan < rect.y + rect.height;
+  uint32_t writing = FrameAt(now);
+  result.frame = (rect.y < scan) ? writing : (writing == 0 ? 0 : writing - 1);
+  return result;
+}
+
+Task<FrameStore::ReadResult> FrameStore::ReadRectangleSafe(Rect rect) {
+  for (;;) {
+    Time now = sched_->now();
+    int scan = ScanLineAt(now);
+    if (scan <= rect.y || scan >= rect.y + rect.height) {
+      co_return ReadRectangleNow(rect);
+    }
+    // Wait for the scan to leave the rectangle's rows: it exits at the time
+    // the camera reaches the row past the bottom edge (ceiling division —
+    // flooring could wake us a microsecond early and spin).
+    ++safe_waits_;
+    Time frame_start = (now / kFramePeriod) * kFramePeriod;
+    Time exit_offset = (static_cast<Time>(rect.y + rect.height) * kFramePeriod + height_ - 1) /
+                       height_;
+    Time exit_time = frame_start + exit_offset;
+    if (exit_time <= now) {
+      exit_time = frame_start + kFramePeriod;
+    }
+    co_await sched_->WaitUntil(exit_time);
+  }
+}
+
+}  // namespace pandora

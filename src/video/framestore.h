@@ -1,0 +1,111 @@
+// FrameStore: the capture board's dual-ported frame memory (section 3.6).
+//
+// "Rectangular blocks are read from a video framestore at intervals
+// determined by the requested frame rates of the streams...  The reading of
+// the blocks is carefully timed so that the data from the camera being
+// written continuously on a second port does not update any part of a block
+// while it is being read."
+//
+// The camera paints the store top-to-bottom over each 40ms frame period; a
+// rectangle read while the camera scan is inside its rows would mix two
+// frames (a tear).  ReadRectangleSafe waits for the scan to clear the rows;
+// ReadRectangleNow reads immediately and reports whether it tore — used to
+// quantify what the careful timing buys (bench E14).
+#ifndef PANDORA_SRC_VIDEO_FRAMESTORE_H_
+#define PANDORA_SRC_VIDEO_FRAMESTORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+#include "src/runtime/time.h"
+#include "src/segment/constants.h"
+
+namespace pandora {
+
+// Deterministic synthetic camera content: pixel value as a pure function of
+// (frame, x, y), so any stage of the pipeline can be verified bit-exactly.
+class FramePattern {
+ public:
+  virtual ~FramePattern() = default;
+  virtual uint8_t PixelAt(uint32_t frame, int x, int y) const = 0;
+};
+
+// A bright vertical bar sweeping across a dim gradient: motion parallel to
+// segment boundaries, the paper's worst case for visible tears.
+class MovingBarPattern : public FramePattern {
+ public:
+  MovingBarPattern(int width, int bar_width = 8, int step_per_frame = 4)
+      : width_(width), bar_width_(bar_width), step_(step_per_frame) {}
+
+  uint8_t PixelAt(uint32_t frame, int x, int y) const override {
+    int bar_x = static_cast<int>(frame) * step_ % width_;
+    int dx = x - bar_x;
+    if (dx < 0) {
+      dx += width_;
+    }
+    if (dx < bar_width_) {
+      return 240;
+    }
+    return static_cast<uint8_t>(16 + (x + y) % 64);
+  }
+
+ private:
+  int width_;
+  int bar_width_;
+  int step_;
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+};
+
+class FrameStore {
+ public:
+  FrameStore(Scheduler* sched, const FramePattern* pattern, int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  // Frame number the camera is writing at time `t`.
+  uint32_t FrameAt(Time t) const { return static_cast<uint32_t>(t / kFramePeriod); }
+  // Line the camera scan is writing at time `t`.
+  int ScanLineAt(Time t) const {
+    Time in_frame = t % kFramePeriod;
+    return static_cast<int>(in_frame * height_ / kFramePeriod);
+  }
+
+  struct ReadResult {
+    std::vector<uint8_t> pixels;  // row-major rect.width x rect.height
+    uint32_t frame = 0;           // frame number the top row came from
+    bool torn = false;            // rows span two camera frames
+  };
+
+  // Immediate read: rows already passed by this frame's scan show the new
+  // frame, the rest still hold the previous frame.  Torn iff the scan is
+  // inside the rectangle's rows.
+  ReadResult ReadRectangleNow(const Rect& rect) const;
+
+  // The paper's carefully-timed read: waits until the camera scan is
+  // outside [rect.y, rect.y+height) before reading.  Never tears.
+  Task<FrameStore::ReadResult> ReadRectangleSafe(Rect rect);
+
+  uint64_t safe_waits() const { return safe_waits_; }
+
+ private:
+  uint8_t PixelAtTime(Time t, int x, int y) const;
+
+  Scheduler* sched_;
+  const FramePattern* pattern_;
+  int width_;
+  int height_;
+  uint64_t safe_waits_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_VIDEO_FRAMESTORE_H_

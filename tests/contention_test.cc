@@ -1,0 +1,132 @@
+// Resource-contention behaviours: the repository's reversed principle 1
+// (recording beats playback for the disk) and decoupling-buffer capacity
+// properties under sustained pressure.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/buffer/decoupling.h"
+#include "src/buffer/pool.h"
+#include "src/repository/repository.h"
+#include "src/runtime/scheduler.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+namespace {
+
+TEST(RepositoryContentionTest, RecordingWinsTheDiskOverPlayback) {
+  // "the incoming data streams should be recorded as accurately as
+  // possible, even if that means degrading streams that are currently
+  // being played out."  With a disk that can only just carry one stream,
+  // the recording must stay complete while playback slips.
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 256);
+  // A 68-byte segment every 4ms = 136 kbit/s per stream; disk fits ~1.5.
+  Repository repo(&sched, {.name = "repo", .disk_bits_per_second = 200'000});
+  ShutdownGuard guard(&sched);
+  repo.Start();
+
+  // Pre-store a recording to play back.
+  repo.Arm(1);
+  auto prefeed = [](Scheduler* s, Repository* repo, BufferPool* p) -> Process {
+    for (uint32_t i = 0; i < 250; ++i) {
+      auto maybe = p->TryAllocate();
+      **maybe = MakeAudioSegment(1, i, s->now(), std::vector<uint8_t>(32, 1));
+      SegmentRef ref = std::move(*maybe);
+      co_await repo->input().Send(std::move(ref));
+      (void)co_await repo->ready().Receive();
+      co_await s->WaitFor(Millis(4));
+    }
+  };
+  sched.Spawn(prefeed(&sched, &repo, &pool), "prefeed");
+  sched.RunFor(Seconds(2));
+  repo.Finish(1);
+  ASSERT_EQ(repo.Find(1)->segments_received, 250u);
+
+  // Now record stream 2 while playing stream 1 back, on the same disk.
+  repo.Arm(2);
+  Channel<SegmentRef> playout(&sched, "playout");
+  std::vector<Time> playback_arrivals;
+  auto sink = [](Scheduler* s, Channel<SegmentRef>* out, std::vector<Time>* when) -> Process {
+    for (;;) {
+      (void)co_await out->Receive();
+      when->push_back(s->now());
+    }
+  };
+  auto live_feed = [](Scheduler* s, Repository* repo, BufferPool* p) -> Process {
+    for (uint32_t i = 0; i < 250; ++i) {
+      auto maybe = p->TryAllocate();
+      **maybe = MakeAudioSegment(2, i, s->now(), std::vector<uint8_t>(32, 2));
+      SegmentRef ref = std::move(*maybe);
+      co_await repo->input().Send(std::move(ref));
+      (void)co_await repo->ready().Receive();
+      co_await s->WaitFor(Millis(4));
+    }
+  };
+  Time playback_start = sched.now();
+  sched.Spawn(sink(&sched, &playout, &playback_arrivals), "sink");
+  repo.Play(1, 10, &playout, &pool);
+  sched.Spawn(live_feed(&sched, &repo, &pool), "live");
+  sched.RunFor(Seconds(4));
+
+  // The recording is COMPLETE despite the contended disk.
+  ASSERT_NE(repo.Find(2), nullptr);
+  EXPECT_EQ(repo.Find(2)->segments_received, 250u);
+  // Playback slipped: the recording originally spanned ~1s of timestamps
+  // (250 x 4ms), but its replay took appreciably longer than that.
+  ASSERT_FALSE(playback_arrivals.empty());
+  Duration playback_span = playback_arrivals.back() - playback_start;
+  EXPECT_GT(playback_span, Millis(1300));
+}
+
+class DecouplingCapacityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DecouplingCapacityTest, PipelineDepthIsCapacityPlusOne) {
+  // With no consumer, a plain buffer accepts exactly capacity + 1 segments
+  // (the +1 parked in its output sender) and then exerts back pressure.
+  const size_t capacity = GetParam();
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 64);
+  DecouplingBuffer buffer(&sched, {.name = "d", .capacity = capacity});
+  ShutdownGuard guard(&sched);
+  buffer.Start();
+
+  int sent = 0;
+  auto producer = [](BufferPool* p, DecouplingBuffer* b, int* sent) -> Process {
+    for (uint32_t i = 0; i < 40; ++i) {
+      auto maybe = p->TryAllocate();
+      if (!maybe.has_value()) {
+        co_return;
+      }
+      **maybe = MakeAudioSegment(1, i, 0, std::vector<uint8_t>(16, 0));
+      SegmentRef ref = std::move(*maybe);
+      co_await b->input().Send(std::move(ref));
+      ++*sent;
+    }
+  };
+  sched.Spawn(producer(&pool, &buffer, &sent), "producer");
+  sched.RunFor(Millis(5));
+  EXPECT_EQ(static_cast<size_t>(sent), capacity + 1);
+  EXPECT_TRUE(buffer.full());
+
+  // Draining recovers everything in order.
+  std::vector<uint32_t> got;
+  auto consumer = [](DecouplingBuffer* b, std::vector<uint32_t>* got, size_t n) -> Process {
+    for (size_t i = 0; i < n; ++i) {
+      SegmentRef ref = co_await b->output().Receive();
+      got->push_back(ref->header.sequence);
+    }
+  };
+  sched.Spawn(consumer(&buffer, &got, capacity + 1), "consumer");
+  sched.RunFor(Millis(5));
+  ASSERT_EQ(got.size(), capacity + 1);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, DecouplingCapacityTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace pandora

@@ -1,0 +1,108 @@
+// Tests for the command/report control plane (paper sections 1.1, 3.8).
+#include <gtest/gtest.h>
+
+#include "src/control/command.h"
+#include "src/control/report.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+namespace {
+
+TEST(ReporterTest, FirstReportEmitsImmediately) {
+  Scheduler sched;
+  ReportCollector collector;
+  Reporter reporter(&sched, &collector, "boxA.switch");
+  reporter.Report("drops", ReportSeverity::kWarning, "dropped segments", 5);
+  ASSERT_EQ(collector.size(), 1u);
+  EXPECT_EQ(collector.log()[0].source, "boxA.switch");
+  EXPECT_EQ(collector.log()[0].kind, "drops");
+  EXPECT_EQ(collector.log()[0].value, 5);
+  EXPECT_EQ(collector.log()[0].suppressed, 0u);
+}
+
+TEST(ReporterTest, MinimumPeriodSuppressesRepeats) {
+  // "subject to a minimum period between reports for any particular sort of
+  // error" (section 3.8).
+  Scheduler sched;
+  ReportCollector collector;
+  Reporter reporter(&sched, &collector, "p", Seconds(1));
+
+  reporter.Report("overload", ReportSeverity::kError, "x");
+  for (int i = 0; i < 10; ++i) {
+    reporter.Report("overload", ReportSeverity::kError, "x");
+  }
+  EXPECT_EQ(collector.size(), 1u);
+  EXPECT_EQ(reporter.suppressed_total(), 10u);
+
+  sched.RunFor(Seconds(2));
+  reporter.Report("overload", ReportSeverity::kError, "x");
+  ASSERT_EQ(collector.size(), 2u);
+  // Folded-in count of what was swallowed.
+  EXPECT_EQ(collector.log()[1].suppressed, 10u);
+  EXPECT_EQ(collector.CountOf("overload"), 12u);
+}
+
+TEST(ReporterTest, DifferentKindsRateLimitedIndependently) {
+  Scheduler sched;
+  ReportCollector collector;
+  Reporter reporter(&sched, &collector, "p", Seconds(1));
+  reporter.Report("a", ReportSeverity::kInfo, "1");
+  reporter.Report("b", ReportSeverity::kInfo, "2");
+  reporter.Report("a", ReportSeverity::kInfo, "3");
+  EXPECT_EQ(collector.size(), 2u);
+}
+
+TEST(ReporterTest, ReportNowBypassesRateLimit) {
+  Scheduler sched;
+  ReportCollector collector;
+  Reporter reporter(&sched, &collector, "p", Seconds(10));
+  reporter.ReportNow("status", ReportSeverity::kInfo, "length=3");
+  reporter.ReportNow("status", ReportSeverity::kInfo, "length=4");
+  EXPECT_EQ(collector.size(), 2u);
+}
+
+TEST(ReporterTest, NullSinkIsSafe) {
+  Scheduler sched;
+  Reporter reporter(&sched, nullptr, "p");
+  reporter.Report("x", ReportSeverity::kInfo, "no sink");
+  reporter.ReportNow("x", ReportSeverity::kInfo, "no sink");
+  EXPECT_EQ(reporter.emitted(), 0u);
+}
+
+TEST(ReportCollectorTest, FormatRendersLogLines) {
+  Scheduler sched;
+  ReportCollector collector;
+  Reporter reporter(&sched, &collector, "boxA.audio");
+  sched.RunFor(Millis(5));
+  reporter.Report("clawback.limit", ReportSeverity::kError, "over limit", 3);
+  std::string text = collector.Format();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("boxA.audio"), std::string::npos);
+  EXPECT_NE(text.find("clawback.limit"), std::string::npos);
+  EXPECT_NE(text.find("value=3"), std::string::npos);
+}
+
+TEST(CommandTest, CommandChannelCarriesCommands) {
+  Scheduler sched;
+  CommandChannel commands(&sched, "cmd");
+  Command got;
+  auto receiver = [](CommandChannel* c, Command* out) -> Process {
+    *out = co_await c->Receive();
+  };
+  auto sender = [](CommandChannel* c) -> Process {
+    Command cmd;
+    cmd.verb = CommandVerb::kResizeBuffer;
+    cmd.stream = 12;
+    cmd.arg0 = 64;
+    co_await c->Send(cmd);
+  };
+  sched.Spawn(receiver(&commands, &got), "rx");
+  sched.Spawn(sender(&commands), "tx");
+  sched.RunUntilQuiescent();
+  EXPECT_EQ(got.verb, CommandVerb::kResizeBuffer);
+  EXPECT_EQ(got.stream, 12u);
+  EXPECT_EQ(got.arg0, 64);
+}
+
+}  // namespace
+}  // namespace pandora

@@ -1,0 +1,253 @@
+// Integration tests: whole Pandora boxes talking over the ATM fabric via
+// the Simulation facade (paper sections 1.1, 4.1).
+#include <gtest/gtest.h>
+
+#include "src/core/box.h"
+#include "src/core/simulation.h"
+
+namespace pandora {
+namespace {
+
+PandoraBox::Options BoxOptions(const std::string& name, bool with_video = false) {
+  PandoraBox::Options options;
+  options.name = name;
+  options.with_video = with_video;
+  return options;
+}
+
+TEST(SimulationTest, OneWayAudioCallDeliversContinuousAudio) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  StreamId stream = sim.SendAudio(a, b);
+  sim.RunFor(Seconds(5));
+
+  // ~2500 blocks captured at a; b plays nearly all of them.
+  EXPECT_GT(b.codec_out().played_blocks(), 2400u);
+  EXPECT_EQ(b.audio_receiver().total_missing(), 0u);
+  const SequenceTracker* tracker = b.audio_receiver().TrackerFor(stream);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_GT(tracker->received(), 1200u);  // 4ms segments
+
+  // Latency at the mixer: capture + segmentisation + links + clawback.
+  const StatAccumulator* latency = b.mixer().LatencyFor(stream);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_LT(latency->Mean(), 20000.0);
+  EXPECT_GT(latency->Mean(), 3000.0);
+}
+
+TEST(SimulationTest, BidirectionalCallBothWaysFlow) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  sim.SendAudio(a, b);
+  sim.SendAudio(b, a);
+  sim.RunFor(Seconds(3));
+  EXPECT_GT(a.codec_out().played_blocks(), 1400u);
+  EXPECT_GT(b.codec_out().played_blocks(), 1400u);
+  EXPECT_EQ(a.audio_receiver().total_missing(), 0u);
+  EXPECT_EQ(b.audio_receiver().total_missing(), 0u);
+}
+
+TEST(SimulationTest, VideoCallDisplaysRemoteCamera) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a", /*with_video=*/true));
+  PandoraBox& b = sim.AddBox(BoxOptions("b", /*with_video=*/true));
+  sim.Start();
+  sim.SendVideo(a, b, Rect{0, 0, 64, 48}, /*rate_numer=*/1, /*rate_denom=*/1,
+                /*segments_per_frame=*/4);
+  sim.RunFor(Seconds(2));
+  ASSERT_NE(b.display(), nullptr);
+  EXPECT_GT(b.display()->frames_displayed(), 40u);
+  EXPECT_EQ(b.display()->tears(), 0u);
+  EXPECT_EQ(b.display()->undecodable_segments(), 0u);
+}
+
+TEST(SimulationTest, AudioLeadsOrMatchesVideo) {
+  // Section 2.3: "It is also irritating if the video lags appreciably
+  // behind the audio.  In the real world, we are used to seeing events
+  // slightly before we hear them" — here we just require both to arrive
+  // within tens of milliseconds on a quiet network.
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a", true));
+  PandoraBox& b = sim.AddBox(BoxOptions("b", true));
+  sim.Start();
+  sim.SendAudio(a, b);
+  sim.SendVideo(a, b, Rect{0, 0, 64, 48}, 1, 1, 4);
+  sim.RunFor(Seconds(2));
+  double audio_latency = b.mixer().all_latency().Mean();
+  double video_latency = b.display()->frame_latency().Mean();
+  EXPECT_LT(audio_latency, 20000.0);
+  EXPECT_LT(video_latency, 60000.0);
+}
+
+TEST(SimulationTest, TannoyReachesEveryDestination) {
+  // One microphone split to three boxes (section 4.1's tannoy command).
+  Simulation sim;
+  PandoraBox& src = sim.AddBox(BoxOptions("src"));
+  PandoraBox& d1 = sim.AddBox(BoxOptions("d1"));
+  PandoraBox& d2 = sim.AddBox(BoxOptions("d2"));
+  PandoraBox& d3 = sim.AddBox(BoxOptions("d3"));
+  sim.Start();
+  sim.SendAudio(src, d1);
+  sim.SplitAudioTo(src, src.mic_stream(), d2);
+  sim.SplitAudioTo(src, src.mic_stream(), d3);
+  sim.RunFor(Seconds(2));
+  for (PandoraBox* box : {&d1, &d2, &d3}) {
+    EXPECT_GT(box->codec_out().played_blocks(), 900u) << box->name();
+    EXPECT_EQ(box->audio_receiver().total_missing(), 0u) << box->name();
+  }
+}
+
+TEST(SimulationTest, MidCallSplitDoesNotDisturbFirstDestination) {
+  // Principle 6 at system scale: add a destination 1s into the call; the
+  // original destination's sequence stays gapless.
+  Simulation sim;
+  PandoraBox& src = sim.AddBox(BoxOptions("src"));
+  PandoraBox& d1 = sim.AddBox(BoxOptions("d1"));
+  PandoraBox& d2 = sim.AddBox(BoxOptions("d2"));
+  sim.Start();
+  StreamId at_d1 = sim.SendAudio(src, d1);
+  sim.RunFor(Seconds(1));
+  sim.SplitAudioTo(src, src.mic_stream(), d2);
+  sim.RunFor(Seconds(1));
+  const SequenceTracker* tracker = d1.audio_receiver().TrackerFor(at_d1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->missing_total(), 0u);
+  EXPECT_GT(d2.codec_out().played_blocks(), 400u);
+}
+
+TEST(SimulationTest, HangUpLeavesOtherCopiesUndisturbed) {
+  // "closing down one of several destinations, should not affect the other
+  // copies of that stream" — the second half of principle 6.
+  Simulation sim;
+  PandoraBox& src = sim.AddBox(BoxOptions("src"));
+  PandoraBox& d1 = sim.AddBox(BoxOptions("d1"));
+  PandoraBox& d2 = sim.AddBox(BoxOptions("d2"));
+  sim.Start();
+  StreamId at_d1 = sim.SendAudio(src, d1);
+  StreamId at_d2 = sim.SplitAudioTo(src, src.mic_stream(), d2);
+  sim.RunFor(Seconds(1));
+  const SequenceTracker* t2 = d2.audio_receiver().TrackerFor(at_d2);
+  ASSERT_NE(t2, nullptr);
+  uint64_t d2_at_hangup = t2->received();
+  EXPECT_GT(d2_at_hangup, 200u);
+
+  sim.HangUpAudio(src, d2, at_d2);
+  sim.RunFor(Seconds(1));
+
+  // d1 never saw a gap; d2 stopped receiving at the hang-up.
+  const SequenceTracker* t1 = d1.audio_receiver().TrackerFor(at_d1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->missing_total(), 0u);
+  EXPECT_GT(t1->received(), 450u);
+  EXPECT_LE(t2->received(), d2_at_hangup + 5);  // a few in-flight stragglers
+}
+
+TEST(SimulationTest, MutingEngagesOnLoudFarEnd) {
+  Simulation sim;
+  PandoraBox::Options a_options = BoxOptions("a");
+  a_options.muting_enabled = true;
+  a_options.mic = MicKind::kSilence;  // a listens
+  PandoraBox& a = sim.AddBox(a_options);
+  PandoraBox::Options b_options = BoxOptions("b");
+  b_options.mic_amplitude = 12000.0;  // b talks loudly
+  PandoraBox& b = sim.AddBox(b_options);
+  sim.Start();
+  sim.SendAudio(b, a);  // loud speech arrives at a's loudspeaker
+  sim.SendAudio(a, b);  // a's mic stream is the one being muted
+  sim.RunFor(Seconds(2));
+  EXPECT_GE(a.muting().activations(), 1u);
+  EXPECT_LT(a.muting().FactorAt(sim.now()), 1.0);
+}
+
+TEST(SimulationTest, RecordAndPlayBackViaRepository) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox::Options b_options = BoxOptions("b");
+  b_options.with_repository = true;
+  PandoraBox& b = sim.AddBox(b_options);
+  sim.Start();
+
+  StreamId stream = sim.SendAudio(a, b);
+  sim.RecordStream(b, stream);
+  sim.RunFor(Seconds(2));
+  sim.FinishRecording(b, stream);
+
+  const Repository::Recording* recording = b.repository()->Find(stream);
+  ASSERT_NE(recording, nullptr);
+  EXPECT_GT(recording->segments_received, 400u);
+  EXPECT_TRUE(recording->repacked);
+  EXPECT_LT(recording->stored_bytes, recording->raw_bytes);
+
+  uint64_t played_before = b.codec_out().played_blocks();
+  sim.PlayRecording(b, stream);
+  sim.RunFor(Seconds(3));
+  // Playback reached the loudspeaker alongside the (still running) live
+  // stream; at least the recording's worth of extra blocks was mixed.
+  EXPECT_GT(b.clawback_bank().TotalStats().pushes, played_before + 500);
+}
+
+TEST(SimulationTest, VideoRecordAndReplay) {
+  // Video recording: the repository stores any segment type; only audio is
+  // repacked.  Played back, the frames reach the display intact.
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a", /*with_video=*/true));
+  PandoraBox::Options b_options = BoxOptions("b", /*with_video=*/true);
+  b_options.with_repository = true;
+  PandoraBox& b = sim.AddBox(b_options);
+  sim.Start();
+
+  StreamId video = sim.SendVideo(a, b, Rect{0, 0, 64, 48}, 1, 1, 4);
+  sim.RecordStream(b, video, /*audio=*/false);
+  sim.RunFor(Seconds(2));
+  sim.FinishRecording(b, video);
+
+  const Repository::Recording* recording = b.repository()->Find(video);
+  ASSERT_NE(recording, nullptr);
+  EXPECT_GT(recording->segments_received, 150u);  // ~48 frames x 4 segments
+  EXPECT_FALSE(recording->repacked);              // repacking is audio-only
+
+  uint64_t frames_before = b.display()->frames_displayed();
+  sim.PlayVideoRecording(b, video);
+  sim.RunFor(Seconds(3));
+  // The ~48 recorded frames replayed on top of the still-live stream.
+  EXPECT_GT(b.display()->frames_displayed(), frames_before + 40);
+}
+
+TEST(SimulationTest, ReportsReachTheHostLog) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  sim.SendAudio(a, b);
+  sim.RunFor(Seconds(1));
+  // A healthy run may or may not report; force one via a status command.
+  auto commander = [](Scheduler* s, Switch* sw) -> Process {
+    co_await sw->commands().Send(Command{CommandVerb::kReportStatus, 0, 0, 0});
+    (void)s;
+  };
+  sim.scheduler().Spawn(commander(&sim.scheduler(), &b.server_switch()), "host");
+  sim.RunFor(Millis(10));
+  EXPECT_GE(sim.reports().CountOf("switch.status"), 1u);
+}
+
+TEST(SimulationTest, SourceClockDriftAbsorbedAcrossBoxes) {
+  Simulation sim;
+  PandoraBox::Options a_options = BoxOptions("a");
+  a_options.audio_clock_drift = 2e-4;  // fast source quartz (exaggerated)
+  PandoraBox& a = sim.AddBox(a_options);
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  sim.SendAudio(a, b);
+  sim.RunFor(Seconds(30));
+  auto stats = b.clawback_bank().TotalStats();
+  EXPECT_GT(stats.clawback_drops, 0u);
+  EXPECT_LT(stats.max_depth, 12u);
+  EXPECT_EQ(stats.limit_drops, 0u);
+}
+
+}  // namespace
+}  // namespace pandora

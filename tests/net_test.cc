@@ -1,0 +1,197 @@
+// Tests for the ATM network simulation: circuits, VCI relabelling, FIFO
+// delivery under jitter, loss, multi-hop paths and the non-interleaving
+// interface (paper sections 1.1, 4.2).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/buffer/pool.h"
+#include "src/net/atm.h"
+#include "src/runtime/scheduler.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+namespace {
+
+SegmentRef MakeAudioRef(BufferPool* pool, StreamId stream, uint32_t seq, size_t bytes = 32) {
+  auto ref = pool->TryAllocate();
+  EXPECT_TRUE(ref.has_value());
+  **ref = MakeAudioSegment(stream, seq, 0, std::vector<uint8_t>(bytes, 7));
+  return std::move(*ref);
+}
+
+struct NetRig {
+  explicit NetRig(uint64_t seed = 1) : pool(&sched, "pool", 256), net(&sched, seed) {
+    a = net.AddPort("a");
+    b = net.AddPort("b");
+  }
+
+  Scheduler sched;
+  BufferPool pool;
+  AtmNetwork net;
+  AtmPort* a;
+  AtmPort* b;
+  ShutdownGuard guard{&sched};
+};
+
+Process SendSegments(Scheduler* sched, BufferPool* pool, AtmPort* port, Vci vci, int count,
+                     Duration spacing, size_t bytes = 32) {
+  for (int i = 0; i < count; ++i) {
+    // Built in a named local: GCC 12 mishandles move-only aggregate
+    // temporaries inside co_await argument expressions (see channel.h).
+    NetTx tx;
+    tx.vci = vci;
+    tx.segment = MakeAudioRef(pool, 99, static_cast<uint32_t>(i), bytes);
+    co_await port->tx().Send(std::move(tx));
+    co_await sched->WaitFor(spacing);
+  }
+}
+
+Process CollectSegments(AtmPort* port, std::vector<Segment>* out) {
+  for (;;) {
+    out->push_back(co_await port->rx().Receive());
+  }
+}
+
+TEST(AtmTest, DeliversWithVciRelabelling) {
+  NetRig rig;
+  rig.net.OpenCircuit(rig.a, /*vci=*/42, rig.b);
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 42, 5, Millis(4)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+  rig.sched.RunFor(Millis(100));
+  ASSERT_EQ(got.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].stream, 42u);  // the VCI is the destination stream id
+    EXPECT_EQ(got[i].header.sequence, i);
+  }
+  EXPECT_EQ(rig.pool.free_count(), 256u);  // source buffers all recycled
+}
+
+TEST(AtmTest, UnroutedVciIsDiscarded) {
+  NetRig rig;
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 7, 3, Millis(1)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+  rig.sched.RunFor(Millis(50));
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(rig.a->unrouted(), 3u);
+}
+
+TEST(AtmTest, JitterNeverReordersACircuit) {
+  NetRig rig(1234);
+  HopQuality direct;
+  direct.jitter_max = Millis(20);  // huge vs the 2ms spacing
+  rig.net.OpenCircuit(rig.a, 42, rig.b, {}, direct);
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 42, 100, Millis(2)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+  rig.sched.RunFor(Seconds(2));
+  ASSERT_EQ(got.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(got[i].header.sequence, i);
+  }
+  const CircuitStats* stats = rig.net.StatsFor(rig.a, 42);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->latency.max() - stats->latency.min(), 5000.0);  // jitter happened
+}
+
+TEST(AtmTest, LossRateApproximatelyHonoured) {
+  NetRig rig(7);
+  HopQuality direct;
+  direct.loss_rate = 0.2;
+  rig.net.OpenCircuit(rig.a, 42, rig.b, {}, direct);
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 42, 1000, Millis(1)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+  rig.sched.RunFor(Seconds(2));
+  const CircuitStats* stats = rig.net.StatsFor(rig.a, 42);
+  EXPECT_NEAR(static_cast<double>(stats->lost) / 1000.0, 0.2, 0.05);
+  EXPECT_EQ(stats->delivered + stats->lost, 1000u);
+}
+
+TEST(AtmTest, MultiHopPathAccumulatesLatency) {
+  NetRig rig;
+  HopQuality hop_quality;
+  hop_quality.propagation = Millis(1);
+  NetHop* h1 = rig.net.AddHop("bridge1", hop_quality);
+  NetHop* h2 = rig.net.AddHop("bridge2", hop_quality);
+  NetHop* h3 = rig.net.AddHop("bridge3", hop_quality);
+  rig.net.OpenCircuit(rig.a, 42, rig.b, {h1, h2, h3});
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 42, 10, Millis(4)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+  rig.sched.RunFor(Millis(200));
+  ASSERT_EQ(got.size(), 10u);
+  const CircuitStats* stats = rig.net.StatsFor(rig.a, 42);
+  EXPECT_GT(stats->latency.Mean(), 3000.0);  // 3 x 1ms propagation + transmission
+}
+
+TEST(AtmTest, SharedHopContentionDelaysOtherCircuit) {
+  // Two circuits share one slow bridge: heavy traffic on circuit 1 delays
+  // circuit 2 (store-and-forward queueing).
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 512);
+  AtmNetwork net(&sched);
+  AtmPort* a = net.AddPort("a", 100'000'000);
+  AtmPort* b = net.AddPort("b", 100'000'000);
+  AtmPort* c = net.AddPort("c", 100'000'000);
+  HopQuality slow;
+  slow.bits_per_second = 2'000'000;  // 2 Mbit/s bottleneck
+  NetHop* bridge = net.AddHop("bridge", slow);
+  net.OpenCircuit(a, 42, b, {bridge});
+  net.OpenCircuit(c, 43, b, {bridge});
+  ShutdownGuard guard(&sched);
+
+  std::vector<Segment> got;
+  // 8KB bursts every 10ms from a (32ms serialization each at 2Mbit/s).
+  sched.Spawn(SendSegments(&sched, &pool, a, 42, 20, Millis(10), 8000), "bulk");
+  sched.Spawn(SendSegments(&sched, &pool, c, 43, 20, Millis(10), 32), "small");
+  sched.Spawn(CollectSegments(b, &got), "rx");
+  sched.RunFor(Seconds(2));
+  const CircuitStats* small = net.StatsFor(c, 43);
+  ASSERT_NE(small, nullptr);
+  // The small circuit's latency is dominated by waiting behind bulk
+  // transfers on the shared hop.
+  EXPECT_GT(small->latency.max(), 20000.0);
+}
+
+TEST(AtmTest, NonInterleavedInterfaceDelaysAudioBehindVideo) {
+  // E7 at port level: a 50KB video segment occupies the 20Mbit/s interface
+  // for 20ms; audio queued behind it inherits that as jitter.
+  NetRig rig;
+  rig.net.OpenCircuit(rig.a, 42, rig.b);
+  rig.net.OpenCircuit(rig.a, 43, rig.b);
+  std::vector<Segment> got;
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+
+  auto mixed_tx = [](Scheduler* s, BufferPool* pool, AtmPort* a) -> Process {
+    // Send the video first, then immediately the audio.
+    auto video = pool->TryAllocate();
+    **video = MakeAudioSegment(1, 0, 0, std::vector<uint8_t>(50'000, 1));
+    NetTx video_tx;
+    video_tx.vci = 43;
+    video_tx.segment = std::move(*video);
+    co_await a->tx().Send(std::move(video_tx));
+    auto audio = pool->TryAllocate();
+    **audio = MakeAudioSegment(2, 0, 0, std::vector<uint8_t>(32, 2));
+    NetTx audio_tx;
+    audio_tx.vci = 42;
+    audio_tx.segment = std::move(*audio);
+    co_await a->tx().Send(std::move(audio_tx));
+    (void)s;
+  };
+  rig.sched.Spawn(mixed_tx(&rig.sched, &rig.pool, rig.a), "tx");
+  rig.sched.RunFor(Millis(100));
+  const CircuitStats* audio_stats = rig.net.StatsFor(rig.a, 42);
+  ASSERT_EQ(audio_stats->delivered, 1u);
+  // Note: circuit latency starts after interface serialization; measure via
+  // delivery time instead.
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].stream, 42u);
+  // The audio could not start serializing until the ~20ms video finished.
+  EXPECT_GT(rig.a->egress().busy_time(), Millis(20));
+}
+
+}  // namespace
+}  // namespace pandora

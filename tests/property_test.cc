@@ -1,0 +1,378 @@
+// Cross-module property sweeps: u-law codec algebra, muting tables and the
+// muting state machine timing, sequence-number wrap behaviour, repack/unpack
+// roundtrips for every live segment size, and single-rate clawback cadence.
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/audio/muting.h"
+#include "src/audio/ulaw.h"
+#include "src/buffer/clawback.h"
+#include "src/segment/audio_block.h"
+#include "src/segment/constants.h"
+#include "src/segment/repack.h"
+#include "src/segment/segment.h"
+#include "src/segment/sequence.h"
+
+namespace pandora {
+namespace {
+
+// --- u-law codec algebra -----------------------------------------------------
+
+TEST(ULawProperty, SilenceDecodesToZero) {
+  EXPECT_EQ(ULawDecode(kULawSilence), 0);
+  EXPECT_EQ(ULawDecode(ULawEncode(0)), 0);
+}
+
+TEST(ULawProperty, DecodeEncodeDecodeIsStable) {
+  // Every codeword decodes to a value that re-encodes to a codeword with the
+  // same decoded value (sign-of-zero codewords may alias).
+  for (int b = 0; b < 256; ++b) {
+    int16_t decoded = ULawDecode(static_cast<uint8_t>(b));
+    EXPECT_EQ(ULawDecode(ULawEncode(decoded)), decoded) << "codeword " << b;
+  }
+}
+
+TEST(ULawProperty, RoundTripErrorBoundedAndSignPreserved) {
+  // Max u-law quantization step is 256 at the loudest segment; clipping can
+  // add at most one further step at the very top of the range.
+  int32_t max_error = 0;
+  for (int32_t x = -32768; x <= 32767; x += 7) {
+    int16_t linear = static_cast<int16_t>(x);
+    int16_t back = ULawDecode(ULawEncode(linear));
+    int32_t error = back > x ? back - x : x - back;
+    if (error > max_error) {
+      max_error = error;
+    }
+    if (x > 512) {
+      EXPECT_GT(back, 0) << "x=" << x;
+    }
+    if (x < -512) {
+      EXPECT_LT(back, 0) << "x=" << x;
+    }
+  }
+  EXPECT_LE(max_error, 1024);
+}
+
+TEST(ULawProperty, RoundTripIsMonotone) {
+  int16_t previous = ULawDecode(ULawEncode(static_cast<int16_t>(-32768)));
+  for (int32_t x = -32768 + 16; x <= 32767; x += 16) {
+    int16_t current = ULawDecode(ULawEncode(static_cast<int16_t>(x)));
+    EXPECT_GE(current, previous) << "x=" << x;
+    previous = current;
+  }
+}
+
+// --- muting tables -----------------------------------------------------------
+
+class MutingTableProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MutingTableProperty, ScalesMagnitudeByFactorWithinOneStep) {
+  const double factor = GetParam();
+  MutingTable table(factor);
+  for (int b = 0; b < 256; ++b) {
+    int32_t original = ULawDecode(static_cast<uint8_t>(b));
+    int32_t scaled = ULawDecode(table.Apply(static_cast<uint8_t>(b)));
+    double target = factor * static_cast<double>(original);
+    EXPECT_LE(std::abs(static_cast<double>(scaled) - target), 520.0)
+        << "codeword " << b << " factor " << factor;
+    // Attenuation never amplifies beyond the original magnitude.
+    EXPECT_LE(std::abs(scaled), std::abs(original) + 4) << "codeword " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, MutingTableProperty, ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+TEST(MutingTableProperty, UnityFactorIsIdentityOnDecodedValues) {
+  MutingTable table(1.0);
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_EQ(ULawDecode(table.Apply(static_cast<uint8_t>(b))),
+              ULawDecode(static_cast<uint8_t>(b)));
+  }
+}
+
+// --- muting state machine timing ----------------------------------------------
+
+AudioBlock LoudBlock() {
+  AudioBlock block;
+  block.samples.fill(ULawEncode(8000));
+  return block;
+}
+
+class MutingTimingProperty
+    : public ::testing::TestWithParam<std::tuple<Duration, Duration>> {};
+
+TEST_P(MutingTimingProperty, FollowsTwoStageProfileExactly) {
+  auto [deep_hold, release_hold] = GetParam();
+  MutingConfig config;
+  config.deep_hold = deep_hold;
+  config.release_hold = release_hold;
+  MutingControl muting(config);
+
+  EXPECT_DOUBLE_EQ(muting.FactorAt(0), 1.0);
+  muting.ObserveSpeakerBlock(0, LoudBlock());
+  // Attack: one 2ms step at the half factor.
+  EXPECT_DOUBLE_EQ(muting.FactorAt(0), config.half_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(config.attack_step - 1), config.half_factor);
+  // Deep until the speaker has been quiet for deep_hold.
+  EXPECT_DOUBLE_EQ(muting.FactorAt(config.attack_step), config.deep_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(deep_hold - 1), config.deep_factor);
+  // Release: half factor for release_hold, then full volume.
+  EXPECT_DOUBLE_EQ(muting.FactorAt(deep_hold), config.half_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(deep_hold + release_hold - 1), config.half_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(deep_hold + release_hold), 1.0);
+  EXPECT_EQ(muting.activations(), 1u);
+}
+
+TEST_P(MutingTimingProperty, ReverberationDuringReleaseReentersDeep) {
+  auto [deep_hold, release_hold] = GetParam();
+  MutingConfig config;
+  config.deep_hold = deep_hold;
+  config.release_hold = release_hold;
+  MutingControl muting(config);
+
+  muting.ObserveSpeakerBlock(0, LoudBlock());
+  // Mid-release the room gets loud again: straight back to the deep factor,
+  // and the quiet clock restarts from the new loud time.
+  Time reloud = deep_hold + release_hold / 2;
+  muting.ObserveSpeakerBlock(reloud, LoudBlock());
+  EXPECT_DOUBLE_EQ(muting.FactorAt(reloud), config.deep_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(reloud + deep_hold - 1), config.deep_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(reloud + deep_hold), config.half_factor);
+  EXPECT_DOUBLE_EQ(muting.FactorAt(reloud + deep_hold + release_hold), 1.0);
+  // Re-entering deep from release is not a fresh activation.
+  EXPECT_EQ(muting.activations(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Holds, MutingTimingProperty,
+                         ::testing::Values(std::make_tuple(Millis(10), Millis(10)),
+                                           std::make_tuple(Millis(22), Millis(22)),
+                                           std::make_tuple(Millis(40), Millis(20))));
+
+TEST(MutingTimingProperty, DisabledControlIsTransparent) {
+  MutingConfig config;
+  config.enabled = false;
+  MutingControl muting(config);
+  muting.ObserveSpeakerBlock(0, LoudBlock());
+  EXPECT_DOUBLE_EQ(muting.FactorAt(0), 1.0);
+  AudioBlock block = LoudBlock();
+  AudioBlock copy = block;
+  muting.ApplyToMicBlock(0, &block);
+  EXPECT_EQ(block.samples, copy.samples);
+  EXPECT_EQ(muting.activations(), 0u);
+}
+
+// --- sequence numbers across the 2^32 wrap ------------------------------------
+
+class SequenceWrapProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SequenceWrapProperty, InOrderRunSurvivesWrap) {
+  const uint32_t start = GetParam();
+  SequenceTracker tracker;
+  EXPECT_EQ(tracker.Observe(start).outcome, SequenceTracker::Outcome::kFirst);
+  for (uint32_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(tracker.Observe(start + i).outcome, SequenceTracker::Outcome::kInOrder)
+        << "offset " << i;
+  }
+  EXPECT_EQ(tracker.received(), 11u);
+  EXPECT_EQ(tracker.missing_total(), 0u);
+}
+
+TEST_P(SequenceWrapProperty, GapCountedAcrossWrap) {
+  const uint32_t start = GetParam();
+  SequenceTracker tracker;
+  tracker.Observe(start);
+  SequenceTracker::Observation obs = tracker.Observe(start + 5);
+  EXPECT_EQ(obs.outcome, SequenceTracker::Outcome::kGap);
+  EXPECT_EQ(obs.missing, 4u);
+  EXPECT_EQ(tracker.Observe(start + 6).outcome, SequenceTracker::Outcome::kInOrder);
+  // LossFraction = missing / (received + missing).
+  EXPECT_DOUBLE_EQ(tracker.LossFraction(), 4.0 / 7.0);
+}
+
+TEST_P(SequenceWrapProperty, DuplicateAndStaleClassified) {
+  const uint32_t start = GetParam();
+  SequenceTracker tracker;
+  tracker.Observe(start);
+  EXPECT_EQ(tracker.Observe(start).outcome, SequenceTracker::Outcome::kDuplicate);
+  EXPECT_EQ(tracker.Observe(start - 5).outcome, SequenceTracker::Outcome::kStale);
+  EXPECT_EQ(tracker.duplicates(), 1u);
+  EXPECT_EQ(tracker.stale(), 1u);
+  // Neither event inflates the loss statistics.
+  EXPECT_EQ(tracker.missing_total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(StartPoints, SequenceWrapProperty,
+                         ::testing::Values(100u, 0xFFFFFFFAu, 0xFFFFFFFFu));
+
+// --- repack/unpack roundtrip for every live segment size ----------------------
+
+class RepackRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepackRoundTrip, PreservesEveryByteThroughStorageFormat) {
+  const int live_blocks = GetParam();
+  const int total_blocks = 97;  // not a multiple of either segment size
+  std::vector<uint8_t> original;
+  for (int i = 0; i < total_blocks * kAudioBlockBytes; ++i) {
+    original.push_back(static_cast<uint8_t>(i % 251));
+  }
+
+  // Record: live segments of `live_blocks` blocks into 40ms stored segments.
+  AudioRepacker repacker(7);
+  std::vector<Segment> stored;
+  uint32_t sequence = 0;
+  Time t = 0;
+  size_t offset = 0;
+  while (offset < original.size()) {
+    size_t bytes = std::min(static_cast<size_t>(live_blocks) * kAudioBlockBytes,
+                            original.size() - offset);
+    std::vector<uint8_t> chunk(original.begin() + static_cast<ptrdiff_t>(offset),
+                               original.begin() + static_cast<ptrdiff_t>(offset + bytes));
+    Segment live = MakeAudioSegment(7, sequence++, t, std::move(chunk));
+    std::vector<Segment> out = repacker.Push(live);
+    for (Segment& segment : out) {
+      stored.push_back(std::move(segment));
+    }
+    t += static_cast<Duration>(bytes / kAudioBlockBytes) * kAudioBlockDuration;
+    offset += bytes;
+  }
+  std::optional<Segment> tail = repacker.Flush();
+  if (tail.has_value()) {
+    stored.push_back(std::move(*tail));
+  }
+  EXPECT_EQ(repacker.blocks_consumed(), static_cast<uint64_t>(total_blocks));
+
+  // Stored format: exactly 20 blocks per segment except a short final one,
+  // with contiguous sequence numbers.
+  ASSERT_FALSE(stored.empty());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ(stored[i].header.sequence, static_cast<uint32_t>(i));
+    if (i + 1 < stored.size()) {
+      EXPECT_EQ(stored[i].AudioBlockCount(), kRepositoryBlocksPerSegment);
+    } else {
+      EXPECT_LE(stored[i].AudioBlockCount(), kRepositoryBlocksPerSegment);
+      EXPECT_GT(stored[i].AudioBlockCount(), 0);
+    }
+  }
+
+  // Replay: unpack back to live segments of the same size and compare bytes.
+  AudioUnpacker unpacker(7, live_blocks);
+  std::vector<uint8_t> replayed;
+  for (const Segment& segment : stored) {
+    std::vector<Segment> lives = unpacker.Push(segment);
+    for (const Segment& live : lives) {
+      replayed.insert(replayed.end(), live.payload.begin(), live.payload.end());
+      EXPECT_EQ(live.AudioBlockCount(), live_blocks);
+    }
+  }
+  std::optional<Segment> last = unpacker.Flush();
+  if (last.has_value()) {
+    replayed.insert(replayed.end(), last->payload.begin(), last->payload.end());
+  }
+  EXPECT_EQ(replayed, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(LiveSizes, RepackRoundTrip, ::testing::Range(1, 13));
+
+TEST(RepackProperty, HeaderOverheadFallsWithSegmentSize) {
+  for (int blocks = 1; blocks < 20; ++blocks) {
+    EXPECT_GT(AudioHeaderOverhead(blocks), AudioHeaderOverhead(blocks + 1)) << blocks;
+  }
+  // 40ms repository segments: 36 bytes of header on 320 bytes of data.
+  EXPECT_DOUBLE_EQ(AudioHeaderOverhead(kRepositoryBlocksPerSegment), 36.0 / (36.0 + 320.0));
+}
+
+TEST(RepackProperty, SplitIntoBlocksDropsTrailingPartial) {
+  std::vector<uint8_t> samples(static_cast<size_t>(3 * kAudioBlockBytes + 5), 9);
+  Segment segment = MakeAudioSegment(1, 0, Millis(100), std::move(samples));
+  std::vector<AudioBlock> blocks = SplitIntoBlocks(segment);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].source_time,
+              segment.source_time() + static_cast<Duration>(i) * kAudioBlockDuration);
+    for (uint8_t sample : blocks[i].samples) {
+      EXPECT_EQ(sample, 9);
+    }
+  }
+}
+
+// --- single-rate clawback cadence ----------------------------------------------
+
+class ClawbackCadenceProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(ClawbackCadenceProperty, ClawsBackToTargetThenHolds) {
+  auto [threshold, target] = GetParam();
+  ClawbackConfig config;
+  config.mode = ClawbackMode::kSingleRate;
+  config.count_threshold = threshold;
+  config.lower_target_blocks = target;
+  ClawbackBuffer buffer(1, config, nullptr);
+
+  AudioBlock block;
+  // Prime a backlog well above the lower target (jitter burst).
+  const int backlog = target + 6;
+  for (int i = 0; i < backlog; ++i) {
+    ASSERT_EQ(buffer.Push(block), ClawbackPushResult::kStored);
+  }
+
+  // Steady state: one block in, one block out per 2ms tick.  Every
+  // `threshold` arrivals above target sacrifices one block, so the delay
+  // walks down to the target and then stays there.
+  const uint64_t ticks = static_cast<uint64_t>(threshold) * (backlog + 2);
+  for (uint64_t i = 0; i < ticks; ++i) {
+    buffer.Push(block);
+    ASSERT_TRUE(buffer.Pop().has_value());
+  }
+  EXPECT_EQ(buffer.depth_blocks(), static_cast<size_t>(target));
+  EXPECT_EQ(buffer.stats().clawback_drops, static_cast<uint64_t>(backlog - target));
+
+  // At the target no further blocks are sacrificed.
+  const uint64_t drops_at_target = buffer.stats().clawback_drops;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(threshold) * 3; ++i) {
+    buffer.Push(block);
+    ASSERT_TRUE(buffer.Pop().has_value());
+  }
+  EXPECT_EQ(buffer.stats().clawback_drops, drops_at_target);
+  EXPECT_EQ(buffer.depth_blocks(), static_cast<size_t>(target));
+}
+
+TEST_P(ClawbackCadenceProperty, FirstDropArrivesAfterThresholdArrivals) {
+  auto [threshold, target] = GetParam();
+  ClawbackConfig config;
+  config.mode = ClawbackMode::kSingleRate;
+  config.count_threshold = threshold;
+  config.lower_target_blocks = target;
+  ClawbackBuffer buffer(1, config, nullptr);
+
+  AudioBlock block;
+  for (int i = 0; i < target + 1; ++i) {
+    ASSERT_EQ(buffer.Push(block), ClawbackPushResult::kStored);
+  }
+  // The buffer is now one block above target; each further arrival ticks the
+  // clawback counter once (push + pop keeps the depth constant).
+  uint64_t arrivals_until_drop = 0;
+  for (;;) {
+    ++arrivals_until_drop;
+    ClawbackPushResult result = buffer.Push(block);
+    if (result == ClawbackPushResult::kDroppedClawback) {
+      break;
+    }
+    ASSERT_EQ(result, ClawbackPushResult::kStored);
+    ASSERT_TRUE(buffer.Pop().has_value());
+    ASSERT_LE(arrivals_until_drop, static_cast<uint64_t>(threshold) + 1);
+  }
+  // Priming never ticks the counter (the depth check precedes each store),
+  // so the drop lands on exactly the threshold-th above-target arrival.
+  EXPECT_EQ(arrivals_until_drop, static_cast<uint64_t>(threshold));
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndTargets, ClawbackCadenceProperty,
+                         ::testing::Combine(::testing::Values(8u, 64u, 4096u),
+                                            ::testing::Values(2, 5)));
+
+}  // namespace
+}  // namespace pandora

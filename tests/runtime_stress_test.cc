@@ -1,0 +1,240 @@
+// Stress/regression tests for the coroutine runtime with OWNING payloads.
+//
+// GCC 12 miscompiles owning temporaries in co_await expressions that
+// suspend (see runtime/channel.h).  These tests drive every channel path —
+// parked sends, parked receives, alt races, ticket deliveries — with a
+// leak-counting payload so a single double-release or lost value fails.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/alt.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/random.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+namespace {
+
+// Move-only payload with global live-count accounting.
+class Counted {
+ public:
+  Counted() : id_(0) {}
+  explicit Counted(int id) : id_(id) { ++live_count; }
+  Counted(Counted&& other) noexcept : id_(std::exchange(other.id_, 0)) {}
+  Counted& operator=(Counted&& other) noexcept {
+    if (this != &other) {
+      Release();
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+  Counted(const Counted&) = delete;
+  Counted& operator=(const Counted&) = delete;
+  ~Counted() { Release(); }
+
+  int id() const { return id_; }
+  static int live_count;
+
+ private:
+  void Release() {
+    if (id_ != 0) {
+      --live_count;
+      id_ = 0;
+    }
+  }
+  int id_;
+};
+
+int Counted::live_count = 0;
+
+class CountedChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Counted::live_count = 0; }
+  void TearDown() override { EXPECT_EQ(Counted::live_count, 0); }
+};
+
+TEST_F(CountedChannelTest, ParkedSendsDeliverEveryValueExactlyOnce) {
+  Scheduler sched;
+  Channel<Counted> ch(&sched, "ch");
+  std::vector<int> got;
+  {
+    ShutdownGuard guard(&sched);
+    // Three senders race to park; a slow receiver drains.
+    auto sender = [](Channel<Counted>* ch, int base) -> Process {
+      for (int i = 0; i < 50; ++i) {
+        Counted value(base + i);  // named local (GCC 12 workaround)
+        co_await ch->Send(std::move(value));
+      }
+    };
+    auto receiver = [](Scheduler* s, Channel<Counted>* ch, std::vector<int>* got) -> Process {
+      for (int i = 0; i < 150; ++i) {
+        Counted value = co_await ch->Receive();
+        got->push_back(value.id());
+        co_await s->WaitFor(Micros(10));
+      }
+    };
+    sched.Spawn(sender(&ch, 1000), "tx1");
+    sched.Spawn(sender(&ch, 2000), "tx2");
+    sched.Spawn(sender(&ch, 3000), "tx3");
+    sched.Spawn(receiver(&sched, &ch, &got), "rx");
+    sched.RunUntilQuiescent();
+  }
+  ASSERT_EQ(got.size(), 150u);
+  std::map<int, int> seen;
+  for (int id : got) {
+    ++seen[id];
+  }
+  EXPECT_EQ(seen.size(), 150u);  // every value exactly once
+}
+
+TEST_F(CountedChannelTest, ParkedReceiversGetTicketedDeliveries) {
+  Scheduler sched;
+  Channel<Counted> ch(&sched, "ch");
+  std::vector<int> got;
+  {
+    ShutdownGuard guard(&sched);
+    // Receivers park FIRST, then values are pushed through the fast path.
+    auto receiver = [](Channel<Counted>* ch, std::vector<int>* got) -> Process {
+      for (int i = 0; i < 40; ++i) {
+        Counted value = co_await ch->Receive();
+        got->push_back(value.id());
+      }
+    };
+    auto sender = [](Scheduler* s, Channel<Counted>* ch) -> Process {
+      co_await s->WaitFor(Millis(1));  // let receivers park
+      for (int i = 1; i <= 80; ++i) {
+        Counted value(i);
+        co_await ch->Send(std::move(value));
+      }
+    };
+    sched.Spawn(receiver(&ch, &got), "rx1");
+    sched.Spawn(receiver(&ch, &got), "rx2");
+    sched.Spawn(sender(&sched, &ch), "tx");
+    sched.RunUntilQuiescent();
+  }
+  ASSERT_EQ(got.size(), 80u);
+  std::map<int, int> seen;
+  for (int id : got) {
+    ++seen[id];
+  }
+  EXPECT_EQ(seen.size(), 80u);
+}
+
+TEST_F(CountedChannelTest, AltRacesNeverDuplicateOrLoseValues) {
+  Scheduler sched;
+  Channel<Counted> a(&sched, "a");
+  Channel<Counted> b(&sched, "b");
+  std::vector<int> got;
+  {
+    ShutdownGuard guard(&sched);
+    auto producer = [](Scheduler* s, Channel<Counted>* ch, int base, Duration pace) -> Process {
+      for (int i = 0; i < 100; ++i) {
+        Counted value(base + i);
+        co_await ch->Send(std::move(value));
+        co_await s->WaitFor(pace);
+      }
+    };
+    auto selector = [](Scheduler* s, Channel<Counted>* a, Channel<Counted>* b,
+                       std::vector<int>* got) -> Process {
+      for (int i = 0; i < 200; ++i) {
+        Alt alt(s);
+        alt.OnReceive(*a).OnReceive(*b);
+        int chosen = co_await alt.Select();
+        Counted value;
+        if (chosen == 0) {
+          value = co_await a->Receive();
+        } else {
+          value = co_await b->Receive();
+        }
+        got->push_back(value.id());
+      }
+    };
+    sched.Spawn(producer(&sched, &a, 10000, Micros(70)), "pa");
+    sched.Spawn(producer(&sched, &b, 20000, Micros(110)), "pb");
+    sched.Spawn(selector(&sched, &a, &b, &got), "sel");
+    sched.RunUntilQuiescent();
+  }
+  ASSERT_EQ(got.size(), 200u);
+  std::map<int, int> seen;
+  for (int id : got) {
+    ++seen[id];
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST_F(CountedChannelTest, ShutdownReleasesInFlightValues) {
+  // Values parked inside channels or held in frames must be released when
+  // the scheduler tears the world down mid-flight.
+  Scheduler sched;
+  Channel<Counted> ch(&sched, "ch");
+  {
+    ShutdownGuard guard(&sched);
+    auto sender = [](Channel<Counted>* ch) -> Process {
+      for (int i = 1; i <= 10; ++i) {
+        Counted value(i);
+        co_await ch->Send(std::move(value));  // wedges: no receiver
+      }
+    };
+    sched.Spawn(sender(&ch), "tx");
+    sched.RunFor(Millis(1));
+    EXPECT_GT(Counted::live_count, 0);  // some values parked in the channel
+  }
+  // Channel destruction (holding parked values) happens after the guard; at
+  // TearDown everything must be accounted for.
+  // NOTE: ch outlives the guard here, so drop its parked values explicitly
+  // by destroying it via scope end — TearDown checks the count.
+}
+
+TEST_F(CountedChannelTest, RandomizedChurn) {
+  // A randomized soak across two channels, three producers, two alt-based
+  // consumers and timeouts; the invariant is conservation of values.
+  Scheduler sched;
+  Channel<Counted> a(&sched, "a");
+  Channel<Counted> b(&sched, "b");
+  int produced = 0;
+  int consumed = 0;
+  {
+    ShutdownGuard guard(&sched);
+    Rng rng(777);
+    auto producer = [](Scheduler* s, Channel<Counted>* ch, Rng rng, int base,
+                       int* produced) -> Process {
+      for (int i = 0; i < 300; ++i) {
+        Counted value(base + i);
+        ++*produced;
+        co_await ch->Send(std::move(value));
+        co_await s->WaitFor(Micros(rng.UniformInt(1, 200)));
+      }
+    };
+    auto consumer = [](Scheduler* s, Channel<Counted>* a, Channel<Counted>* b, Rng rng,
+                       int* consumed) -> Process {
+      for (;;) {
+        Alt alt(s);
+        alt.OnReceive(*a).OnReceive(*b).OnTimeoutAfter(Micros(rng.UniformInt(50, 500)));
+        int chosen = co_await alt.Select();
+        if (chosen == 2) {
+          continue;  // timeout: model bursty consumers
+        }
+        Counted value;
+        if (chosen == 0) {
+          value = co_await a->Receive();
+        } else {
+          value = co_await b->Receive();
+        }
+        ++*consumed;
+      }
+    };
+    sched.Spawn(producer(&sched, &a, rng.Fork(), 100000, &produced), "p1");
+    sched.Spawn(producer(&sched, &a, rng.Fork(), 200000, &produced), "p2");
+    sched.Spawn(producer(&sched, &b, rng.Fork(), 300000, &produced), "p3");
+    sched.Spawn(consumer(&sched, &a, &b, rng.Fork(), &consumed), "c1");
+    sched.Spawn(consumer(&sched, &a, &b, rng.Fork(), &consumed), "c2");
+    sched.RunFor(Seconds(2));
+    EXPECT_EQ(produced, 900);
+    EXPECT_EQ(consumed, produced);
+  }
+}
+
+}  // namespace
+}  // namespace pandora

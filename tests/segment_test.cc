@@ -1,0 +1,329 @@
+// Tests for Pandora segment formats, wire codec, sequence tracking and
+// repository repacking (paper sections 3.2, 3.3, 3.8).
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/segment/audio_block.h"
+#include "src/segment/constants.h"
+#include "src/segment/repack.h"
+#include "src/segment/segment.h"
+#include "src/segment/sequence.h"
+#include "src/segment/wire.h"
+
+namespace pandora {
+namespace {
+
+std::vector<uint8_t> Ramp(size_t n, uint8_t start = 0) {
+  std::vector<uint8_t> data(n);
+  std::iota(data.begin(), data.end(), start);
+  return data;
+}
+
+TEST(SegmentTest, AudioHeaderIs36Bytes) {
+  // The paper's repository format: "320 bytes of data plus a new 36 byte
+  // header" — 20 common + 16 audio-specific.
+  EXPECT_EQ(kCommonHeaderBytes, 20u);
+  EXPECT_EQ(kAudioHeaderBytes, 16u);
+  EXPECT_EQ(kAudioSegmentHeaderBytes, 36u);
+}
+
+TEST(SegmentTest, MakeAudioSegmentFillsFields) {
+  Segment segment = MakeAudioSegment(7, 42, Millis(10), Ramp(32));
+  EXPECT_EQ(segment.stream, 7u);
+  EXPECT_EQ(segment.header.sequence, 42u);
+  EXPECT_TRUE(segment.is_audio());
+  EXPECT_EQ(segment.AudioBlockCount(), 2);
+  EXPECT_EQ(segment.audio().data_length, 32u);
+  EXPECT_EQ(segment.EncodedSize(), 36u + 32u);
+  EXPECT_EQ(segment.header.length, 68u);
+  // 10ms = 10000us = 156.25 ticks of 64us -> 156 -> 9984us.
+  EXPECT_EQ(segment.source_time(), (Millis(10) / 64) * 64);
+}
+
+TEST(SegmentTest, DefaultSegmentIs4msTwoBlocks) {
+  EXPECT_EQ(kDefaultBlocksPerSegment, 2);
+  EXPECT_EQ(kDefaultBlocksPerSegment * kAudioBlockDuration, Millis(4));
+  EXPECT_EQ(kMaxBlocksPerSegment * kAudioBlockDuration, Millis(24));
+  EXPECT_EQ(kRepositoryBlocksPerSegment * kAudioBlockBytes, kRepositorySegmentBytes);
+  EXPECT_EQ(kRepositoryBlocksPerSegment * kAudioBlockDuration, kRepositorySegmentDuration);
+}
+
+TEST(WireTest, AudioRoundTripWithStreamField) {
+  Segment segment = MakeAudioSegment(9, 3, Millis(2), Ramp(64));
+  std::vector<uint8_t> bytes = EncodeSegment(segment, StreamField::kIncluded);
+  EXPECT_EQ(bytes.size(), segment.EncodedSize() + 4);
+
+  DecodeResult decoded = DecodeSegment(bytes, StreamField::kIncluded);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.segment.stream, 9u);
+  EXPECT_EQ(decoded.segment.header.sequence, 3u);
+  EXPECT_EQ(decoded.segment.header.timestamp, segment.header.timestamp);
+  EXPECT_EQ(decoded.segment.payload, segment.payload);
+  EXPECT_EQ(decoded.segment.audio().sampling_rate, kAudioSampleRateHz);
+}
+
+TEST(WireTest, AudioRoundTripViaVci) {
+  Segment segment = MakeAudioSegment(9, 3, Millis(2), Ramp(32));
+  std::vector<uint8_t> bytes = EncodeSegment(segment, StreamField::kOmitted);
+  EXPECT_EQ(bytes.size(), segment.EncodedSize());
+  DecodeResult decoded = DecodeSegment(bytes, StreamField::kOmitted, /*vci_stream=*/55);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.segment.stream, 55u);  // recovered from the VCI
+  EXPECT_EQ(decoded.segment.payload, segment.payload);
+}
+
+TEST(WireTest, VideoRoundTripWithCompressionArgs) {
+  VideoHeader vh;
+  vh.frame_number = 100;
+  vh.segments_in_frame = 4;
+  vh.segment_number = 2;
+  vh.x_offset = 16;
+  vh.y_offset = 32;
+  vh.pixel_format = PixelFormat::kGrey8;
+  vh.compression_type = VideoCoding::kDpcmSubsampled;
+  vh.x_width = 128;
+  vh.start_line_y = 64;
+  vh.line_count = 8;
+  Segment segment = MakeVideoSegment(4, 17, Millis(40), vh, Ramp(128 * 8));
+  segment.compression_args = {2, 7};  // e.g. sub-sample ratio, quantiser
+  segment.header.length = static_cast<uint32_t>(segment.EncodedSize());
+
+  std::vector<uint8_t> bytes = EncodeSegment(segment);
+  DecodeResult decoded = DecodeSegment(bytes);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  const VideoHeader& got = decoded.segment.video();
+  EXPECT_EQ(got.frame_number, 100u);
+  EXPECT_EQ(got.segments_in_frame, 4u);
+  EXPECT_EQ(got.segment_number, 2u);
+  EXPECT_EQ(got.x_width, 128u);
+  EXPECT_EQ(got.line_count, 8u);
+  EXPECT_EQ(decoded.segment.compression_args, (std::vector<uint32_t>{2, 7}));
+  EXPECT_EQ(decoded.segment.payload.size(), 1024u);
+}
+
+TEST(WireTest, RejectsBadVersion) {
+  Segment segment = MakeAudioSegment(1, 0, 0, Ramp(16));
+  std::vector<uint8_t> bytes = EncodeSegment(segment);
+  bytes[4] ^= 0xff;  // corrupt version id (after 4-byte stream field)
+  DecodeResult decoded = DecodeSegment(bytes);
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error, "bad version id");
+}
+
+TEST(WireTest, RejectsTruncation) {
+  Segment segment = MakeAudioSegment(1, 0, 0, Ramp(32));
+  std::vector<uint8_t> bytes = EncodeSegment(segment);
+  for (size_t cut : {size_t{3}, size_t{10}, size_t{30}, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeSegment(truncated).ok) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, RejectsLengthMismatch) {
+  Segment segment = MakeAudioSegment(1, 0, 0, Ramp(32));
+  std::vector<uint8_t> bytes = EncodeSegment(segment);
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(DecodeSegment(bytes).ok);
+}
+
+TEST(WireTest, RejectsBadSegmentNumbering) {
+  VideoHeader vh;
+  vh.segments_in_frame = 2;
+  vh.segment_number = 2;  // out of range
+  vh.x_width = 4;
+  vh.line_count = 1;
+  Segment segment = MakeVideoSegment(1, 0, 0, vh, Ramp(4));
+  std::vector<uint8_t> bytes = EncodeSegment(segment);
+  DecodeResult decoded = DecodeSegment(bytes);
+  EXPECT_FALSE(decoded.ok);
+}
+
+TEST(SequenceTest, InOrderStream) {
+  SequenceTracker tracker;
+  EXPECT_EQ(tracker.Observe(10).outcome, SequenceTracker::Outcome::kFirst);
+  for (uint32_t s = 11; s < 20; ++s) {
+    EXPECT_EQ(tracker.Observe(s).outcome, SequenceTracker::Outcome::kInOrder);
+  }
+  EXPECT_EQ(tracker.received(), 10u);
+  EXPECT_EQ(tracker.missing_total(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.LossFraction(), 0.0);
+}
+
+TEST(SequenceTest, DetectsGapAsSoonAsLaterArrives) {
+  SequenceTracker tracker;
+  tracker.Observe(0);
+  auto obs = tracker.Observe(4);  // 1,2,3 missing
+  EXPECT_EQ(obs.outcome, SequenceTracker::Outcome::kGap);
+  EXPECT_EQ(obs.missing, 3u);
+  EXPECT_EQ(tracker.missing_total(), 3u);
+  EXPECT_EQ(tracker.max_gap(), 3u);
+  EXPECT_EQ(tracker.Observe(5).outcome, SequenceTracker::Outcome::kInOrder);
+}
+
+TEST(SequenceTest, DuplicateAndStale) {
+  SequenceTracker tracker;
+  tracker.Observe(0);
+  tracker.Observe(1);
+  EXPECT_EQ(tracker.Observe(1).outcome, SequenceTracker::Outcome::kDuplicate);
+  EXPECT_EQ(tracker.Observe(0).outcome, SequenceTracker::Outcome::kStale);
+  EXPECT_EQ(tracker.duplicates(), 1u);
+  EXPECT_EQ(tracker.stale(), 1u);
+}
+
+TEST(SequenceTest, WrapAround) {
+  SequenceTracker tracker;
+  tracker.Observe(0xFFFFFFFEu);
+  EXPECT_EQ(tracker.Observe(0xFFFFFFFFu).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.Observe(0u).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.Observe(1u).outcome, SequenceTracker::Outcome::kInOrder);
+}
+
+TEST(AudioBlockTest, SplitReconstructsTimes) {
+  Segment segment = MakeAudioSegment(1, 0, Millis(64), Ramp(48));
+  std::vector<AudioBlock> blocks = SplitIntoBlocks(segment);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].source_time, Millis(64));
+  EXPECT_EQ(blocks[1].source_time, Millis(66));
+  EXPECT_EQ(blocks[2].source_time, Millis(68));
+  EXPECT_EQ(blocks[0].samples[0], 0);
+  EXPECT_EQ(blocks[1].samples[0], 16);
+  EXPECT_EQ(blocks[2].samples[15], 47);
+}
+
+TEST(RepackTest, MergesLiveSegmentsInto40msSegments) {
+  AudioRepacker repacker(3);
+  std::vector<Segment> out;
+  // 30 live segments of 2 blocks = 60 blocks = 3 x 20-block segments.
+  uint32_t seq = 0;
+  Time t = 0;
+  for (int i = 0; i < 30; ++i) {
+    Segment live = MakeAudioSegment(3, seq++, t, Ramp(32, static_cast<uint8_t>(i)));
+    t += Millis(4);
+    for (Segment& s : repacker.Push(live)) {
+      out.push_back(std::move(s));
+    }
+  }
+  EXPECT_FALSE(repacker.Flush().has_value());
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].payload.size(), static_cast<size_t>(kRepositorySegmentBytes));
+    EXPECT_EQ(out[i].header.sequence, static_cast<uint32_t>(i));
+    EXPECT_EQ(out[i].audio().compression, AudioCoding::kRepacked);
+    EXPECT_EQ(out[i].EncodedSize(), 36u + 320u);  // the paper's exact numbers
+  }
+  // Timestamps advance by 40ms per stored segment.
+  EXPECT_EQ(out[1].source_time() - out[0].source_time(), Millis(40));
+  EXPECT_EQ(out[2].source_time() - out[1].source_time(), Millis(40));
+}
+
+TEST(RepackTest, AcceptsMixedSegmentSizesAndFlushesRemainder) {
+  AudioRepacker repacker(5);
+  size_t emitted = 0;
+  uint32_t seq = 0;
+  Time t = 0;
+  // Mixture of 1..12 block segments ("Incoming segments of any mixture of
+  // sizes are accepted").
+  int total_blocks = 0;
+  for (int blocks : {1, 12, 2, 7, 3, 12, 5, 1, 2}) {
+    total_blocks += blocks;
+    Segment live =
+        MakeAudioSegment(5, seq++, t, Ramp(static_cast<size_t>(blocks) * kAudioBlockBytes));
+    t += blocks * kAudioBlockDuration;
+    emitted += repacker.Push(live).size();
+  }
+  auto tail = repacker.Flush();
+  int whole = total_blocks / kRepositoryBlocksPerSegment;
+  EXPECT_EQ(emitted, static_cast<size_t>(whole));
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->payload.size(),
+            static_cast<size_t>(total_blocks % kRepositoryBlocksPerSegment) * kAudioBlockBytes);
+}
+
+TEST(RepackTest, UnpackerRestoresLiveSegments) {
+  // Round trip: live -> repository -> live(2 blocks each), byte-identical.
+  AudioRepacker repacker(8);
+  AudioUnpacker unpacker(8, kDefaultBlocksPerSegment);
+  std::vector<uint8_t> original;
+  std::vector<Segment> stored;
+  uint32_t seq = 0;
+  Time t = Millis(100);
+  for (int i = 0; i < 10; ++i) {
+    auto payload = Ramp(64, static_cast<uint8_t>(3 * i));
+    original.insert(original.end(), payload.begin(), payload.end());
+    Segment live = MakeAudioSegment(8, seq++, t, payload);
+    t += Millis(8);
+    for (Segment& s : repacker.Push(live)) {
+      stored.push_back(std::move(s));
+    }
+  }
+  if (auto tail = repacker.Flush()) {
+    stored.push_back(std::move(*tail));
+  }
+
+  std::vector<uint8_t> restored;
+  Time first_live_time = -1;
+  for (const Segment& s : stored) {
+    for (const Segment& live : unpacker.Push(s)) {
+      if (first_live_time < 0) {
+        first_live_time = live.source_time();
+      }
+      EXPECT_EQ(live.AudioBlockCount(), kDefaultBlocksPerSegment);
+      restored.insert(restored.end(), live.payload.begin(), live.payload.end());
+    }
+  }
+  if (auto tail = unpacker.Flush()) {
+    restored.insert(restored.end(), tail->payload.begin(), tail->payload.end());
+  }
+  EXPECT_EQ(restored, original);
+  EXPECT_EQ(first_live_time, (Millis(100) / 64) * 64);
+}
+
+TEST(RepackTest, HeaderOverheadShrinksWithBlockCount) {
+  // E13's shape: 36-byte headers dominate 2ms segments, are negligible at
+  // the repository's 40ms.
+  double live_min = AudioHeaderOverhead(1);
+  double live_default = AudioHeaderOverhead(kDefaultBlocksPerSegment);
+  double repo = AudioHeaderOverhead(kRepositoryBlocksPerSegment);
+  EXPECT_NEAR(live_min, 36.0 / 52.0, 1e-9);
+  EXPECT_GT(live_default, repo);
+  EXPECT_LT(repo, 0.11);
+  EXPECT_GT(live_min, 0.6);
+}
+
+class RepackBlockCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepackBlockCountTest, RoundTripPreservesEveryByteForAnyBlockCount) {
+  const int blocks = GetParam();
+  AudioRepacker repacker(1);
+  AudioUnpacker unpacker(1, blocks);
+  std::vector<uint8_t> original;
+  std::vector<uint8_t> restored;
+  uint32_t seq = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto payload = Ramp(static_cast<size_t>(blocks) * kAudioBlockBytes, static_cast<uint8_t>(i));
+    original.insert(original.end(), payload.begin(), payload.end());
+    Segment live = MakeAudioSegment(1, seq++, i * Millis(2) * blocks, payload);
+    for (const Segment& stored : repacker.Push(live)) {
+      for (const Segment& out : unpacker.Push(stored)) {
+        restored.insert(restored.end(), out.payload.begin(), out.payload.end());
+      }
+    }
+  }
+  if (auto tail = repacker.Flush()) {
+    for (const Segment& out : unpacker.Push(*tail)) {
+      restored.insert(restored.end(), out.payload.begin(), out.payload.end());
+    }
+  }
+  if (auto tail = unpacker.Flush()) {
+    restored.insert(restored.end(), tail->payload.begin(), tail->payload.end());
+  }
+  EXPECT_EQ(restored, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLiveBlockCounts, RepackBlockCountTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 12));
+
+}  // namespace
+}  // namespace pandora

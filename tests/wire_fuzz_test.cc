@@ -1,0 +1,87 @@
+// Fuzz-style robustness tests for the wire codec: random and mutated byte
+// strings must never crash the decoder or produce an "ok" segment that
+// violates its own header invariants.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/random.h"
+#include "src/segment/segment.h"
+#include "src/segment/wire.h"
+
+namespace pandora {
+namespace {
+
+void CheckDecodedInvariants(const DecodeResult& result) {
+  if (!result.ok) {
+    return;
+  }
+  const Segment& segment = result.segment;
+  EXPECT_EQ(segment.header.version_id, kSegmentVersionId);
+  EXPECT_EQ(segment.EncodedSize(), segment.header.length);
+  if (segment.is_audio()) {
+    EXPECT_EQ(segment.audio().data_length, segment.payload.size());
+  } else if (segment.is_video()) {
+    EXPECT_EQ(segment.video().data_length, segment.payload.size());
+    EXPECT_LT(segment.video().segment_number, segment.video().segments_in_frame);
+  }
+}
+
+TEST(WireFuzzTest, RandomBytesNeverCrashOrLie) {
+  Rng rng(20260707);
+  for (int iteration = 0; iteration < 5000; ++iteration) {
+    size_t length = static_cast<size_t>(rng.UniformInt(0, 200));
+    std::vector<uint8_t> bytes(length);
+    for (uint8_t& byte : bytes) {
+      byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    CheckDecodedInvariants(DecodeSegment(bytes));
+    CheckDecodedInvariants(DecodeSegment(bytes, StreamField::kOmitted, 9));
+  }
+}
+
+TEST(WireFuzzTest, SingleByteMutationsOfValidSegments) {
+  Rng rng(7);
+  Segment audio = MakeAudioSegment(3, 17, Millis(8), std::vector<uint8_t>(32, 0x5A));
+  VideoHeader vh;
+  vh.segments_in_frame = 2;
+  vh.segment_number = 1;
+  vh.x_width = 16;
+  vh.line_count = 4;
+  Segment video = MakeVideoSegment(4, 9, Millis(12), vh, std::vector<uint8_t>(64, 0x3C));
+  video.compression_args = {1, 2, 3};
+  video.header.length = static_cast<uint32_t>(video.EncodedSize());
+
+  for (const Segment& original : {audio, video}) {
+    std::vector<uint8_t> bytes = EncodeSegment(original);
+    ASSERT_TRUE(DecodeSegment(bytes).ok);
+    for (size_t position = 0; position < bytes.size(); ++position) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[position] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+      CheckDecodedInvariants(DecodeSegment(mutated));
+    }
+  }
+}
+
+TEST(WireFuzzTest, TruncationsAtEveryLength) {
+  Segment audio = MakeAudioSegment(3, 17, Millis(8), std::vector<uint8_t>(48, 0x11));
+  std::vector<uint8_t> bytes = EncodeSegment(audio);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(cut));
+    DecodeResult result = DecodeSegment(truncated);
+    EXPECT_FALSE(result.ok) << "cut=" << cut;  // every strict prefix is invalid
+  }
+}
+
+TEST(WireFuzzTest, ExtensionsAtEveryLength) {
+  Segment audio = MakeAudioSegment(3, 17, Millis(8), std::vector<uint8_t>(16, 0x22));
+  std::vector<uint8_t> bytes = EncodeSegment(audio);
+  for (size_t extra = 1; extra <= 8; ++extra) {
+    std::vector<uint8_t> extended = bytes;
+    extended.insert(extended.end(), extra, 0xEE);
+    EXPECT_FALSE(DecodeSegment(extended).ok) << "extra=" << extra;
+  }
+}
+
+}  // namespace
+}  // namespace pandora
