@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_recovery.dir/bench_error_recovery.cpp.o"
+  "CMakeFiles/bench_error_recovery.dir/bench_error_recovery.cpp.o.d"
+  "bench_error_recovery"
+  "bench_error_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_medusa.dir/bench_medusa.cpp.o"
+  "CMakeFiles/bench_medusa.dir/bench_medusa.cpp.o.d"
+  "bench_medusa"
+  "bench_medusa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_medusa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixer_throughput.dir/bench_mixer_throughput.cpp.o"
+  "CMakeFiles/bench_mixer_throughput.dir/bench_mixer_throughput.cpp.o.d"
+  "bench_mixer_throughput"
+  "bench_mixer_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixer_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

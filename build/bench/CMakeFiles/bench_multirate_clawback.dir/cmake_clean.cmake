@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multirate_clawback.dir/bench_multirate_clawback.cpp.o"
+  "CMakeFiles/bench_multirate_clawback.dir/bench_multirate_clawback.cpp.o.d"
+  "bench_multirate_clawback"
+  "bench_multirate_clawback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multirate_clawback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_muting.dir/bench_muting.cpp.o"
+  "CMakeFiles/bench_muting.dir/bench_muting.cpp.o.d"
+  "bench_muting"
+  "bench_muting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_muting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

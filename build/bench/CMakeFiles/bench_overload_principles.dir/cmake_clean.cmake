@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overload_principles.dir/bench_overload_principles.cpp.o"
+  "CMakeFiles/bench_overload_principles.dir/bench_overload_principles.cpp.o.d"
+  "bench_overload_principles"
+  "bench_overload_principles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overload_principles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

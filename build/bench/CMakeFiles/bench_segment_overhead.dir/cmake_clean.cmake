@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_overhead.dir/bench_segment_overhead.cpp.o"
+  "CMakeFiles/bench_segment_overhead.dir/bench_segment_overhead.cpp.o.d"
+  "bench_segment_overhead"
+  "bench_segment_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_superjanet.dir/bench_superjanet.cpp.o"
+  "CMakeFiles/bench_superjanet.dir/bench_superjanet.cpp.o.d"
+  "bench_superjanet"
+  "bench_superjanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_superjanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

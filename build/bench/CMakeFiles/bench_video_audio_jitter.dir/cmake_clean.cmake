@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_audio_jitter.dir/bench_video_audio_jitter.cpp.o"
+  "CMakeFiles/bench_video_audio_jitter.dir/bench_video_audio_jitter.cpp.o.d"
+  "bench_video_audio_jitter"
+  "bench_video_audio_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_audio_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

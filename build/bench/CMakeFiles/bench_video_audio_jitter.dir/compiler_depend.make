@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_video_audio_jitter.
+# This may be replaced when dependencies are built.

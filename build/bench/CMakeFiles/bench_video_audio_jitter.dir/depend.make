@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_video_audio_jitter.
+# This may be replaced when dependencies are built.

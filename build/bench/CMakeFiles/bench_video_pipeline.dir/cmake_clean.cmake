@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_pipeline.dir/bench_video_pipeline.cpp.o"
+  "CMakeFiles/bench_video_pipeline.dir/bench_video_pipeline.cpp.o.d"
+  "bench_video_pipeline"
+  "bench_video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_studio.dir/medusa_studio.cpp.o"
+  "CMakeFiles/medusa_studio.dir/medusa_studio.cpp.o.d"
+  "medusa_studio"
+  "medusa_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

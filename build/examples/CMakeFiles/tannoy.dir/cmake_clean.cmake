@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tannoy.dir/tannoy.cpp.o"
+  "CMakeFiles/tannoy.dir/tannoy.cpp.o.d"
+  "tannoy"
+  "tannoy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tannoy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

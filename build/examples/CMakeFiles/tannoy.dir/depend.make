@@ -1,0 +1,2 @@
+# Empty dependencies file for tannoy.
+# This may be replaced when dependencies are built.

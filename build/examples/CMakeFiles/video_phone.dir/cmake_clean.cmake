@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_phone.dir/video_phone.cpp.o"
+  "CMakeFiles/video_phone.dir/video_phone.cpp.o.d"
+  "video_phone"
+  "video_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videomail.dir/videomail.cpp.o"
+  "CMakeFiles/videomail.dir/videomail.cpp.o.d"
+  "videomail"
+  "videomail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videomail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("runtime")
+subdirs("segment")
+subdirs("buffer")
+subdirs("audio")
+subdirs("video")
+subdirs("net")
+subdirs("control")
+subdirs("server")
+subdirs("repository")
+subdirs("medusa")
+subdirs("core")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/codec.cc" "src/audio/CMakeFiles/pandora_audio.dir/codec.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/codec.cc.o.d"
+  "/root/repo/src/audio/mixer.cc" "src/audio/CMakeFiles/pandora_audio.dir/mixer.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/mixer.cc.o.d"
+  "/root/repo/src/audio/muting.cc" "src/audio/CMakeFiles/pandora_audio.dir/muting.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/muting.cc.o.d"
+  "/root/repo/src/audio/receiver.cc" "src/audio/CMakeFiles/pandora_audio.dir/receiver.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/receiver.cc.o.d"
+  "/root/repo/src/audio/sender.cc" "src/audio/CMakeFiles/pandora_audio.dir/sender.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/sender.cc.o.d"
+  "/root/repo/src/audio/signal.cc" "src/audio/CMakeFiles/pandora_audio.dir/signal.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/signal.cc.o.d"
+  "/root/repo/src/audio/ulaw.cc" "src/audio/CMakeFiles/pandora_audio.dir/ulaw.cc.o" "gcc" "src/audio/CMakeFiles/pandora_audio.dir/ulaw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffer/CMakeFiles/pandora_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pandora_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/pandora_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pandora_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

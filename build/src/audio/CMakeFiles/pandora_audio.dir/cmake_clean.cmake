@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_audio.dir/codec.cc.o"
+  "CMakeFiles/pandora_audio.dir/codec.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/mixer.cc.o"
+  "CMakeFiles/pandora_audio.dir/mixer.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/muting.cc.o"
+  "CMakeFiles/pandora_audio.dir/muting.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/receiver.cc.o"
+  "CMakeFiles/pandora_audio.dir/receiver.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/sender.cc.o"
+  "CMakeFiles/pandora_audio.dir/sender.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/signal.cc.o"
+  "CMakeFiles/pandora_audio.dir/signal.cc.o.d"
+  "CMakeFiles/pandora_audio.dir/ulaw.cc.o"
+  "CMakeFiles/pandora_audio.dir/ulaw.cc.o.d"
+  "libpandora_audio.a"
+  "libpandora_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/clawback.cc" "src/buffer/CMakeFiles/pandora_buffer.dir/clawback.cc.o" "gcc" "src/buffer/CMakeFiles/pandora_buffer.dir/clawback.cc.o.d"
+  "/root/repo/src/buffer/decoupling.cc" "src/buffer/CMakeFiles/pandora_buffer.dir/decoupling.cc.o" "gcc" "src/buffer/CMakeFiles/pandora_buffer.dir/decoupling.cc.o.d"
+  "/root/repo/src/buffer/pool.cc" "src/buffer/CMakeFiles/pandora_buffer.dir/pool.cc.o" "gcc" "src/buffer/CMakeFiles/pandora_buffer.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pandora_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/pandora_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pandora_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

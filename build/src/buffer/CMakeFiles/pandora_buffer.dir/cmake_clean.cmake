@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_buffer.dir/clawback.cc.o"
+  "CMakeFiles/pandora_buffer.dir/clawback.cc.o.d"
+  "CMakeFiles/pandora_buffer.dir/decoupling.cc.o"
+  "CMakeFiles/pandora_buffer.dir/decoupling.cc.o.d"
+  "CMakeFiles/pandora_buffer.dir/pool.cc.o"
+  "CMakeFiles/pandora_buffer.dir/pool.cc.o.d"
+  "libpandora_buffer.a"
+  "libpandora_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

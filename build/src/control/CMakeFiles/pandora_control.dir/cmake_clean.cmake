@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_control.dir/report.cc.o"
+  "CMakeFiles/pandora_control.dir/report.cc.o.d"
+  "libpandora_control.a"
+  "libpandora_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_core.dir/box.cc.o"
+  "CMakeFiles/pandora_core.dir/box.cc.o.d"
+  "CMakeFiles/pandora_core.dir/simulation.cc.o"
+  "CMakeFiles/pandora_core.dir/simulation.cc.o.d"
+  "libpandora_core.a"
+  "libpandora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

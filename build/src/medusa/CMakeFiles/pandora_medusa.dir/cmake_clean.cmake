@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_medusa.dir/devices.cc.o"
+  "CMakeFiles/pandora_medusa.dir/devices.cc.o.d"
+  "libpandora_medusa.a"
+  "libpandora_medusa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_medusa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_net.dir/atm.cc.o"
+  "CMakeFiles/pandora_net.dir/atm.cc.o.d"
+  "libpandora_net.a"
+  "libpandora_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

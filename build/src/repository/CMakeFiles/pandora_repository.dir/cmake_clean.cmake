@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_repository.dir/repository.cc.o"
+  "CMakeFiles/pandora_repository.dir/repository.cc.o.d"
+  "libpandora_repository.a"
+  "libpandora_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpandora_repository.a"
+)

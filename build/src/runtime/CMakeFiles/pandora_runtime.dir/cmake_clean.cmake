@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_runtime.dir/alt.cc.o"
+  "CMakeFiles/pandora_runtime.dir/alt.cc.o.d"
+  "CMakeFiles/pandora_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/pandora_runtime.dir/scheduler.cc.o.d"
+  "libpandora_runtime.a"
+  "libpandora_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

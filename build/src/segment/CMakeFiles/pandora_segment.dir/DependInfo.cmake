@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/segment/repack.cc" "src/segment/CMakeFiles/pandora_segment.dir/repack.cc.o" "gcc" "src/segment/CMakeFiles/pandora_segment.dir/repack.cc.o.d"
+  "/root/repo/src/segment/segment.cc" "src/segment/CMakeFiles/pandora_segment.dir/segment.cc.o" "gcc" "src/segment/CMakeFiles/pandora_segment.dir/segment.cc.o.d"
+  "/root/repo/src/segment/wire.cc" "src/segment/CMakeFiles/pandora_segment.dir/wire.cc.o" "gcc" "src/segment/CMakeFiles/pandora_segment.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pandora_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_segment.dir/repack.cc.o"
+  "CMakeFiles/pandora_segment.dir/repack.cc.o.d"
+  "CMakeFiles/pandora_segment.dir/segment.cc.o"
+  "CMakeFiles/pandora_segment.dir/segment.cc.o.d"
+  "CMakeFiles/pandora_segment.dir/wire.cc.o"
+  "CMakeFiles/pandora_segment.dir/wire.cc.o.d"
+  "libpandora_segment.a"
+  "libpandora_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_server.dir/netio.cc.o"
+  "CMakeFiles/pandora_server.dir/netio.cc.o.d"
+  "CMakeFiles/pandora_server.dir/switch.cc.o"
+  "CMakeFiles/pandora_server.dir/switch.cc.o.d"
+  "libpandora_server.a"
+  "libpandora_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/capture.cc" "src/video/CMakeFiles/pandora_video.dir/capture.cc.o" "gcc" "src/video/CMakeFiles/pandora_video.dir/capture.cc.o.d"
+  "/root/repo/src/video/display.cc" "src/video/CMakeFiles/pandora_video.dir/display.cc.o" "gcc" "src/video/CMakeFiles/pandora_video.dir/display.cc.o.d"
+  "/root/repo/src/video/dpcm.cc" "src/video/CMakeFiles/pandora_video.dir/dpcm.cc.o" "gcc" "src/video/CMakeFiles/pandora_video.dir/dpcm.cc.o.d"
+  "/root/repo/src/video/framestore.cc" "src/video/CMakeFiles/pandora_video.dir/framestore.cc.o" "gcc" "src/video/CMakeFiles/pandora_video.dir/framestore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffer/CMakeFiles/pandora_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pandora_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/pandora_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pandora_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

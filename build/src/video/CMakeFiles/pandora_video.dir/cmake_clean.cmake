@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandora_video.dir/capture.cc.o"
+  "CMakeFiles/pandora_video.dir/capture.cc.o.d"
+  "CMakeFiles/pandora_video.dir/display.cc.o"
+  "CMakeFiles/pandora_video.dir/display.cc.o.d"
+  "CMakeFiles/pandora_video.dir/dpcm.cc.o"
+  "CMakeFiles/pandora_video.dir/dpcm.cc.o.d"
+  "CMakeFiles/pandora_video.dir/framestore.cc.o"
+  "CMakeFiles/pandora_video.dir/framestore.cc.o.d"
+  "libpandora_video.a"
+  "libpandora_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandora_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

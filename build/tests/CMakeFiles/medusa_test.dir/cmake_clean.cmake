@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medusa_test.dir/medusa_test.cc.o"
+  "CMakeFiles/medusa_test.dir/medusa_test.cc.o.d"
+  "medusa_test"
+  "medusa_test.pdb"
+  "medusa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medusa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/principles_test.cc" "tests/CMakeFiles/principles_test.dir/principles_test.cc.o" "gcc" "tests/CMakeFiles/principles_test.dir/principles_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pandora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/medusa/CMakeFiles/pandora_medusa.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/pandora_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/pandora_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pandora_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pandora_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/pandora_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/pandora_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pandora_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/pandora_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pandora_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/principles_test.dir/principles_test.cc.o"
+  "CMakeFiles/principles_test.dir/principles_test.cc.o.d"
+  "principles_test"
+  "principles_test.pdb"
+  "principles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/principles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_stress_test.dir/runtime_stress_test.cc.o"
+  "CMakeFiles/runtime_stress_test.dir/runtime_stress_test.cc.o.d"
+  "runtime_stress_test"
+  "runtime_stress_test.pdb"
+  "runtime_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

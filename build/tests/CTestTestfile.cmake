@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/audio_test[1]_include.cmake")
+include("/root/repo/build/tests/video_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/repository_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/principles_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/medusa_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/contention_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

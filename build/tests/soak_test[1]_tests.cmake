@@ -1,0 +1,3 @@
+add_test([=[SoakTest.FiveMinuteConferenceStaysHealthy]=]  /root/repo/build/tests/soak_test [==[--gtest_filter=SoakTest.FiveMinuteConferenceStaysHealthy]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SoakTest.FiveMinuteConferenceStaysHealthy]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  soak_test_TESTS SoakTest.FiveMinuteConferenceStaysHealthy)
