@@ -1,9 +1,9 @@
 #include "src/audio/codec.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "src/audio/ulaw.h"
+#include "src/runtime/check.h"
 
 namespace pandora {
 namespace {
@@ -17,7 +17,7 @@ CodecInput::CodecInput(Scheduler* sched, CodecInputConfig config, SampleSource* 
     : sched_(sched), config_(std::move(config)), source_(source), out_(out) {}
 
 void CodecInput::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), config_.name, Priority::kHigh);
 }
@@ -50,7 +50,7 @@ CodecOutput::CodecOutput(Scheduler* sched, CodecOutputConfig config)
     : sched_(sched), config_(std::move(config)) {}
 
 void CodecOutput::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), config_.name, Priority::kHigh);
 }

@@ -1,10 +1,10 @@
 #include "src/audio/mixer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "src/audio/ulaw.h"
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -18,7 +18,7 @@ AudioMixer::AudioMixer(Scheduler* sched, AudioMixerOptions options, ClawbackBank
       muting_(muting) {}
 
 void AudioMixer::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   // High priority: the output side must win CPU reservations so that back
   // pressure pushes loss toward the sources (section 3.7.1).

@@ -1,7 +1,6 @@
 #include "src/audio/receiver.h"
 
-#include <cassert>
-
+#include "src/runtime/check.h"
 #include "src/segment/audio_block.h"
 
 namespace pandora {
@@ -17,7 +16,7 @@ AudioReceiver::AudioReceiver(Scheduler* sched, AudioReceiverOptions options,
       reporter_(sched, report_sink, options_.name) {}
 
 void AudioReceiver::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), options_.name, priority);
 }

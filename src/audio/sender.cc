@@ -1,7 +1,8 @@
 #include "src/audio/sender.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -22,7 +23,7 @@ AudioSender::AudioSender(Scheduler* sched, AudioSenderOptions options,
       blocks_per_segment_(options_.blocks_per_segment) {}
 
 void AudioSender::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), options_.name, priority);
 }

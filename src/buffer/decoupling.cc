@@ -1,8 +1,9 @@
 #include "src/buffer/decoupling.h"
 
-#include <cassert>
 #include <sstream>
 #include <utility>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -18,11 +19,11 @@ DecouplingBuffer::DecouplingBuffer(Scheduler* sched, Options options, ReportSink
       command_(sched, options.name + ".cmd"),
       dispatch_(sched, options.name + ".dispatch"),
       idle_(sched, options.name + ".idle") {
-  assert(capacity_ > 0);
+  PANDORA_CHECK(capacity_ > 0, "decoupling buffer needs at least one slot");
 }
 
 void DecouplingBuffer::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_, "DecouplingBuffer started twice");
   started_ = true;
   sched_->Spawn(CoreProc(), options_name_ + ".core", priority);
   // The sender runs at high priority: Pandora arranges "that the output

@@ -1,5 +1,7 @@
 #include "src/buffer/pool.h"
 
+#include "src/runtime/check.h"
+
 namespace pandora {
 
 SegmentRef SegmentRef::Dup() const {
@@ -14,8 +16,8 @@ Segment& SegmentRef::operator*() const { return *get(); }
 Segment* SegmentRef::operator->() const { return get(); }
 
 Segment* SegmentRef::get() const {
-  assert(pool_ != nullptr);
-  return &pool_->slots_[static_cast<size_t>(index_)].segment;
+  PANDORA_CHECK(pool_ != nullptr, "dereferencing an empty SegmentRef");
+  return &pool_->SlotAt(index_).segment;
 }
 
 void SegmentRef::Reset() {
@@ -74,22 +76,28 @@ std::optional<SegmentRef> BufferPool::TryAllocate() {
 }
 
 SegmentRef BufferPool::MakeRef(int32_t index) {
-  Slot& slot = slots_[static_cast<size_t>(index)];
-  assert(slot.refs == 0);
+  Slot& slot = SlotAt(index);
+  PANDORA_CHECK(slot.refs == 0, "allocating a buffer that is still referenced");
   slot.refs = 1;
   ++allocations_;
   return SegmentRef(this, index);
 }
 
+BufferPool::Slot& BufferPool::SlotAt(int32_t index) {
+  PANDORA_CHECK(index >= 0 && static_cast<size_t>(index) < slots_.size(),
+                "buffer index out of range");
+  return slots_[static_cast<size_t>(index)];
+}
+
 void BufferPool::IncRef(int32_t index) {
-  Slot& slot = slots_[static_cast<size_t>(index)];
-  assert(slot.refs > 0);
+  Slot& slot = SlotAt(index);
+  PANDORA_CHECK(slot.refs > 0, "IncRef on a buffer that was already freed");
   ++slot.refs;
 }
 
 void BufferPool::DecRef(int32_t index) {
-  Slot& slot = slots_[static_cast<size_t>(index)];
-  assert(slot.refs > 0);
+  Slot& slot = SlotAt(index);
+  PANDORA_CHECK(slot.refs > 0, "DecRef on a buffer that was already freed");
   if (--slot.refs > 0) {
     return;
   }

@@ -19,7 +19,6 @@
 #ifndef PANDORA_SRC_BUFFER_POOL_H_
 #define PANDORA_SRC_BUFFER_POOL_H_
 
-#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -105,6 +104,9 @@ class BufferPool {
 
  private:
   friend class SegmentRef;
+  // Test-only peer (tests/check_test.cc): death tests drive the private
+  // refcount mutators directly to prove the PANDORA_CHECKs fire.
+  friend class BufferPoolPeer;
 
   struct Slot {
     Segment segment;
@@ -114,6 +116,7 @@ class BufferPool {
   void IncRef(int32_t index);
   void DecRef(int32_t index);
   SegmentRef MakeRef(int32_t index);
+  Slot& SlotAt(int32_t index);
 
   Scheduler* sched_;
   std::string name_;

@@ -1,6 +1,6 @@
 #include "src/core/box.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 namespace {
@@ -127,7 +127,7 @@ SampleSource* PandoraBox::mic_source() {
 }
 
 void PandoraBox::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   switch_.Start();
   to_audio_buf_.Start();
@@ -164,7 +164,7 @@ void PandoraBox::EnsureMicProducing() {
 
 StreamId PandoraBox::AddCameraStream(StreamId stream, const Rect& rect, int rate_numer,
                                      int rate_denom, int segments_per_frame, LineCoding coding) {
-  assert(options_.with_video);
+  PANDORA_CHECK(options_.with_video);
   VideoCaptureOptions capture_options;
   capture_options.name = options_.name + ".capture." + std::to_string(stream);
   capture_options.stream = stream;

@@ -1,6 +1,6 @@
 #include "src/medusa/devices.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 namespace {
@@ -37,7 +37,7 @@ NetMicrophone::NetMicrophone(Scheduler* sched, AtmNetwork* net, Options options,
               &blocks_, &pool_, &segments_, nullptr, nullptr, report_sink) {}
 
 void NetMicrophone::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   codec_in_.Start();
   sender_.Start();
@@ -83,7 +83,7 @@ NetSpeaker::NetSpeaker(Scheduler* sched, AtmNetwork* net, Options options,
              &bank_, nullptr, &codec_out_) {}
 
 void NetSpeaker::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   net_in_.Start();
   receiver_.Start();
@@ -110,7 +110,7 @@ NetCamera::NetCamera(Scheduler* sched, AtmNetwork* net, Options options, ReportS
                &framestore_, &pool_, &segments_, nullptr, report_sink) {}
 
 void NetCamera::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   capture_.Start();
   sched_->Spawn(UplinkProc(), name_ + ".uplink", Priority::kHigh);
@@ -150,7 +150,7 @@ NetDisplay::NetDisplay(Scheduler* sched, AtmNetwork* net, Options options,
                &incoming_, report_sink) {}
 
 void NetDisplay::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   net_in_.Start();
   display_.Start();

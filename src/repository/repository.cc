@@ -1,6 +1,6 @@
 #include "src/repository/repository.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -13,7 +13,7 @@ Repository::Repository(Scheduler* sched, RepositoryOptions options, ReportSink* 
       disk_(sched, options_.name + ".disk", options_.disk_bits_per_second) {}
 
 void Repository::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   // High priority: recording wins disk reservations over playback (the
   // reversed principle 1).

@@ -21,7 +21,6 @@
 #ifndef PANDORA_SRC_RUNTIME_CHANNEL_H_
 #define PANDORA_SRC_RUNTIME_CHANNEL_H_
 
-#include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <deque>
@@ -31,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/runtime/check.h"
 #include "src/runtime/process.h"
 #include "src/runtime/scheduler.h"
 
@@ -66,24 +66,59 @@ class ChannelBase {
  protected:
   void NotifyAltWaiters() {
     // Notify is idempotent and waiters re-check readiness, so waking all of
-    // them is safe even though only one will win the data.
-    for (AltWaiter* waiter : alt_waiters_) {
-      waiter->NotifyFromChannel();
+    // them is safe even though only one will win the data.  A notified
+    // waiter may call UnregisterAltWaiter (on itself or a peer) from inside
+    // NotifyFromChannel, which would invalidate iterators into the live
+    // vector — so notify from a snapshot, and skip any waiter that was
+    // unregistered by an earlier callback in the same round.
+    notify_snapshot_ = alt_waiters_;
+    for (AltWaiter* waiter : notify_snapshot_) {
+      if (IsRegistered(waiter)) {
+        waiter->NotifyFromChannel();
+      }
     }
+    notify_snapshot_.clear();
   }
 
  private:
+  bool IsRegistered(const AltWaiter* waiter) const {
+    for (const AltWaiter* registered : alt_waiters_) {
+      if (registered == waiter) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   std::vector<AltWaiter*> alt_waiters_;
+  // Scratch for NotifyAltWaiters; member so repeated notifies reuse capacity.
+  std::vector<AltWaiter*> notify_snapshot_;
 };
 
 template <typename T>
-class Channel : public ChannelBase {
+class Channel : public ChannelBase, public ShutdownParticipant {
  public:
   explicit Channel(Scheduler* sched, std::string name = "chan")
-      : sched_(sched), name_(std::move(name)) {}
+      : sched_(sched), name_(std::move(name)) {
+    sched_->RegisterShutdownParticipant(this);
+  }
+
+  ~Channel() override { sched_->UnregisterShutdownParticipant(this); }
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
+
+  // Scheduler::Shutdown destroys coroutine frames, but values parked here
+  // (a ParkedSender's payload, an undelivered ticket in delivered_) live in
+  // the channel, not the frame.  If T owns resources — a SegmentRef into a
+  // BufferPool — they must be released now, while the pool still exists; the
+  // channel object itself may outlive the pool (e.g. a network port's tx
+  // channel vs. a device-owned pool).
+  void OnSchedulerShutdown() override {
+    senders_.clear();
+    receivers_.clear();
+    delivered_.clear();
+  }
 
   bool InputReady() const override { return !senders_.empty(); }
   size_t waiting_senders() const { return senders_.size(); }
@@ -111,6 +146,7 @@ class Channel : public ChannelBase {
     }
     void await_suspend(std::coroutine_handle<> h) {
       ProcessCtx* ctx = channel->sched_->current();
+      PANDORA_DCHECK(ctx != nullptr, "channel Send awaited outside a process");
       ctx->resume_point = h;
       // The value parks INSIDE the channel (heap-stable), never by address
       // into this possibly-relocating awaiter.
@@ -144,6 +180,7 @@ class Channel : public ChannelBase {
     }
     void await_suspend(std::coroutine_handle<> h) {
       ProcessCtx* ctx = channel->sched_->current();
+      PANDORA_DCHECK(ctx != nullptr, "channel Receive awaited outside a process");
       ctx->resume_point = h;
       ticket = channel->next_ticket_++;
       channel->receivers_.push_back(ParkedReceiver{ctx, ticket});
@@ -155,7 +192,7 @@ class Channel : public ChannelBase {
       // Parked path: claim the delivery by ticket (a value, so it survives
       // any frame relocation of this awaiter).
       auto it = channel->delivered_.find(ticket);
-      assert(it != channel->delivered_.end());
+      PANDORA_CHECK(it != channel->delivered_.end());
       T value = std::move(it->second);
       channel->delivered_.erase(it);
       return value;

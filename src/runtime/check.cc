@@ -1,0 +1,20 @@
+#include "src/runtime/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pandora {
+namespace check_internal {
+
+void CheckFail(const char* expr, const char* file, int line, const char* message) {
+  if (message != nullptr) {
+    std::fprintf(stderr, "PANDORA_CHECK failed: %s (%s) at %s:%d\n", expr, message, file, line);
+  } else {
+    std::fprintf(stderr, "PANDORA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace pandora

@@ -1,0 +1,55 @@
+// PANDORA_CHECK / PANDORA_DCHECK: always-on invariant checks.
+//
+// The paper's mechanisms rest on low-level invariants -- buffer reference
+// counts (section 3.4), rendezvous channel discipline, single-threaded
+// deterministic scheduling.  A violated invariant means corrupted streams or
+// use-after-free, so these checks are part of the product, not the debug
+// build: PANDORA_CHECK is never compiled out, prints the failed expression
+// with its location, and aborts.
+//
+//   PANDORA_CHECK(slot.refs > 0);
+//   PANDORA_CHECK(capacity > 0, "decoupling buffer needs at least one slot");
+//
+// PANDORA_DCHECK has the same shape but compiles to a no-op under NDEBUG;
+// use it only on hot paths where the check is measurable and the invariant
+// is already enforced elsewhere.  The expression is still parsed (and its
+// operands odr-used) in NDEBUG builds, so a DCHECK cannot silently rot.
+#ifndef PANDORA_SRC_RUNTIME_CHECK_H_
+#define PANDORA_SRC_RUNTIME_CHECK_H_
+
+namespace pandora {
+namespace check_internal {
+
+// Prints "CHECK failed: <expr> (<message>) at <file>:<line>" to stderr and
+// aborts.  Out of line so the macro expansion stays small at every call
+// site; [[noreturn]] lets the compiler treat the failure arm as cold.
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line,
+                            const char* message);
+
+}  // namespace check_internal
+}  // namespace pandora
+
+// Both macros accept an optional second argument: a string literal giving
+// the operator-facing description of the invariant.
+#define PANDORA_CHECK(...) \
+  PANDORA_CHECK_SELECT_(__VA_ARGS__, PANDORA_CHECK_MSG_, PANDORA_CHECK_BARE_)(__VA_ARGS__)
+
+#define PANDORA_CHECK_SELECT_(cond, msg, macro, ...) macro
+#define PANDORA_CHECK_BARE_(cond) PANDORA_CHECK_MSG_(cond, nullptr)
+#define PANDORA_CHECK_MSG_(cond, msg)                                           \
+  (static_cast<bool>(cond)                                                      \
+       ? static_cast<void>(0)                                                   \
+       : ::pandora::check_internal::CheckFail(#cond, __FILE__, __LINE__, msg))
+
+#ifdef NDEBUG
+// The expression must still compile; `false && (cond)` keeps it odr-used
+// without evaluating it, and the whole thing folds away.
+#define PANDORA_DCHECK(...) \
+  PANDORA_CHECK_SELECT_(__VA_ARGS__, PANDORA_DCHECK_MSG_, PANDORA_DCHECK_BARE_)(__VA_ARGS__)
+#define PANDORA_DCHECK_BARE_(cond) static_cast<void>(false && static_cast<bool>(cond))
+#define PANDORA_DCHECK_MSG_(cond, msg) static_cast<void>(false && static_cast<bool>(cond))
+#else
+#define PANDORA_DCHECK(...) PANDORA_CHECK(__VA_ARGS__)
+#endif
+
+#endif  // PANDORA_SRC_RUNTIME_CHECK_H_

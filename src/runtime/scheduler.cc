@@ -1,8 +1,9 @@
 #include "src/runtime/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -35,6 +36,31 @@ void Scheduler::Shutdown() {
   while (!timers_.empty()) {
     timers_.pop();
   }
+  // Frames are gone, but rendezvous values parked inside channels are not:
+  // they live in the channel object, not the coroutine frame, and may hold
+  // SegmentRefs into pools that die before the channel does.  Drain them now,
+  // while every pool is still alive.  Iterate over a snapshot: dropping a
+  // parked value can destroy another channel (e.g. one owned by a parked
+  // object), which unregisters mid-walk.
+  std::vector<ShutdownParticipant*> snapshot = shutdown_participants_;
+  for (ShutdownParticipant* participant : snapshot) {
+    if (std::find(shutdown_participants_.begin(), shutdown_participants_.end(), participant) !=
+        shutdown_participants_.end()) {
+      participant->OnSchedulerShutdown();
+    }
+  }
+}
+
+void Scheduler::RegisterShutdownParticipant(ShutdownParticipant* participant) {
+  shutdown_participants_.push_back(participant);
+}
+
+void Scheduler::UnregisterShutdownParticipant(ShutdownParticipant* participant) {
+  auto it = std::find(shutdown_participants_.begin(), shutdown_participants_.end(), participant);
+  if (it != shutdown_participants_.end()) {
+    *it = shutdown_participants_.back();
+    shutdown_participants_.pop_back();
+  }
 }
 
 ProcessHandle Scheduler::Spawn(Process process, std::string name, Priority priority) {
@@ -55,7 +81,7 @@ ProcessHandle Scheduler::Spawn(Process process, std::string name, Priority prior
 }
 
 void Scheduler::Ready(ProcessCtx* ctx) {
-  assert(ctx != nullptr);
+  PANDORA_CHECK(ctx != nullptr);
   if (shutting_down_ || ctx->done || ctx->queued) {
     return;
   }
@@ -106,6 +132,7 @@ bool Scheduler::DispatchOne() {
   ++context_switches_;
   ++ctx->resumptions;
   std::coroutine_handle<> h = ctx->resume_point;
+  PANDORA_CHECK(h != nullptr, "readied process has no resume point");
   ctx->resume_point = nullptr;
   h.resume();
   current_ = nullptr;

@@ -50,6 +50,21 @@ class TimerHandle {
   std::shared_ptr<Record> record_;
 };
 
+// Something (a channel) holding parked values that must be dropped when the
+// scheduler stops the world.  A parked rendezvous value may reference
+// resources (e.g. a SegmentRef into a BufferPool) that die before the
+// channel object itself does; Shutdown() drains registered participants
+// while those resources are still alive.
+class ShutdownParticipant {
+ public:
+  // Called during Scheduler::Shutdown, after all coroutine frames have been
+  // destroyed.  Drop parked values; nothing will run afterwards.
+  virtual void OnSchedulerShutdown() = 0;
+
+ protected:
+  ~ShutdownParticipant() = default;
+};
+
 class Scheduler {
  public:
   Scheduler();
@@ -99,6 +114,12 @@ class Scheduler {
   // destructor calls it as a last resort.  Nothing may run afterwards.
   void Shutdown();
   bool shutting_down() const { return shutting_down_; }
+
+  // Channels register so Shutdown can drain their parked values (see
+  // ShutdownParticipant).  Unregister is safe at any time, including from
+  // inside another participant's OnSchedulerShutdown.
+  void RegisterShutdownParticipant(ShutdownParticipant* participant);
+  void UnregisterShutdownParticipant(ShutdownParticipant* participant);
 
   // --- Awaitables ----------------------------------------------------------
 
@@ -184,6 +205,7 @@ class Scheduler {
   uint64_t context_switches_ = 0;
   bool rethrow_process_errors_ = true;
   bool shutting_down_ = false;
+  std::vector<ShutdownParticipant*> shutdown_participants_;
 };
 
 // Declare after the resources a test's processes reference and it will stop

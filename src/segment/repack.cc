@@ -1,6 +1,6 @@
 #include "src/segment/repack.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 namespace {
@@ -14,7 +14,7 @@ Time TimeAtByte(Time start, size_t offset) {
 }  // namespace
 
 std::vector<Segment> AudioRepacker::Push(const Segment& live) {
-  assert(live.is_audio());
+  PANDORA_CHECK(live.is_audio());
   if (!have_pending_time_ && !live.payload.empty()) {
     pending_start_time_ = live.source_time();
     have_pending_time_ = true;
@@ -50,7 +50,7 @@ Segment AudioRepacker::Emit(size_t bytes) {
 }
 
 std::vector<Segment> AudioUnpacker::Push(const Segment& stored) {
-  assert(stored.is_audio());
+  PANDORA_CHECK(stored.is_audio());
   if (!have_pending_time_ && !stored.payload.empty()) {
     pending_start_time_ = stored.source_time();
     have_pending_time_ = true;

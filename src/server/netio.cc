@@ -1,5 +1,7 @@
 #include "src/server/netio.h"
 
+#include "src/runtime/check.h"
+
 namespace pandora {
 
 NetworkOutput::NetworkOutput(Scheduler* sched, NetworkOutputOptions options, StreamTable* table,
@@ -25,7 +27,7 @@ NetworkOutput::NetworkOutput(Scheduler* sched, NetworkOutputOptions options, Str
       video_sender_(&video_buffer_.input(), &video_buffer_.ready()) {}
 
 void NetworkOutput::Start() {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   audio_buffer_.Start();
   video_buffer_.Start();

@@ -15,7 +15,6 @@
 #ifndef PANDORA_SRC_SERVER_NETIO_H_
 #define PANDORA_SRC_SERVER_NETIO_H_
 
-#include <cassert>
 #include <string>
 
 #include "src/buffer/decoupling.h"
@@ -23,6 +22,7 @@
 #include "src/control/report.h"
 #include "src/net/atm.h"
 #include "src/runtime/alt.h"
+#include "src/runtime/check.h"
 #include "src/runtime/scheduler.h"
 #include "src/server/stream_table.h"
 
@@ -85,7 +85,7 @@ class NetworkInput {
         to_switch_(to_switch) {}
 
   void Start(Priority priority = Priority::kLow) {
-    assert(!started_);
+    PANDORA_CHECK(!started_);
     started_ = true;
     sched_->Spawn(Run(), options_.name, priority);
   }

@@ -8,11 +8,11 @@
 #ifndef PANDORA_SRC_SERVER_RELAY_H_
 #define PANDORA_SRC_SERVER_RELAY_H_
 
-#include <cassert>
 #include <string>
 
 #include "src/buffer/pool.h"
 #include "src/runtime/channel.h"
+#include "src/runtime/check.h"
 #include "src/runtime/resource.h"
 #include "src/runtime/scheduler.h"
 
@@ -32,7 +32,7 @@ class LinkRelay {
         gate_(sched, name_ + ".gate", bits_per_second) {}
 
   void Start(Priority priority = Priority::kHigh) {
-    assert(!started_);
+    PANDORA_CHECK(!started_);
     started_ = true;
     sched_->Spawn(Run(), name_, priority);
   }

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -23,7 +23,7 @@ DestinationId Switch::AddDestination(const std::string& name, Channel<SegmentRef
 }
 
 void Switch::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), options_.name, priority);
 }

@@ -1,7 +1,8 @@
 #include "src/video/capture.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -17,12 +18,12 @@ VideoCapture::VideoCapture(Scheduler* sched, VideoCaptureOptions options, FrameS
       reporter_(sched, report_sink, options_.name),
       command_(sched, options_.name + ".cmd"),
       producing_(options_.start_immediately) {
-  assert(options_.rate_numer >= 0 && options_.rate_denom > 0);
-  assert(options_.segments_per_frame > 0);
+  PANDORA_CHECK(options_.rate_numer >= 0 && options_.rate_denom > 0);
+  PANDORA_CHECK(options_.segments_per_frame > 0);
 }
 
 void VideoCapture::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), options_.name, priority);
 }

@@ -1,7 +1,8 @@
 #include "src/video/display.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -14,7 +15,7 @@ VideoDisplay::VideoDisplay(Scheduler* sched, VideoDisplayOptions options,
       screen_(static_cast<size_t>(options_.width) * static_cast<size_t>(options_.height), 0) {}
 
 void VideoDisplay::Start(Priority priority) {
-  assert(!started_);
+  PANDORA_CHECK(!started_);
   started_ = true;
   sched_->Spawn(Run(), options_.name, priority);
 }

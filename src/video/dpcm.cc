@@ -1,6 +1,6 @@
 #include "src/video/dpcm.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 
@@ -42,7 +42,7 @@ std::vector<uint8_t> CompressLine(LineCoding coding, const uint8_t* pixels, int 
       break;
     }
     case LineCoding::kVerticalDelta: {
-      assert(above != nullptr);
+      PANDORA_CHECK(above != nullptr);
       for (int i = 0; i < width; ++i) {
         out.push_back(static_cast<uint8_t>(pixels[i] - above[i]));
       }

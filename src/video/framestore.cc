@@ -1,12 +1,12 @@
 #include "src/video/framestore.h"
 
-#include <cassert>
+#include "src/runtime/check.h"
 
 namespace pandora {
 
 FrameStore::FrameStore(Scheduler* sched, const FramePattern* pattern, int width, int height)
     : sched_(sched), pattern_(pattern), width_(width), height_(height) {
-  assert(width > 0 && height > 0);
+  PANDORA_CHECK(width > 0 && height > 0);
 }
 
 uint8_t FrameStore::PixelAtTime(Time t, int x, int y) const {
@@ -19,8 +19,8 @@ uint8_t FrameStore::PixelAtTime(Time t, int x, int y) const {
 }
 
 FrameStore::ReadResult FrameStore::ReadRectangleNow(const Rect& rect) const {
-  assert(rect.x >= 0 && rect.y >= 0);
-  assert(rect.x + rect.width <= width_ && rect.y + rect.height <= height_);
+  PANDORA_CHECK(rect.x >= 0 && rect.y >= 0);
+  PANDORA_CHECK(rect.x + rect.width <= width_ && rect.y + rect.height <= height_);
   Time now = sched_->now();
   ReadResult result;
   result.pixels.reserve(static_cast<size_t>(rect.width) * static_cast<size_t>(rect.height));

@@ -11,6 +11,7 @@
 #include "src/buffer/pool.h"
 #include "src/control/command.h"
 #include "src/control/report.h"
+#include "src/runtime/channel.h"
 #include "src/runtime/scheduler.h"
 #include "src/segment/audio_block.h"
 #include "src/segment/segment.h"
@@ -123,6 +124,32 @@ TEST(BufferPoolTest, FreedBufferIsScrubbed) {
   auto again = pool.TryAllocate();
   EXPECT_TRUE((*again)->payload.empty());
   EXPECT_EQ((*again)->stream, kInvalidStream);
+}
+
+// Regression test (found by ASan via the Medusa fan-out test): a SegmentRef
+// parked as a value inside a channel lives in the channel object, not a
+// coroutine frame, so Scheduler::Shutdown's frame teardown alone did not
+// release it.  When the channel outlives the pool — a network port's tx
+// channel vs. a device-owned pool — the channel destructor then DecRef'd
+// into a destroyed pool.  Shutdown must drain parked channel values while
+// every pool is still alive.
+TEST(BufferPoolTest, ShutdownReleasesSegmentsParkedInChannels) {
+  Scheduler sched;
+  // Declared before the pool, so destroyed after it: the hazardous order.
+  Channel<SegmentRef> chan(&sched, "parked");
+  BufferPool pool(&sched, "pool", 2);
+  auto sender = [](Channel<SegmentRef>* chan, BufferPool* pool) -> Process {
+    auto ref = pool->TryAllocate();
+    co_await chan->Send(std::move(*ref));
+  };
+  sched.Spawn(sender(&chan, &pool), "tx");
+  sched.RunUntilQuiescent();
+  ASSERT_EQ(chan.waiting_senders(), 1u);
+  ASSERT_EQ(pool.free_count(), 1u);
+
+  sched.Shutdown();
+  EXPECT_EQ(chan.waiting_senders(), 0u);
+  EXPECT_EQ(pool.free_count(), pool.capacity());
 }
 
 // --- DecouplingBuffer -------------------------------------------------------

@@ -1,0 +1,111 @@
+// Death tests for PANDORA_CHECK/PANDORA_DCHECK and the buffer-refcount
+// invariants they guard.
+//
+// This translation unit is compiled with -DNDEBUG (see tests/CMakeLists.txt)
+// to prove the release-build contract: PANDORA_CHECK still aborts, and
+// PANDORA_DCHECK becomes a true no-op that does not evaluate its operands.
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/buffer/pool.h"
+#include "src/runtime/check.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+// Test-only access to BufferPool's private refcount mutators, so the death
+// tests can commit the violations that SegmentRef's RAII normally prevents.
+class BufferPoolPeer {
+ public:
+  static void IncRef(BufferPool* pool, int32_t index) { pool->IncRef(index); }
+  static void DecRef(BufferPool* pool, int32_t index) { pool->DecRef(index); }
+};
+
+namespace {
+
+TEST(PandoraCheckTest, PassingCheckIsSilent) {
+  PANDORA_CHECK(2 + 2 == 4);
+  PANDORA_CHECK(true, "with a message");
+}
+
+TEST(PandoraCheckDeathTest, FailingCheckAbortsEvenUnderNdebug) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "this TU is meant to build with NDEBUG; check CMakeLists";
+#endif
+  EXPECT_DEATH(PANDORA_CHECK(1 == 2), "PANDORA_CHECK failed: 1 == 2");
+}
+
+TEST(PandoraCheckDeathTest, MessageAppearsInFailureOutput) {
+  EXPECT_DEATH(PANDORA_CHECK(false, "the turbo encabulator is misaligned"),
+               "turbo encabulator is misaligned");
+}
+
+TEST(PandoraCheckDeathTest, FailureReportsFileAndLine) {
+  EXPECT_DEATH(PANDORA_CHECK(false), "check_test.cc:");
+}
+
+TEST(PandoraCheckTest, DcheckDoesNotEvaluateOperandsUnderNdebug) {
+  int evaluations = 0;
+  auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  PANDORA_DCHECK(probe());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(PandoraCheckTest, CheckAlwaysEvaluatesItsOperandExactlyOnce) {
+  int evaluations = 0;
+  PANDORA_CHECK([&evaluations] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+// --- Refcount invariants (the paper's allocator, section 3.4) --------------
+
+TEST(BufferPoolDeathTest, DoubleFreeAborts) {
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 2);
+  auto ref = pool.TryAllocate();
+  ASSERT_TRUE(ref.has_value());
+  int32_t index = ref->index();
+  EXPECT_DEATH(
+      {
+        BufferPoolPeer::DecRef(&pool, index);  // drops the last reference
+        BufferPoolPeer::DecRef(&pool, index);  // double free
+      },
+      "already freed|refs > 0");
+}
+
+TEST(BufferPoolDeathTest, IncRefOnFreedBufferAborts) {
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 2);
+  int32_t index;
+  {
+    auto ref = pool.TryAllocate();
+    ASSERT_TRUE(ref.has_value());
+    index = ref->index();
+  }  // ref released: slot is back on the free list with refs == 0
+  EXPECT_DEATH(BufferPoolPeer::IncRef(&pool, index), "already freed|refs > 0");
+}
+
+TEST(BufferPoolDeathTest, OutOfRangeIndexAborts) {
+  Scheduler sched;
+  BufferPool pool(&sched, "pool", 2);
+  EXPECT_DEATH(BufferPoolPeer::IncRef(&pool, 99), "out of range");
+}
+
+TEST(BufferPoolDeathTest, DereferencingEmptySegmentRefAborts) {
+  SegmentRef empty;
+  EXPECT_DEATH((void)empty.get(), "empty SegmentRef");
+}
+
+}  // namespace
+}  // namespace pandora

@@ -458,6 +458,71 @@ TEST(AltTest, CommandPriorityNotStarvedByDataFirehose) {
   EXPECT_GT(data_seen, 0);
 }
 
+// A waiter that, when notified, unregisters an arbitrary set of waiters
+// (itself included) from the channel — the reentrancy pattern that would
+// invalidate iterators if NotifyAltWaiters walked its live vector.
+class UnregisteringWaiter : public AltWaiter {
+ public:
+  explicit UnregisteringWaiter(ChannelBase* channel) : channel_(channel) {}
+
+  void AlsoUnregister(AltWaiter* other) { victims_.push_back(other); }
+
+  void NotifyFromChannel() override {
+    ++notifications;
+    channel_->UnregisterAltWaiter(this);
+    for (AltWaiter* victim : victims_) {
+      channel_->UnregisterAltWaiter(victim);
+    }
+  }
+
+  int notifications = 0;
+
+ private:
+  ChannelBase* channel_;
+  std::vector<AltWaiter*> victims_;
+};
+
+TEST(ChannelAltWaiterTest, UnregisterDuringNotifyDoesNotInvalidateIteration) {
+  // Regression test: a notified waiter unregisters itself AND the next
+  // waiter in line mid-notification.  The channel must neither skip-crash on
+  // invalidated iterators nor notify the waiter that was just removed.
+  Scheduler sched;
+  Channel<int> ch(&sched, "ch");
+  UnregisteringWaiter first(&ch);
+  UnregisteringWaiter second(&ch);
+  UnregisteringWaiter third(&ch);
+  first.AlsoUnregister(&second);
+  ch.RegisterAltWaiter(&first);
+  ch.RegisterAltWaiter(&second);
+  ch.RegisterAltWaiter(&third);
+
+  auto sender = [](Channel<int>* c) -> Process { co_await c->Send(7); };
+  sched.Spawn(sender(&ch), "tx");
+  sched.RunUntilQuiescent();
+
+  EXPECT_EQ(first.notifications, 1);
+  // `second` was unregistered by `first` before its turn: never notified.
+  EXPECT_EQ(second.notifications, 0);
+  EXPECT_EQ(third.notifications, 1);
+
+  // Every waiter (third included) unregistered itself during round one, so
+  // the list is empty; a fresh registration must still work and a second
+  // notification round must reach only it.
+  third.notifications = 0;
+  ch.RegisterAltWaiter(&third);
+  std::optional<int> got = ch.TryReceive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+  auto sender2 = [](Channel<int>* c) -> Process { co_await c->Send(8); };
+  sched.Spawn(sender2(&ch), "tx2");
+  sched.RunUntilQuiescent();
+  EXPECT_EQ(first.notifications, 1);
+  EXPECT_EQ(second.notifications, 0);
+  EXPECT_EQ(third.notifications, 1);
+  ch.UnregisterAltWaiter(&third);
+  EXPECT_TRUE(ch.TryReceive().has_value());
+}
+
 TEST(ResourceTest, SerialResourceQueuesFifo) {
   Scheduler sched;
   SerialResource res(&sched, "cpu");

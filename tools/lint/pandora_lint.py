@@ -1,0 +1,490 @@
+#!/usr/bin/env python3
+"""pandora-lint: repo-specific static analysis for the Pandora codebase.
+
+The simulator's correctness rests on invariants that generic tools do not
+know about.  This pass enforces the ones that have bitten us or would be
+expensive to debug:
+
+  awaiter-retained-address
+      No address of an awaiter subobject may be retained across a suspension
+      point.  GCC 12 materializes co_await operand temporaries on the stack
+      and copies them into the coroutine frame around the suspension point,
+      so a pointer captured into an awaiter during await_suspend may dangle
+      by await_resume (see the note at the top of src/runtime/channel.h).
+      Flagged: taking the address of an awaiter data member inside
+      await_suspend.
+
+  thread-primitives
+      src/ runs on a single-threaded discrete-event scheduler; determinism
+      is part of the design (reproducible experiments, exact-seed replay).
+      OS threads, locks and blocking sleeps would silently break that.
+      Flagged: std::thread/mutex/condition_variable/future/async/semaphore,
+      <thread>-family includes, pthread_*, sleep()/usleep()/nanosleep().
+
+  include-path
+      All project includes are written full-from-root ("src/...", "tests/...",
+      "bench/...", "examples/...", "tools/...") so that a file's dependencies
+      are visible at a glance and builds do not depend on -I order.
+
+  include-guard
+      Headers under src/ use guards derived from their path:
+      src/runtime/channel.h -> PANDORA_SRC_RUNTIME_CHANNEL_H_.
+
+  raw-new-delete
+      All payload memory comes from the reference-counted BufferPool
+      (paper section 3.4); everything else uses containers or unique_ptr.
+      Raw new/delete outside src/buffer/ is almost always a leak or a
+      double-free waiting to happen.
+
+  bare-assert
+      assert() vanishes under -DNDEBUG; invariants in src/ must use
+      PANDORA_CHECK/PANDORA_DCHECK from src/runtime/check.h, which are
+      never silently compiled out (DCHECK still parses its expression).
+
+Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
+"// NOLINT") to the offending line, with a reason:
+
+    std::mutex m;  // NOLINT(pandora-thread-primitives): host-side tool
+
+Usage:
+    pandora_lint.py [--root DIR]      # lint src/ tests/ bench/ examples/
+    pandora_lint.py --self-test       # run against tools/lint/testdata/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+ALLOWED_INCLUDE_PREFIXES = ("src/", "tests/", "bench/", "examples/", "tools/")
+
+THREAD_PRIMITIVES = [
+    r"std::thread\b",
+    r"std::jthread\b",
+    r"std::mutex\b",
+    r"std::timed_mutex\b",
+    r"std::recursive_mutex\b",
+    r"std::shared_mutex\b",
+    r"std::condition_variable\b",
+    r"std::counting_semaphore\b",
+    r"std::binary_semaphore\b",
+    r"std::latch\b",
+    r"std::barrier\b",
+    r"std::future\b",
+    r"std::promise\b",
+    r"std::async\b",
+    r"std::this_thread\b",
+    r"\bpthread_\w+",
+    r"(?<![\w.:])(?:sleep|usleep|nanosleep)\s*\(",
+]
+
+THREAD_INCLUDES = [
+    "<thread>",
+    "<mutex>",
+    "<condition_variable>",
+    "<shared_mutex>",
+    "<semaphore>",
+    "<latch>",
+    "<barrier>",
+    "<future>",
+]
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [pandora-{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line layout.
+
+    Replacement uses spaces (and keeps newlines) so that line/column numbers
+    of the surviving code are unchanged.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s\\"]*)\(', text[i:])
+                if m:
+                    state = "raw_string"
+                    raw_delim = ")" + m.group(1) + '"'
+                    out.append(" " * m.end())
+                    i += m.end()
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def nolint_rules(raw_line):
+    """Returns None (no suppression), "all", or a set of suppressed rules."""
+    m = re.search(r"//\s*NOLINT(?:\(([^)]*)\))?", raw_line)
+    if not m:
+        return None
+    if m.group(1) is None:
+        return "all"
+    rules = set()
+    for entry in m.group(1).split(","):
+        entry = entry.strip()
+        if entry.startswith("pandora-"):
+            entry = entry[len("pandora-"):]
+        rules.add(entry)
+    return rules
+
+
+def find_matching_brace(text, open_idx):
+    """Index of the '}' matching the '{' at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+MEMBER_RE = re.compile(
+    r"^\s*(?!return\b|if\b|for\b|while\b|switch\b|else\b|using\b|typedef\b|"
+    r"static_assert\b|public\b|private\b|protected\b|friend\b|template\b|"
+    r"struct\b|class\b|enum\b)"
+    r"[A-Za-z_][\w:<>,*&\s]*?[\s&*]"
+    r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;\s*$",
+    re.MULTILINE,
+)
+
+
+def awaiter_members(struct_body):
+    """Best-effort list of data member names declared in a struct body."""
+    # Only look at top brace level of the struct: blank out nested braces.
+    flat = []
+    depth = 0
+    for c in struct_body:
+        if c == "{":
+            depth += 1
+            flat.append(" ")
+        elif c == "}":
+            depth -= 1
+            flat.append(" ")
+        else:
+            flat.append(c if depth == 0 else (" " if c != "\n" else "\n"))
+    flat = "".join(flat)
+    return {m.group(1) for m in MEMBER_RE.finditer(flat)}
+
+
+def check_awaiter_addresses(relpath, code, raw_lines, report):
+    """Rule awaiter-retained-address (see module docstring)."""
+    # Find struct/class bodies that define await_suspend.
+    for m in re.finditer(r"\b(?:struct|class)\s+([A-Za-z_]\w*)[^;{]*\{", code):
+        open_idx = m.end() - 1
+        close_idx = find_matching_brace(code, open_idx)
+        if close_idx < 0:
+            continue
+        body = code[open_idx + 1:close_idx]
+        if "await_suspend" not in body:
+            continue
+        members = awaiter_members(body)
+        if not members:
+            continue
+        # Locate the await_suspend function body within the struct.
+        fm = re.search(r"await_suspend\s*\([^)]*\)[^{;]*\{", body)
+        if not fm:
+            continue
+        fopen = fm.end() - 1
+        fclose = find_matching_brace(body, fopen)
+        if fclose < 0:
+            continue
+        fbody = body[fopen + 1:fclose]
+        fbody_abs = open_idx + 1 + fopen + 1  # offset of fbody within `code`
+        for am in re.finditer(r"&\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\b", fbody):
+            # Skip &&, operator&, and reference-parameter declarations.
+            before = fbody[:am.start()].rstrip()
+            if before.endswith("&") or before.endswith("operator"):
+                continue
+            name = am.group(1)
+            if name not in members:
+                continue
+            idx = fbody_abs + am.start()
+            report(
+                line_of(code, idx),
+                "awaiter-retained-address",
+                f"address of awaiter member '{name}' taken inside "
+                "await_suspend; awaiter frames may be relocated across the "
+                "suspension point (GCC 12) — park values in heap-stable "
+                "state instead (see src/runtime/channel.h)",
+            )
+
+
+def lint_file(relpath, text):
+    """Lints one file; returns a list of Findings (before NOLINT filtering)."""
+    findings = []
+    raw_lines = text.split("\n")
+    code = strip_comments_and_strings(text)
+    code_lines = code.split("\n")
+    in_src = relpath.startswith("src/")
+    is_header = relpath.endswith(".h")
+
+    def report(line, rule, message):
+        findings.append(Finding(relpath, line, rule, message))
+
+    # --- include-path ------------------------------------------------------
+    for i, line in enumerate(code_lines, 1):
+        m = re.match(r'\s*#\s*include\s+"([^"]+)"', raw_lines[i - 1])
+        if m and not m.group(1).startswith(ALLOWED_INCLUDE_PREFIXES):
+            report(
+                i, "include-path",
+                f'include "{m.group(1)}" is not written full-from-root '
+                "(expected a src/, tests/, bench/, examples/ or tools/ prefix)",
+            )
+
+    # --- include-guard (src headers only) ----------------------------------
+    if in_src and is_header:
+        expected = (
+            "PANDORA_" + relpath[:-len(".h")].upper().replace("/", "_").replace(".", "_")
+            + "_H_"
+        )
+        gm = re.search(r"#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)", code)
+        if not gm:
+            report(1, "include-guard",
+                   f"missing include guard (expected {expected})")
+        elif gm.group(1) != expected or gm.group(2) != expected:
+            report(line_of(code, gm.start()), "include-guard",
+                   f"include guard {gm.group(1)} does not match path "
+                   f"(expected {expected})")
+
+    # --- src-only rules -----------------------------------------------------
+    if in_src:
+        for i, line in enumerate(code_lines, 1):
+            raw = raw_lines[i - 1]
+            # thread-primitives
+            for pat in THREAD_PRIMITIVES:
+                m = re.search(pat, line)
+                if m:
+                    report(i, "thread-primitives",
+                           f"'{m.group(0).strip()}' breaks the deterministic "
+                           "single-threaded scheduler contract of src/")
+            for inc in THREAD_INCLUDES:
+                if re.match(r"\s*#\s*include\s+" + re.escape(inc), raw):
+                    report(i, "thread-primitives",
+                           f"include of {inc} in src/ (threading primitives "
+                           "are banned inside the simulator)")
+            # bare-assert
+            if re.search(r"(?<!static_)\bassert\s*\(", line):
+                report(i, "bare-assert",
+                       "assert() is compiled out under -DNDEBUG; use "
+                       "PANDORA_CHECK/PANDORA_DCHECK (src/runtime/check.h)")
+            if re.match(r"\s*#\s*include\s+<(cassert|assert\.h)>", raw):
+                report(i, "bare-assert",
+                       "include of <cassert> in src/; use "
+                       "src/runtime/check.h instead")
+            # raw-new-delete (placement new included; the only exemption is
+            # the buffer allocator itself)
+            if not relpath.startswith("src/buffer/"):
+                if re.search(r"\bnew\b", line):
+                    report(i, "raw-new-delete",
+                           "raw 'new' outside src/buffer/ — memory comes "
+                           "from BufferPool or standard containers")
+                dm = re.search(r"\bdelete\b(?!\s*;)", line)
+                if dm:
+                    report(i, "raw-new-delete",
+                           "raw 'delete' outside src/buffer/ — memory comes "
+                           "from BufferPool or standard containers")
+
+    # --- awaiter-retained-address (everywhere: tests define awaiters too) ---
+    check_awaiter_addresses(relpath, code, raw_lines, report)
+
+    # --- NOLINT filtering ---------------------------------------------------
+    kept = []
+    for f in findings:
+        raw = raw_lines[f.line - 1] if 0 < f.line <= len(raw_lines) else ""
+        suppressed = nolint_rules(raw)
+        if suppressed == "all" or (suppressed and f.rule in suppressed):
+            continue
+        kept.append(f)
+    return kept
+
+
+def iter_source_files(root, dirs):
+    for d in dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, fn)
+                    yield os.path.relpath(full, root).replace(os.sep, "/"), full
+
+
+def run_lint(root, dirs=SCAN_DIRS):
+    all_findings = []
+    count = 0
+    for relpath, full in iter_source_files(root, dirs):
+        count += 1
+        with open(full, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        all_findings.extend(lint_file(relpath, text))
+    return all_findings, count
+
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([\w-]+)")
+
+
+def run_self_test(testdata):
+    """known-bad fixtures must produce exactly their EXPECT-LINT findings;
+    known-good fixtures must be clean."""
+    failures = []
+    checked = 0
+    for relpath, full in iter_source_files(testdata, ["good", "bad"]):
+        checked += 1
+        with open(full, encoding="utf-8") as fh:
+            text = fh.read()
+        # Fixtures live under good/<scope>/... and bad/<scope>/...; lint them
+        # as if they sat at <scope>/... in the repo.
+        kind, _, virtual = relpath.partition("/")
+        findings = lint_file(virtual, text)
+        expected = {}  # line -> set of rules
+        for i, line in enumerate(text.split("\n"), 1):
+            for m in EXPECT_RE.finditer(line):
+                expected.setdefault(i, set()).add(m.group(1))
+        got = {}
+        for f in findings:
+            got.setdefault(f.line, set()).add(f.rule)
+        if kind == "good":
+            if findings:
+                for f in findings:
+                    failures.append(f"{relpath}: unexpected finding: {f}")
+        else:
+            if got != expected:
+                for line in sorted(set(expected) | set(got)):
+                    want = expected.get(line, set())
+                    have = got.get(line, set())
+                    if want != have:
+                        failures.append(
+                            f"{relpath}:{line}: expected {sorted(want) or 'none'}, "
+                            f"got {sorted(have) or 'none'}")
+    return failures, checked
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up from this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the known-good/known-bad fixtures in testdata/")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (relative to --root)")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(script_dir))
+
+    if args.self_test:
+        failures, checked = run_self_test(os.path.join(script_dir, "testdata"))
+        if failures:
+            print("\n".join(failures))
+            print(f"pandora-lint self-test: FAILED ({len(failures)} mismatches "
+                  f"across {checked} fixtures)")
+            return 1
+        print(f"pandora-lint self-test: OK ({checked} fixtures)")
+        return 0
+
+    if args.paths:
+        findings = []
+        count = 0
+        for rel in args.paths:
+            full = os.path.join(root, rel)
+            count += 1
+            try:
+                with open(full, encoding="utf-8", errors="replace") as fh:
+                    text = fh.read()
+            except OSError as e:
+                print(f"pandora-lint: error: cannot read {rel}: {e.strerror}", file=sys.stderr)
+                return 2
+            findings.extend(lint_file(rel.replace(os.sep, "/"), text))
+    else:
+        findings, count = run_lint(root)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"pandora-lint: {len(findings)} finding(s) in {count} files")
+        return 1
+    print(f"pandora-lint: OK ({count} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

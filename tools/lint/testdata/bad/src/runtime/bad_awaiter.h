@@ -1,0 +1,28 @@
+// Fixture: retains a pointer to an awaiter subobject across a suspension
+// point — the GCC-12 frame-relocation hazard pandora-lint exists to catch.
+#ifndef PANDORA_SRC_RUNTIME_BAD_AWAITER_H_
+#define PANDORA_SRC_RUNTIME_BAD_AWAITER_H_
+
+#include <coroutine>
+
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+struct BadSendAwaiter {
+  int value;
+  int* parked_elsewhere;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    // Retaining &value across the suspension: the awaiter may be relocated
+    // between await_suspend and await_resume, leaving this pointer dangling.
+    parked_elsewhere = &value;  // EXPECT-LINT: awaiter-retained-address
+    (void)h;
+  }
+  void await_resume() const {}
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_BAD_AWAITER_H_

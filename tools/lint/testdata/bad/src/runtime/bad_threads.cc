@@ -1,0 +1,17 @@
+// Fixture: OS threading and blocking primitives inside src/ break the
+// deterministic discrete-event scheduler.
+#include <mutex>  // EXPECT-LINT: thread-primitives
+#include <thread>  // EXPECT-LINT: thread-primitives
+
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+void SpinUpWorker() {
+  std::mutex lock;  // EXPECT-LINT: thread-primitives
+  std::thread worker([] {});  // EXPECT-LINT: thread-primitives
+  usleep(1000);  // EXPECT-LINT: thread-primitives
+  worker.join();
+}
+
+}  // namespace pandora

@@ -1,0 +1,23 @@
+// Fixture: wrong include guard, relative include, raw new/delete, and a
+// bare assert, all in one src/ header.
+#ifndef BAD_MISC_H  // EXPECT-LINT: include-guard
+#define BAD_MISC_H
+
+#include <cassert>  // EXPECT-LINT: bare-assert
+
+#include "segment.h"  // EXPECT-LINT: include-path
+
+namespace pandora {
+
+inline int* MakeScratch(int n) {
+  assert(n > 0);  // EXPECT-LINT: bare-assert
+  return new int[n];  // EXPECT-LINT: raw-new-delete
+}
+
+inline void FreeScratch(int* p) {
+  delete[] p;  // EXPECT-LINT: raw-new-delete
+}
+
+}  // namespace pandora
+
+#endif  // BAD_MISC_H

@@ -1,0 +1,40 @@
+// Fixture: the approved awaiter shape — values park in heap-stable channel
+// state, never by address into the (possibly relocating) awaiter; also a
+// justified NOLINT suppression and static_assert, which must not be flagged.
+#ifndef PANDORA_SRC_RUNTIME_GOOD_AWAITER_H_
+#define PANDORA_SRC_RUNTIME_GOOD_AWAITER_H_
+
+#include <coroutine>
+#include <utility>
+
+#include "src/runtime/check.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+template <typename T>
+struct GoodSendAwaiter {
+  Scheduler* sched;
+  T value;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    // The value MOVES into heap-stable scheduler-owned storage; no address
+    // of an awaiter subobject survives the suspension.
+    sched->Park(h, std::move(value));
+  }
+  void await_resume() const {}
+};
+
+static_assert(sizeof(int) == 4);
+
+inline void HostOnlyHelper() {
+  // A deliberate, documented exemption: suppressions must silence the rule.
+  int* scratch = new int[4];  // NOLINT(pandora-raw-new-delete): fixture
+  delete[] scratch;           // NOLINT(pandora-raw-new-delete): fixture
+  PANDORA_CHECK(scratch != nullptr);
+}
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_GOOD_AWAITER_H_

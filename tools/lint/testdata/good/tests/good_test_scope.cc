@@ -1,0 +1,18 @@
+// Fixture: src/-only rules must not fire outside src/ — tests may use
+// assert, raw new (gtest fixtures do), and host threading if they need it.
+#include <cassert>
+#include <thread>
+
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+void HostSideHarness() {
+  assert(true);
+  int* scratch = new int[8];
+  delete[] scratch;
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace pandora
