@@ -71,15 +71,18 @@ Process Mixer(Scheduler* sched, ClawbackBank* bank, std::vector<double>* delay_b
 }  // namespace
 }  // namespace pandora
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pandora;
+  BenchParseArgs(argc, argv);
   BenchHeader("E1", "clawback convergence after a jitter episode",
               "clawback rate = 1 in 4000 (2ms per 8.192s); 20ms -> 4ms takes ~1 minute");
 
   const Time kSwitchover = Seconds(30);
   const Time kEnd = Seconds(150);
   Scheduler sched;
+  BenchEnableTrace(sched);
   ClawbackBank bank{ClawbackConfig{}};
+  bank.BindTrace(sched.trace(), "clawback");
   Rng rng(42);
   std::vector<JitterPhase> phases = {{kSwitchover, Millis(20)}, {kEnd, Millis(2)}};
   std::vector<double> delay_by_second;
@@ -88,6 +91,7 @@ int main() {
     sched.Spawn(Producer(&sched, &bank, &phases, &rng, kEnd), "producer");
     sched.Spawn(Mixer(&sched, &bank, &delay_by_second, kEnd), "mixer");
     sched.RunUntilQuiescent();
+    BenchExportTrace(sched);
   }
 
   std::printf("\n  jitter-correction delay over time (1 sample/s):\n");
@@ -133,5 +137,5 @@ int main() {
            100.0 * static_cast<double>(stats.clawback_drops) /
                static_cast<double>(stats.pushes),
            "%", "(1 in 4000 = 0.025%)");
-  return 0;
+  return BenchFinish();
 }

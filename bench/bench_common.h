@@ -5,16 +5,84 @@
 // executables (google-benchmark is linked for the micro-benchmarks that use
 // it; the system experiments below are single deterministic runs over
 // simulated time, where wall-clock benchmarking machinery adds nothing).
+//
+// Every bench accepts:
+//   --json=<path>       also emit every BenchRow as a JSON record
+//                       {exp_id, label, value, unit} (the BENCH_*.json
+//                       perf-trajectory format)
+//   --trace-out=<path>  run with the telemetry recorder enabled and export
+//                       a Chrome/Perfetto trace of the (last) run
+// PANDORA_TRACE=1 in the environment also enables recording (see
+// src/trace/trace.h); --trace-out both enables and exports.
 #ifndef PANDORA_BENCH_BENCH_COMMON_H_
 #define PANDORA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/scheduler.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
+struct BenchJsonRecord {
+  std::string exp_id;
+  std::string label;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct BenchOutputState {
+  std::string exp_id;
+  std::string json_path;
+  std::string trace_path;
+  std::vector<BenchJsonRecord> rows;
+};
+
+inline BenchOutputState& BenchState() {
+  static BenchOutputState state;
+  return state;
+}
+
+// Consumes --json= and --trace-out=; unknown arguments are ignored so
+// benches stay forgiving about harness-added flags.
+inline void BenchParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--json=", 0) == 0) {
+      BenchState().json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      BenchState().trace_path = std::string(arg.substr(12));
+    }
+  }
+}
+
+inline bool BenchTraceRequested() { return !BenchState().trace_path.empty(); }
+
+// Call before Simulation::Start / RunFor: turns the recorder on when a trace
+// was requested on the command line.
+inline void BenchEnableTrace(Scheduler& sched) {
+  if (BenchTraceRequested()) {
+    sched.trace()->Enable();
+  }
+}
+
+// Call after the run, while the Scheduler is still alive.  Overwrites the
+// output, so in a bench that sweeps configurations the last traced run wins.
+inline void BenchExportTrace(Scheduler& sched) {
+  if (BenchTraceRequested() && sched.trace()->enabled()) {
+    if (!sched.trace()->ExportJsonTo(BenchState().trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", BenchState().trace_path.c_str());
+    }
+  }
+}
+
 inline void BenchHeader(const std::string& id, const std::string& title,
                         const std::string& claim) {
+  BenchState().exp_id = id;
   std::printf("==============================================================\n");
   std::printf("%s: %s\n", id.c_str(), title.c_str());
   std::printf("paper: %s\n", claim.c_str());
@@ -24,9 +92,56 @@ inline void BenchHeader(const std::string& id, const std::string& title,
 inline void BenchRow(const std::string& label, double value, const std::string& unit,
                      const std::string& note = "") {
   std::printf("  %-38s %12.3f %-8s %s\n", label.c_str(), value, unit.c_str(), note.c_str());
+  BenchState().rows.push_back(BenchJsonRecord{BenchState().exp_id, label, value, unit});
 }
 
 inline void BenchNote(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+inline void BenchAppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += ' ';
+    } else {
+      *out += c;
+    }
+  }
+}
+
+// Writes the collected rows as a JSON array if --json= was given.  Call at
+// the end of main; returns the process exit code.
+inline int BenchFinish() {
+  const BenchOutputState& state = BenchState();
+  if (state.json_path.empty()) {
+    return 0;
+  }
+  std::string out = "[\n";
+  for (size_t i = 0; i < state.rows.size(); ++i) {
+    const BenchJsonRecord& row = state.rows[i];
+    out += "  {\"exp_id\":\"";
+    BenchAppendJsonEscaped(&out, row.exp_id);
+    out += "\",\"label\":\"";
+    BenchAppendJsonEscaped(&out, row.label);
+    out += "\",\"value\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", row.value);
+    out += buf;
+    out += ",\"unit\":\"";
+    BenchAppendJsonEscaped(&out, row.unit);
+    out += "\"}";
+    out += (i + 1 == state.rows.size()) ? "\n" : ",\n";
+  }
+  out += "]\n";
+  std::ofstream file(state.json_path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "failed to write bench JSON to %s\n", state.json_path.c_str());
+    return 1;
+  }
+  file << out;
+  return file.flush() ? 0 : 1;
+}
 
 }  // namespace pandora
 

@@ -33,6 +33,7 @@ Decomposition Run(int blocks_per_segment) {
   PandoraBox& tx = sim.AddBox(options);
   options.name = "rx";
   PandoraBox& rx = sim.AddBox(options);
+  BenchEnableTrace(sim.scheduler());
   sim.Start();
   StreamId stream = sim.SendAudio(tx, rx);
   if (blocks_per_segment != kDefaultBlocksPerSegment) {
@@ -46,6 +47,7 @@ Decomposition Run(int blocks_per_segment) {
         "host.blocks");
   }
   sim.RunFor(Seconds(10));
+  BenchExportTrace(sim.scheduler());
 
   Decomposition d;
   const StatAccumulator* mixer_latency = rx.mixer().LatencyFor(stream);
@@ -63,8 +65,9 @@ Decomposition Run(int blocks_per_segment) {
 }  // namespace
 }  // namespace pandora
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pandora;
+  BenchParseArgs(argc, argv);
   BenchHeader("E6", "one-way mic -> speaker latency decomposition",
               "best trip 8ms: 4ms buffering to the codec + 2ms from the codec + transit");
 
@@ -92,5 +95,5 @@ int main() {
   BenchRow("best one-way trip (1-block segments)", best.min_total_ms, "ms", "(paper: 8ms)");
   BenchRow("playout (buffering to codec)", best.playout_ms, "ms", "(paper: ~4ms)");
   BenchNote("the 'from the codec' 2ms is the block accumulation inside mic->mixer");
-  return 0;
+  return BenchFinish();
 }

@@ -63,8 +63,10 @@ Process InterfaceLoad(Scheduler* sched, CpuModel* cpu, const AudioCpuCosts& cost
 Outcome RunConfig(int streams, bool full_featured) {
   Scheduler sched;
   ShutdownGuard guard(&sched);
+  BenchEnableTrace(sched);
   CpuModel cpu(&sched, "audio.cpu");
   ClawbackBank bank{ClawbackConfig{}};
+  bank.BindTrace(sched.trace(), "clawback");
   CodecOutput out(&sched, {.name = "codec.out"});
   MutingControl muting;
   AudioCpuCosts costs;
@@ -82,6 +84,7 @@ Outcome RunConfig(int streams, bool full_featured) {
   out.Start();
   mixer.Start();
   sched.RunUntil(kEnd);
+  BenchExportTrace(sched);
 
   Outcome outcome;
   outcome.cpu_utilization = cpu.Utilization();
@@ -95,8 +98,9 @@ Outcome RunConfig(int streams, bool full_featured) {
 }  // namespace
 }  // namespace pandora
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pandora;
+  BenchParseArgs(argc, argv);
   BenchHeader("E4", "how many streams can the audio board mix?",
               "T425 mixes 5 plain streams; only 3 with jitter correction + muting + "
               "outgoing stream + interface code");
@@ -134,5 +138,5 @@ int main() {
   std::printf("\n");
   BenchRow("max plain streams", plain_max, "", "(paper: 5)");
   BenchRow("max full-featured streams", full_max, "", "(paper: 3)");
-  return 0;
+  return BenchFinish();
 }

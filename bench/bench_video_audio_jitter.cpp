@@ -38,6 +38,7 @@ Outcome Run(bool with_video, int segments_per_frame) {
   PandoraBox& tx = sim.AddBox(options);
   options.name = "rx";
   PandoraBox& rx = sim.AddBox(options);
+  BenchEnableTrace(sim.scheduler());
   sim.Start();
 
   StreamId audio = sim.SendAudio(tx, rx);
@@ -52,6 +53,7 @@ Outcome Run(bool with_video, int segments_per_frame) {
                        LineCoding::kRawLine);
   }
   sim.RunFor(Seconds(10));
+  BenchExportTrace(sim.scheduler());
 
   Outcome o;
   // The hold-up happens at the (non-interleaving) egress, BEFORE a segment
@@ -74,8 +76,9 @@ Outcome Run(bool with_video, int segments_per_frame) {
 }  // namespace
 }  // namespace pandora
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pandora;
+  BenchParseArgs(argc, argv);
   BenchHeader("E7", "audio jitter behind non-interleaved video segments",
               "video segments hold up audio at the interface: up to 20ms of jitter");
 
@@ -107,5 +110,5 @@ int main() {
   BenchRow("audio jitter with smaller segments", sliced.jitter_ms, "ms",
            "(smaller segments -> less hold-up)");
   BenchNote("the clawback buffer grows to ride out exactly this jitter (E1)");
-  return 0;
+  return BenchFinish();
 }

@@ -44,6 +44,8 @@ Process AudioMixer::Run() {
     }
 
     auto streams = bank_->ActiveStreams();
+    PANDORA_TRACE_COUNTER(sched_->trace(), trace_streams_site_, options_.name + ".streams",
+                          static_cast<int64_t>(streams.size()));
 
     if (cpu_ != nullptr) {
       Duration cost =
@@ -73,6 +75,11 @@ Process AudioMixer::Run() {
         Duration block_latency = sched_->now() - block->source_time;
         latency_[stream].Add(static_cast<double>(block_latency));
         all_latency_.Add(static_cast<double>(block_latency));
+        // End-to-end latency keyed by (stream, final hop): source timestamp
+        // to mix time at this destination.
+        PANDORA_TRACE_HISTOGRAM(sched_->trace(), trace_hists_[stream],
+                                options_.name + ".e2e.s" + std::to_string(stream), "us",
+                                block_latency);
       }
       for (int i = 0; i < kAudioBlockSamples; ++i) {
         accumulator[i] += ULawDecode(block->samples[static_cast<size_t>(i)]);

@@ -90,6 +90,11 @@ class AudioMixer {
   uint64_t silences_ = 0;
   uint64_t blocks_mixed_ = 0;
   bool started_ = false;
+
+  // Telemetry: per-stream end-to-end latency histograms (source to mix,
+  // the final hop) and an active-stream counter per tick.
+  std::map<StreamId, TraceSiteId> trace_hists_;
+  TraceSiteId trace_streams_site_ = 0;
 };
 
 }  // namespace pandora

@@ -1,8 +1,32 @@
 #include "src/buffer/clawback.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 namespace pandora {
+
+// Drop-instant "reason" argument values (see DESIGN.md section 7).
+namespace {
+constexpr int64_t kDropReasonLimit = 1;
+constexpr int64_t kDropReasonClawback = 2;
+constexpr int64_t kDropReasonPool = 3;
+}  // namespace
+
+void ClawbackBuffer::BindTrace(TraceRecorder* trace, const std::string& bank_prefix) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_prefix_ = bank_prefix + ".s" + std::to_string(stream_);
+  }
+}
+
+void ClawbackBank::BindTrace(TraceRecorder* trace, std::string prefix) {
+  trace_ = trace;
+  trace_prefix_ = std::move(prefix);
+  for (auto& [stream, buffer] : buffers_) {
+    buffer.BindTrace(trace_, trace_prefix_);
+  }
+}
 
 ClawbackBuffer::ClawbackBuffer(StreamId stream, const ClawbackConfig& config, ClawbackPool* pool,
                                Reporter* reporter)
@@ -72,11 +96,15 @@ ClawbackPushResult ClawbackBuffer::Push(const AudioBlock& block) {
                         "stream buffered past its jitter limit; investigate upstream",
                         static_cast<int64_t>(stream_));
     }
+    PANDORA_TRACE_INSTANT2(trace_, trace_drop_site_, trace_prefix_ + ".drop", "reason",
+                           kDropReasonLimit, "depth", static_cast<int64_t>(blocks_.size()));
     return ClawbackPushResult::kDroppedOverLimit;
   }
 
   if (ClawbackDue()) {
     ++stats_.clawback_drops;
+    PANDORA_TRACE_INSTANT2(trace_, trace_drop_site_, trace_prefix_ + ".drop", "reason",
+                           kDropReasonClawback, "depth", static_cast<int64_t>(blocks_.size()));
     return ClawbackPushResult::kDroppedClawback;
   }
 
@@ -86,11 +114,15 @@ ClawbackPushResult ClawbackBuffer::Push(const AudioBlock& block) {
       reporter_->Report("clawback.pool", ReportSeverity::kError,
                         "shared clawback pool exhausted", static_cast<int64_t>(stream_));
     }
+    PANDORA_TRACE_INSTANT2(trace_, trace_drop_site_, trace_prefix_ + ".drop", "reason",
+                           kDropReasonPool, "depth", static_cast<int64_t>(blocks_.size()));
     return ClawbackPushResult::kDroppedPoolExhausted;
   }
 
   blocks_.push_back(block);
   stats_.max_depth = std::max(stats_.max_depth, blocks_.size());
+  PANDORA_TRACE_COUNTER(trace_, trace_depth_site_, trace_prefix_ + ".depth",
+                        static_cast<int64_t>(blocks_.size()));
   return ClawbackPushResult::kStored;
 }
 
@@ -105,6 +137,8 @@ std::optional<AudioBlock> ClawbackBuffer::Pop() {
   if (pool_ != nullptr) {
     pool_->Release(kAudioBlockDuration);
   }
+  PANDORA_TRACE_COUNTER(trace_, trace_depth_site_, trace_prefix_ + ".depth",
+                        static_cast<int64_t>(blocks_.size()));
   return block;
 }
 
@@ -117,9 +151,13 @@ ClawbackPushResult ClawbackBank::Push(StreamId stream, const AudioBlock& block) 
              .emplace(std::piecewise_construct, std::forward_as_tuple(stream),
                       std::forward_as_tuple(stream, config_, &pool_, reporter_))
              .first;
+    it->second.BindTrace(trace_, trace_prefix_);
     ++activations_;
   }
-  return it->second.Push(block);
+  ClawbackPushResult result = it->second.Push(block);
+  PANDORA_TRACE_COUNTER(trace_, trace_pool_site_, trace_prefix_ + ".pool_in_use",
+                        pool_.in_use());
+  return result;
 }
 
 std::vector<StreamId> ClawbackBank::ActiveStreams() const {

@@ -34,10 +34,12 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/control/report.h"
 #include "src/runtime/time.h"
+#include "src/trace/trace.h"
 #include "src/segment/audio_block.h"
 #include "src/segment/constants.h"
 
@@ -127,6 +129,11 @@ class ClawbackBuffer {
   };
   const Stats& stats() const { return stats_; }
 
+  // Optional telemetry: occupancy counter + drop instants on tracks under
+  // `bank_prefix` (e.g. "rx.clawback.s3.depth").  Buffers have no Scheduler
+  // of their own, so the owner supplies the recorder.
+  void BindTrace(TraceRecorder* trace, const std::string& bank_prefix);
+
  private:
   bool AboveTarget() const {
     return blocks_.size() > static_cast<size_t>(config_.lower_target_blocks);
@@ -148,6 +155,11 @@ class ClawbackBuffer {
   uint64_t blocks_since_reset_ = 0;
 
   Stats stats_;
+
+  TraceRecorder* trace_ = nullptr;
+  std::string trace_prefix_;  // "<bank prefix>.s<stream>"
+  TraceSiteId trace_depth_site_ = 0;
+  TraceSiteId trace_drop_site_ = 0;
 };
 
 // Per-destination collection of clawback buffers with the paper's automatic
@@ -175,6 +187,12 @@ class ClawbackBank {
   // Aggregate stats folded in from buffers as they deactivate, plus live.
   ClawbackBuffer::Stats TotalStats() const;
 
+  // Optional telemetry: per-stream occupancy/drops plus a shared-pool
+  // counter, on tracks under `prefix` (e.g. "rx.clawback").  Applies to
+  // buffers created afterwards; banks auto-create buffers per stream, so
+  // bind before traffic starts.
+  void BindTrace(TraceRecorder* trace, std::string prefix);
+
  private:
   ClawbackConfig config_;
   ClawbackPool pool_;
@@ -183,6 +201,10 @@ class ClawbackBank {
   ClawbackBuffer::Stats retired_;
   uint64_t activations_ = 0;
   uint64_t deactivations_ = 0;
+
+  TraceRecorder* trace_ = nullptr;
+  std::string trace_prefix_;
+  TraceSiteId trace_pool_site_ = 0;
 };
 
 }  // namespace pandora

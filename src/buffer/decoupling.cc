@@ -97,6 +97,8 @@ Process DecouplingBuffer::CoreProc() {
       SegmentRef item = std::move(queue_.front());
       queue_.pop_front();
       ++total_out_;
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_depth_site_, options_name_ + ".depth",
+                            static_cast<int64_t>(queue_.size()));
       sender_idle_ = false;
       co_await dispatch_.Send(std::move(item));  // sender is parked: instant
       co_await MaybeSendDeferredReady();
@@ -104,6 +106,8 @@ Process DecouplingBuffer::CoreProc() {
       SegmentRef item = co_await input_.Receive();
       queue_.push_back(std::move(item));
       ++total_in_;
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_depth_site_, options_name_ + ".depth",
+                            static_cast<int64_t>(queue_.size()));
       if (queue_.size() > max_depth_seen_) {
         max_depth_seen_ = queue_.size();
       }

@@ -91,6 +91,7 @@ class DecouplingBuffer {
   size_t max_depth_seen_ = 0;
   uint64_t total_in_ = 0;
   uint64_t total_out_ = 0;
+  TraceSiteId trace_depth_site_ = 0;  // occupancy counter track
 };
 
 // Producer-side helper for the ready-channel protocol.  Tracks the latest

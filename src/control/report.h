@@ -18,6 +18,7 @@
 
 #include "src/runtime/scheduler.h"
 #include "src/runtime/time.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -50,6 +51,11 @@ class ReportCollector : public ReportSink {
  public:
   void Submit(Report report) override {
     counts_by_kind_[report.kind] += 1 + report.suppressed;
+    // Mirror the control plane onto the trace timeline as instant events
+    // ("<source>.<kind>" tracks), so reports and telemetry share one view.
+    // Reports are rate-limited upstream, so the dynamic-name intern is cold.
+    PANDORA_TRACE_INSTANT_DYN(trace_, report.source + "." + report.kind, report.value,
+                              static_cast<int64_t>(report.severity));
     log_.push_back(std::move(report));
   }
 
@@ -67,9 +73,13 @@ class ReportCollector : public ReportSink {
   // Renders the log as the host would write it to a file.
   std::string Format() const;
 
+  // Mirrors every subsequent report into `trace` (null to stop mirroring).
+  void BindTrace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   std::vector<Report> log_;
   std::map<std::string, uint64_t> counts_by_kind_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 // Per-process report front-end implementing the minimum-period rule.  The

@@ -84,6 +84,9 @@ PandoraBox::PandoraBox(Scheduler* sched, AtmNetwork* net, Options options,
       video_down_link_(sched, options_.name + ".fifo.video_down", &to_display_buf_.output(),
                        &video_down_, kVideoFifoBps),
       mic_stream_(options_.mic_stream) {
+  // The bank has no Scheduler of its own; hand it the box's recorder so
+  // clawback occupancy/drops appear on "<box>.clawback.*" tracks.
+  bank_.BindTrace(sched->trace(), options_.name + ".clawback");
   dest_audio_out_ = switch_.AddDestination("audio_out", &to_audio_buf_);
   dest_display_ = switch_.AddDestination("display", &to_display_buf_);
   dest_network_ = switch_.AddDestination("network", &net_out_.input(), &net_out_.ready());

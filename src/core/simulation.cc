@@ -2,7 +2,11 @@
 
 namespace pandora {
 
-Simulation::Simulation(uint64_t seed) : sched_(), reports_(), net_(&sched_, seed) {}
+Simulation::Simulation(uint64_t seed) : sched_(), reports_(), net_(&sched_, seed) {
+  // One timeline: the control plane's reports land on the same trace as the
+  // telemetry recorded by the runtime/buffers/network.
+  reports_.BindTrace(sched_.trace());
+}
 
 Simulation::~Simulation() {
   // Destroy every coroutine frame before the boxes (whose pools and

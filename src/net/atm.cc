@@ -59,6 +59,7 @@ void AtmNetwork::OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<Ne
   circuit->dst = dst;
   circuit->path = std::move(path);
   circuit->direct = direct;
+  circuit->trace_name = dst->name() + ".net.vci" + std::to_string(vci);
   circuit->stage_last_exit.assign(std::max<size_t>(1, circuit->path.size()), 0);
   circuits_[{src, vci}] = std::move(circuit);
 }
@@ -84,6 +85,10 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
     if (rng_.Bernoulli(circuit->direct.loss_rate)) {
       ++circuit->stats.lost;
       ++total_lost_;
+      PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+                             circuit->trace_name + ".loss", "seq",
+                             static_cast<int64_t>(segment.header.sequence), "bytes",
+                             static_cast<int64_t>(bytes));
       co_return;
     }
     Duration jitter = circuit->direct.jitter_max > 0
@@ -102,6 +107,10 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
           hop->gate.current_queue_delay() > hop->quality.max_queue) {
         ++circuit->stats.lost;
         ++total_lost_;
+        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+                               circuit->trace_name + ".loss", "seq",
+                               static_cast<int64_t>(segment.header.sequence), "bytes",
+                               static_cast<int64_t>(bytes));
         co_return;
       }
       // The gate serializes whole segments FIFO across every circuit
@@ -122,6 +131,9 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
   ++circuit->stats.delivered;
   ++total_delivered_;
   circuit->stats.latency.Add(static_cast<double>(sched_->now() - departed));
+  // Per-(stream, network-hop) transit latency, keyed by the destination VCI.
+  PANDORA_TRACE_HISTOGRAM(sched_->trace(), circuit->trace_hist,
+                          circuit->trace_name + ".latency", "us", sched_->now() - departed);
   if (circuit->last_rx_time >= 0) {
     circuit->stats.inter_arrival.Add(static_cast<double>(sched_->now() - circuit->last_rx_time));
   }

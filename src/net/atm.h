@@ -30,6 +30,7 @@
 #include "src/runtime/scheduler.h"
 #include "src/runtime/stats.h"
 #include "src/segment/constants.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -136,6 +137,10 @@ class AtmNetwork {
     std::vector<Time> stage_last_exit;
     Time last_rx_time = -1;
     CircuitStats stats;
+    // Telemetry track prefix "<dst>.net.vci<N>" (per stream, network hop).
+    std::string trace_name;
+    TraceSiteId trace_hist = 0;
+    TraceSiteId trace_loss = 0;
   };
 
   // Walks the remaining hops of one segment's journey; spawned per segment

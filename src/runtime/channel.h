@@ -33,6 +33,7 @@
 #include "src/runtime/check.h"
 #include "src/runtime/process.h"
 #include "src/runtime/scheduler.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -140,6 +141,8 @@ class Channel : public ChannelBase, public ShutdownParticipant {
         channel->delivered_.emplace(receiver.ticket, std::move(value));
         ++channel->transfers_;
         channel->sched_->Ready(receiver.ctx);
+        PANDORA_TRACE_RENDEZVOUS_END(channel->sched_->trace(), channel->trace_site_,
+                                     receiver.trace_id);
         return true;
       }
       return false;
@@ -148,9 +151,14 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       ProcessCtx* ctx = channel->sched_->current();
       PANDORA_DCHECK(ctx != nullptr, "channel Send awaited outside a process");
       ctx->resume_point = h;
+      // The wait span's async id parks in the channel's deque alongside the
+      // value (heap-stable; awaiter subobjects may relocate).
+      uint64_t trace_id = 0;
+      PANDORA_TRACE_RENDEZVOUS_BEGIN(channel->sched_->trace(), channel->trace_site_,
+                                     channel->name_, trace_id);
       // The value parks INSIDE the channel (heap-stable), never by address
       // into this possibly-relocating awaiter.
-      channel->senders_.push_back(ParkedSender{ctx, std::move(value)});
+      channel->senders_.push_back(ParkedSender{ctx, std::move(value), trace_id});
       // A parked sender makes the channel "ready" for any waiting Alt.  The
       // sender stays parked until an actual Receive takes the value, so an
       // Alt that loses the race simply re-checks and finds nothing.
@@ -173,6 +181,8 @@ class Channel : public ChannelBase, public ShutdownParticipant {
         immediate.emplace(std::move(sender.value));
         ++channel->transfers_;
         channel->sched_->Ready(sender.ctx);
+        PANDORA_TRACE_RENDEZVOUS_END(channel->sched_->trace(), channel->trace_site_,
+                                     sender.trace_id);
         channel->senders_.pop_front();
         return true;
       }
@@ -183,7 +193,10 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       PANDORA_DCHECK(ctx != nullptr, "channel Receive awaited outside a process");
       ctx->resume_point = h;
       ticket = channel->next_ticket_++;
-      channel->receivers_.push_back(ParkedReceiver{ctx, ticket});
+      uint64_t trace_id = 0;
+      PANDORA_TRACE_RENDEZVOUS_BEGIN(channel->sched_->trace(), channel->trace_site_,
+                                     channel->name_, trace_id);
+      channel->receivers_.push_back(ParkedReceiver{ctx, ticket, trace_id});
     }
     T await_resume() {
       if (immediate.has_value()) {
@@ -215,6 +228,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     delivered_.emplace(receiver.ticket, std::move(value));
     ++transfers_;
     sched_->Ready(receiver.ctx);
+    PANDORA_TRACE_RENDEZVOUS_END(sched_->trace(), trace_site_, receiver.trace_id);
     return true;
   }
 
@@ -223,10 +237,12 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     if (senders_.empty()) {
       return std::nullopt;
     }
+    uint64_t trace_id = senders_.front().trace_id;
     std::optional<T> value(std::move(senders_.front().value));
     sched_->Ready(senders_.front().ctx);
     senders_.pop_front();
     ++transfers_;
+    PANDORA_TRACE_RENDEZVOUS_END(sched_->trace(), trace_site_, trace_id);
     return value;
   }
 
@@ -234,10 +250,12 @@ class Channel : public ChannelBase, public ShutdownParticipant {
   struct ParkedSender {
     ProcessCtx* ctx;
     T value;
+    uint64_t trace_id = 0;  // open rendezvous-wait span (0 = untraced)
   };
   struct ParkedReceiver {
     ProcessCtx* ctx;
     uint64_t ticket;
+    uint64_t trace_id = 0;
   };
 
   Scheduler* sched_;
@@ -248,6 +266,8 @@ class Channel : public ChannelBase, public ShutdownParticipant {
   std::map<uint64_t, T> delivered_;
   uint64_t next_ticket_ = 0;
   uint64_t transfers_ = 0;
+  // Cached trace site for this channel's rendezvous-wait track.
+  TraceSiteId trace_site_ = 0;
 };
 
 }  // namespace pandora

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "src/runtime/time.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -48,6 +49,8 @@ struct ProcessCtx {
   bool queued = false;  // present in a ready queue
   std::exception_ptr error;
   uint64_t resumptions = 0;  // context switches into this process
+  // Cached trace site for this process's run-slice track (0 = uninterned).
+  TraceSiteId trace_site = 0;
 };
 
 // Coroutine return type for top-level processes.  A Process is inert until

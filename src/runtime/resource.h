@@ -25,6 +25,7 @@
 #include "src/runtime/scheduler.h"
 #include "src/runtime/task.h"
 #include "src/runtime/time.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -45,6 +46,15 @@ class SerialResource {
     next_free_ = start + hold;
     busy_time_ += hold;
     ++acquisitions_;
+    // One complete span per reservation on the resource's own track (link
+    // transmissions, CPU charges), plus queue-delay and utilization
+    // counters.  The span starts at the reservation start, not now(), so a
+    // queued transmission renders where the link actually carried it.
+    PANDORA_TRACE_COMPLETE(sched_->trace(), trace_span_site_, name_, start, hold);
+    PANDORA_TRACE_COUNTER(sched_->trace(), trace_queue_site_, name_ + ".queue_us",
+                          queue_delay_last_);
+    PANDORA_TRACE_COUNTER(sched_->trace(), trace_util_site_, name_ + ".util_pct",
+                          static_cast<int64_t>(Utilization() * 100.0));
     co_await sched_->WaitUntil(next_free_);
   }
 
@@ -85,6 +95,9 @@ class SerialResource {
   Duration queue_delay_last_ = 0;
   Duration max_queue_delay_ = 0;
   uint64_t acquisitions_ = 0;
+  TraceSiteId trace_span_site_ = 0;
+  TraceSiteId trace_queue_site_ = 0;
+  TraceSiteId trace_util_site_ = 0;
 };
 
 // One board's embedded CPU.  Processes charge microsecond costs for the

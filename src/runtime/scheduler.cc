@@ -1,6 +1,7 @@
 #include "src/runtime/scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "src/runtime/check.h"
@@ -13,7 +14,24 @@ void Process::promise_type::FinalAwaiter::await_suspend(
   ctx->sched->OnProcessDone(ctx);
 }
 
-Scheduler::Scheduler() = default;
+Scheduler::Scheduler() : trace_(std::make_unique<TraceRecorder>()) {
+  trace_->BindClock(&now_);
+  // Opt-in tracing without touching code: PANDORA_TRACE=1 enables the
+  // recorder for every scheduler in the process; PANDORA_TRACE_EVENTS caps
+  // the event reservation.
+  const char* env = std::getenv("PANDORA_TRACE");
+  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    size_t capacity = TraceRecorder::kDefaultCapacity;
+    if (const char* cap_env = std::getenv("PANDORA_TRACE_EVENTS")) {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(cap_env, &end, 10);
+      if (end != cap_env && parsed > 0) {
+        capacity = static_cast<size_t>(parsed);
+      }
+    }
+    trace_->Enable(capacity);
+  }
+}
 
 Scheduler::~Scheduler() { Shutdown(); }
 
@@ -134,8 +152,17 @@ bool Scheduler::DispatchOne() {
   std::coroutine_handle<> h = ctx->resume_point;
   PANDORA_CHECK(h != nullptr, "readied process has no resume point");
   ctx->resume_point = nullptr;
+  // Run slices bracket the resume on the process's own track; nested trace
+  // events recorded from inside the slice land between B and E at the same
+  // simulated timestamp, which the stable export sort preserves.
+  PANDORA_TRACE_BEGIN(trace_.get(), ctx->trace_site, ctx->name);
   h.resume();
   current_ = nullptr;
+  PANDORA_TRACE_END(trace_.get(), ctx->trace_site);
+  if ((context_switches_ & 63) == 0) {
+    PANDORA_TRACE_COUNTER(trace_.get(), trace_cs_site_, "sched.context_switches",
+                          static_cast<int64_t>(context_switches_));
+  }
   if (ctx->done && ctx->top) {
     ctx->top.destroy();
     ctx->top = nullptr;

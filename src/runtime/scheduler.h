@@ -20,6 +20,7 @@
 
 #include "src/runtime/process.h"
 #include "src/runtime/time.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
@@ -164,6 +165,14 @@ class Scheduler {
   // memory.  Invalidates ProcessHandles of completed processes.
   size_t PruneCompleted();
 
+  // --- Telemetry -----------------------------------------------------------
+
+  // The scheduler-owned trace recorder, bound to this scheduler's simulated
+  // clock.  Always non-null; disabled (and therefore free) unless Enable()
+  // was called or the PANDORA_TRACE environment variable was set at
+  // construction (capacity override: PANDORA_TRACE_EVENTS).
+  TraceRecorder* trace() const { return trace_.get(); }
+
   // --- Statistics ----------------------------------------------------------
 
   uint64_t context_switches() const { return context_switches_; }
@@ -206,6 +215,8 @@ class Scheduler {
   bool rethrow_process_errors_ = true;
   bool shutting_down_ = false;
   std::vector<ShutdownParticipant*> shutdown_participants_;
+  std::unique_ptr<TraceRecorder> trace_;
+  TraceSiteId trace_cs_site_ = 0;  // "sched.context_switches" counter
 };
 
 // Declare after the resources a test's processes reference and it will stop

@@ -9,13 +9,18 @@
 
 namespace pandora {
 
-// Streaming min/mean/max/stddev accumulator.
+// Streaming min/mean/max/stddev accumulator.  Variance uses Welford's
+// online algorithm: the naive sum_sq/n - mean^2 form cancels
+// catastrophically once values carry a large offset (e.g. latencies
+// measured against a large absolute timestamp), returning 0 or garbage.
 class StatAccumulator {
  public:
   void Add(double value) {
     ++count_;
     sum_ += value;
-    sum_sq_ += value * value;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
@@ -25,12 +30,12 @@ class StatAccumulator {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // Population variance.
   double Variance() const {
     if (count_ < 2) {
       return 0.0;
     }
-    double mean = Mean();
-    double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+    double var = m2_ / static_cast<double>(count_);
     return var < 0.0 ? 0.0 : var;
   }
   double StdDev() const { return std::sqrt(Variance()); }
@@ -40,7 +45,8 @@ class StatAccumulator {
  private:
   uint64_t count_ = 0;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -77,6 +77,10 @@ void Switch::HandleCommand(const Command& command) {
 }
 
 Task<void> Switch::HandleSegment(SegmentRef ref) {
+  // One span per segment on the switch's own track; handling is strictly
+  // sequential (Run awaits each segment), so B/E pairs nest trivially even
+  // though the span crosses suspension points.
+  PANDORA_TRACE_SPAN(sched_->trace(), trace_seg_site_, options_.name + ".segment");
   if (cpu_ != nullptr) {
     co_await cpu_->Consume(options_.segment_cost);
   }
@@ -104,11 +108,28 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
       // copies continue; this destination recovers via sequence numbers.
       drop = true;
       destination.degrader.OnBufferFull(sched_->now());
+      PANDORA_TRACE_INSTANT2(sched_->trace(), trace_drop_full_site_,
+                             options_.name + ".drop.backpressure", "stream",
+                             static_cast<int64_t>(ref->stream), "age",
+                             static_cast<int64_t>(route->attrs.open_order));
     } else if (destination.degrader.ShouldDrop(
                    route->attrs, table_.ActiveTowards(route->destinations[i]))) {
       // Principles 1-3: sustained overload sheds whole streams in
       // degradation order rather than shaving every stream equally.
       drop = true;
+      // Degradation decision, split by stream kind; "age" is the route's
+      // open order (P3 sheds the most recently opened first).
+      if (route->attrs.audio) {
+        PANDORA_TRACE_INSTANT2(sched_->trace(), trace_shed_audio_site_,
+                               options_.name + ".drop.degrade.audio", "stream",
+                               static_cast<int64_t>(ref->stream), "age",
+                               static_cast<int64_t>(route->attrs.open_order));
+      } else {
+        PANDORA_TRACE_INSTANT2(sched_->trace(), trace_shed_video_site_,
+                               options_.name + ".drop.degrade.video", "stream",
+                               static_cast<int64_t>(ref->stream), "age",
+                               static_cast<int64_t>(route->attrs.open_order));
+      }
     }
     if (drop) {
       ++destination.drops;

@@ -108,6 +108,13 @@ class Switch {
   uint64_t segments_switched_ = 0;
   uint64_t segments_dropped_ = 0;
   bool started_ = false;
+
+  // Telemetry sites: per-segment handling span plus degradation-decision
+  // instants (P1-P3 sheds split by stream kind, and P5 backpressure drops).
+  TraceSiteId trace_seg_site_ = 0;
+  TraceSiteId trace_drop_full_site_ = 0;
+  TraceSiteId trace_shed_audio_site_ = 0;
+  TraceSiteId trace_shed_video_site_ = 0;
 };
 
 }  // namespace pandora

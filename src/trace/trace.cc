@@ -1,0 +1,324 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <utility>
+
+namespace pandora {
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  AppendEscaped(out, s);
+  *out += '"';
+}
+
+// Upper bound of histogram bucket `i` in the recorded unit.
+int64_t BucketUpperBound(int i) {
+  if (i <= 0) {
+    return 0;
+  }
+  if (i >= 63) {
+    return INT64_MAX;
+  }
+  return (int64_t{1} << i) - 1;
+}
+
+// Smallest bucket upper bound covering quantile `q` — a conservative
+// (upper-bound) percentile estimate from the power-of-two buckets.
+int64_t ApproxQuantile(const TraceHistogram& h, double q) {
+  if (h.count == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(h.count - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kTraceHistogramBuckets; ++i) {
+    seen += h.buckets[i];
+    if (seen > rank) {
+      return std::min<int64_t>(BucketUpperBound(i), h.max);
+    }
+  }
+  return h.max;
+}
+
+}  // namespace
+
+void TraceRecorder::Enable(size_t max_events) {
+  if (max_events > capacity_) {
+    capacity_ = max_events;
+    events_.reserve(capacity_);
+  }
+  enabled_ = true;
+}
+
+uint32_t TraceRecorder::InternPid(std::string_view site_name) {
+  std::string_view pid_name = site_name.substr(0, site_name.find('.'));
+  auto it = pid_ids_.find(pid_name);
+  if (it != pid_ids_.end()) {
+    return it->second;
+  }
+  pid_names_.emplace_back(pid_name);
+  uint32_t pid = static_cast<uint32_t>(pid_names_.size());
+  pid_ids_.emplace(std::string(pid_name), pid);
+  return pid;
+}
+
+TraceSiteId TraceRecorder::InternSite(std::string_view name) {
+  return InternSiteArgs(name, {}, {});
+}
+
+TraceSiteId TraceRecorder::InternSiteArgs(std::string_view name, std::string_view arg1,
+                                          std::string_view arg2) {
+  auto it = site_ids_.find(name);
+  if (it != site_ids_.end()) {
+    return it->second;
+  }
+  Site site;
+  site.name = std::string(name);
+  site.arg1 = std::string(arg1);
+  site.arg2 = std::string(arg2);
+  site.pid = InternPid(name);
+  sites_.push_back(std::move(site));
+  TraceSiteId id = static_cast<TraceSiteId>(sites_.size());
+  site_ids_.emplace(sites_.back().name, id);
+  return id;
+}
+
+TraceSiteId TraceRecorder::InternHistogram(std::string_view name, std::string_view unit) {
+  auto it = histogram_ids_.find(name);
+  if (it != histogram_ids_.end()) {
+    return it->second;
+  }
+  TraceHistogram hist;
+  hist.name = std::string(name);
+  hist.unit = std::string(unit);
+  histograms_.push_back(std::move(hist));
+  TraceSiteId id = static_cast<TraceSiteId>(histograms_.size());
+  histogram_ids_.emplace(histograms_.back().name, id);
+  return id;
+}
+
+void TraceRecorder::RecordHistogram(TraceSiteId hist, int64_t value) {
+  if (!enabled_ || hist == 0 || hist > histograms_.size()) {
+    return;
+  }
+  TraceHistogram& h = histograms_[hist - 1];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += static_cast<double>(value);
+  int bucket = 0;
+  if (value > 0) {
+    bucket = std::bit_width(static_cast<uint64_t>(value));
+    bucket = std::min(bucket, kTraceHistogramBuckets - 1);
+  }
+  ++h.buckets[bucket];
+}
+
+std::string TraceRecorder::ExportJson() const {
+  // Stable sort by timestamp so every track reads monotonically while
+  // same-instant events keep their recording order (determinism).
+  std::vector<uint32_t> order(events_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return events_[a].ts < events_[b].ts;
+  });
+
+  // Sanitize duration spans per track: drop an 'E' with no open 'B' (e.g.
+  // tracing enabled mid-slice) and close spans still open at export time, so
+  // consumers always see balanced, properly nested B/E pairs.
+  std::vector<uint32_t> open_depth(sites_.size(), 0);
+  std::vector<bool> skip(events_.size(), false);
+  Time last_ts = 0;
+  for (uint32_t idx : order) {
+    const Event& ev = events_[idx];
+    last_ts = ev.ts;
+    if (ev.ph == kTracePhaseBegin) {
+      ++open_depth[ev.site - 1];
+    } else if (ev.ph == kTracePhaseEnd) {
+      if (open_depth[ev.site - 1] == 0) {
+        skip[idx] = true;
+      } else {
+        --open_depth[ev.site - 1];
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(events_.size() * 96 + 4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+
+  // Metadata: process names (board prefixes) and one named thread per site.
+  for (size_t pid = 1; pid <= pid_names_.size(); ++pid) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"ts\":0,\"args\":{\"name\":";
+    AppendJsonString(&out, pid_names_[pid - 1]);
+    out += "}}";
+  }
+  for (size_t tid = 1; tid <= sites_.size(); ++tid) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(sites_[tid - 1].pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":0,\"args\":{\"name\":";
+    AppendJsonString(&out, sites_[tid - 1].name);
+    out += "}}";
+  }
+
+  auto emit_common = [&out](const Site& site, TraceSiteId site_id, char ph, Time ts) {
+    out += "{\"name\":";
+    AppendJsonString(&out, site.name);
+    out += ",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    out += std::to_string(ts);
+    out += ",\"pid\":";
+    out += std::to_string(site.pid);
+    out += ",\"tid\":";
+    out += std::to_string(site_id);
+  };
+
+  for (uint32_t idx : order) {
+    if (skip[idx]) {
+      continue;
+    }
+    const Event& ev = events_[idx];
+    const Site& site = sites_[ev.site - 1];
+    comma();
+    emit_common(site, ev.site, ev.ph, ev.ts);
+    switch (ev.ph) {
+      case kTracePhaseComplete:
+        out += ",\"dur\":";
+        out += std::to_string(ev.value);
+        break;
+      case kTracePhaseCounter:
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(ev.value);
+        out += '}';
+        break;
+      case kTracePhaseInstant:
+        out += ",\"s\":\"t\"";
+        if (!site.arg1.empty()) {
+          out += ",\"args\":{";
+          AppendJsonString(&out, site.arg1);
+          out += ':';
+          out += std::to_string(ev.value);
+          if (!site.arg2.empty()) {
+            out += ',';
+            AppendJsonString(&out, site.arg2);
+            out += ':';
+            out += std::to_string(ev.value2);
+          }
+          out += '}';
+        }
+        break;
+      case kTracePhaseAsyncBegin:
+      case kTracePhaseAsyncEnd:
+        out += ",\"cat\":\"rendezvous\",\"id\":";
+        out += std::to_string(ev.value);
+        break;
+      default:
+        break;
+    }
+    out += '}';
+  }
+
+  // Close spans left open (processes parked mid-span at export time).
+  for (size_t i = 0; i < open_depth.size(); ++i) {
+    for (uint32_t d = 0; d < open_depth[i]; ++d) {
+      comma();
+      emit_common(sites_[i], static_cast<TraceSiteId>(i + 1), kTracePhaseEnd, last_ts);
+      out += '}';
+    }
+  }
+
+  out += "],\"pandoraDroppedEvents\":";
+  out += std::to_string(dropped_);
+  out += ",\"pandoraHistograms\":[";
+  first = true;
+  for (const TraceHistogram& h : histograms_) {
+    comma();
+    out += "{\"name\":";
+    AppendJsonString(&out, h.name);
+    out += ",\"unit\":";
+    AppendJsonString(&out, h.unit);
+    out += ",\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"min\":";
+    out += std::to_string(h.count == 0 ? 0 : h.min);
+    out += ",\"max\":";
+    out += std::to_string(h.count == 0 ? 0 : h.max);
+    out += ",\"mean\":";
+    out += std::to_string(h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+    out += ",\"p50\":";
+    out += std::to_string(ApproxQuantile(h, 0.50));
+    out += ",\"p99\":";
+    out += std::to_string(ApproxQuantile(h, 0.99));
+    out += ",\"buckets\":[";
+    for (int i = 0; i < kTraceHistogramBuckets; ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::ExportJsonTo(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << ExportJson();
+  return static_cast<bool>(file.flush());
+}
+
+}  // namespace pandora

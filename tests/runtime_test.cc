@@ -12,6 +12,7 @@
 #include "src/runtime/random.h"
 #include "src/runtime/resource.h"
 #include "src/runtime/scheduler.h"
+#include "src/runtime/stats.h"
 #include "src/runtime/task.h"
 #include "src/runtime/time.h"
 
@@ -648,6 +649,36 @@ TEST(SchedulerTest, ContextSwitchCounting) {
   // the switch count is below 2 per message but still at least half of them.
   EXPECT_GE(sched.context_switches(), 10u);
   EXPECT_EQ(ch.transfers(), 10u);
+}
+
+TEST(StatsTest, BasicMoments) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(6.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  // Population variance of {2, 4, 6} is 8/3.
+  EXPECT_NEAR(acc.Variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, VarianceStableWithLargeOffset) {
+  // Regression: the naive sum_sq/n - mean^2 form cancels catastrophically
+  // when samples carry a large common offset — exactly the shape of
+  // latencies measured against a big absolute simulated timestamp.  The
+  // true population variance of {x, x+1, x+2} is 2/3 for any offset x.
+  StatAccumulator acc;
+  acc.Add(1e9 + 0.0);
+  acc.Add(1e9 + 1.0);
+  acc.Add(1e9 + 2.0);
+  EXPECT_NEAR(acc.Mean(), 1e9 + 1.0, 1e-3);
+  EXPECT_NEAR(acc.Variance(), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(acc.StdDev(), std::sqrt(2.0 / 3.0), 1e-6);
 }
 
 }  // namespace

@@ -41,6 +41,14 @@ expensive to debug:
       PANDORA_CHECK/PANDORA_DCHECK from src/runtime/check.h, which are
       never silently compiled out (DCHECK still parses its expression).
 
+  trace-macros
+      All instrumentation goes through the PANDORA_TRACE_* macros
+      (src/trace/trace.h); the macros own the enabled-guards, lazy site
+      interning and the compile-out path, so a direct call to
+      TraceRecorder::Record* outside src/trace/ silently loses the
+      zero-overhead-when-disabled guarantee.  Intern*/Enable/ExportJson
+      calls are fine anywhere (they are cold-path setup).
+
 Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
 "// NOLINT") to the offending line, with a reason:
 
@@ -80,6 +88,14 @@ THREAD_PRIMITIVES = [
     r"\bpthread_\w+",
     r"(?<![\w.:])(?:sleep|usleep|nanosleep)\s*\(",
 ]
+
+# Direct TraceRecorder::Record* call (member access syntax only, so the
+# recorder's own definitions and e.g. Simulation::RecordStream stay clean).
+TRACE_RECORD_RE = re.compile(
+    r"(?:\.|->)\s*Record"
+    r"(?:Begin|End|Complete|Instant(?:Args)?|Counter|Async(?:Begin|End)|Histogram)"
+    r"\s*\("
+)
 
 THREAD_INCLUDES = [
     "<thread>",
@@ -363,6 +379,16 @@ def lint_file(relpath, text):
                     report(i, "raw-new-delete",
                            "raw 'delete' outside src/buffer/ — memory comes "
                            "from BufferPool or standard containers")
+
+    # --- trace-macros (everywhere except the recorder itself) ---------------
+    if not relpath.startswith("src/trace/"):
+        for i, line in enumerate(code_lines, 1):
+            m = TRACE_RECORD_RE.search(line)
+            if m:
+                report(i, "trace-macros",
+                       "direct TraceRecorder::Record* call; use the "
+                       "PANDORA_TRACE_* macros (src/trace/trace.h), which "
+                       "own the enabled-guard and compile-out path")
 
     # --- awaiter-retained-address (everywhere: tests define awaiters too) ---
     check_awaiter_addresses(relpath, code, raw_lines, report)

@@ -1,0 +1,18 @@
+// Fixture: direct TraceRecorder::Record* calls outside src/trace/ bypass
+// the macros' enabled-guards and compile-out path.
+#include "src/trace/trace.h"
+
+namespace pandora {
+
+inline void InstrumentByHand(TraceRecorder* rec, TraceSiteId site) {
+  rec->RecordBegin(site);  // EXPECT-LINT: trace-macros
+  rec->RecordCounter(site, 7);  // EXPECT-LINT: trace-macros
+  rec->RecordEnd(site);  // EXPECT-LINT: trace-macros
+}
+
+inline void InstrumentByValue(TraceRecorder& rec, TraceSiteId site) {
+  rec.RecordInstantArgs(site, 1, 2);  // EXPECT-LINT: trace-macros
+  rec.RecordHistogram(site, 42);  // EXPECT-LINT: trace-macros
+}
+
+}  // namespace pandora

@@ -1,0 +1,32 @@
+// Fixture: the sanctioned ways to touch the recorder outside src/trace/ —
+// the PANDORA_TRACE_* macros for recording, and the cold-path setup calls
+// (Intern*/Enable/ExportJson).  Simulation::RecordStream-style names that
+// merely start with "Record" must not trip the rule either.
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace pandora {
+
+struct GoodSession {
+  void RecordStream(int stream) { last_stream = stream; }
+  int last_stream = 0;
+};
+
+inline void InstrumentViaMacros(TraceRecorder* rec, const std::string& name) {
+  static TraceSiteId site = 0;
+  PANDORA_TRACE_SPAN(rec, site, name + ".work");
+  static TraceSiteId counter_site = 0;
+  PANDORA_TRACE_COUNTER(rec, counter_site, name + ".depth", 3);
+  static TraceSiteId hist_site = 0;
+  PANDORA_TRACE_HISTOGRAM(rec, hist_site, name + ".latency", "us", 125);
+}
+
+inline std::string ColdPathSetup(TraceRecorder* rec, GoodSession* session) {
+  rec->Enable();
+  (void)rec->InternSite("host.setup");
+  session->RecordStream(4);
+  return rec->ExportJson();
+}
+
+}  // namespace pandora
