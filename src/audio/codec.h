@@ -45,6 +45,11 @@ class CodecInput {
   void Start();
   void Stop() { running_ = false; }
 
+  // Fault hook: steps the local quartz (the tick length is recomputed every
+  // block, so the new drift takes effect from the next capture).
+  void SetClockDrift(double drift) { config_.clock_drift = drift; }
+  double clock_drift() const { return config_.clock_drift; }
+
   uint64_t blocks_captured() const { return blocks_captured_; }
 
  private:
@@ -78,6 +83,9 @@ class CodecOutput {
 
   // Non-blocking submission from the mixer.
   void SubmitBlock(const AudioBlock& block);
+
+  // Fault hook: steps the playout quartz (next tick onward).
+  void SetClockDrift(double drift) { config_.clock_drift = drift; }
 
   uint64_t played_blocks() const { return played_blocks_; }
   uint64_t underruns() const { return underruns_; }

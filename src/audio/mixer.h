@@ -55,6 +55,9 @@ class AudioMixer {
 
   void Start();
 
+  // Fault hook: steps the mixing-side quartz (next tick onward).
+  void SetClockDrift(double drift) { options_.clock_drift = drift; }
+
   uint64_t ticks() const { return ticks_; }
   uint64_t late_ticks() const { return late_ticks_; }
   Duration max_lateness() const { return max_lateness_; }

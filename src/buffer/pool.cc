@@ -41,6 +41,40 @@ BufferPool::BufferPool(Scheduler* sched, std::string name, size_t capacity,
   for (size_t i = capacity; i > 0; --i) {
     free_.push_back(static_cast<int32_t>(i - 1));
   }
+  // The handoff channel passes raw slot indices whose refcount was already
+  // transferred to the woken requester.  If that requester is killed before
+  // resuming (box crash), the kill sweep hands the index back so the buffer
+  // is not lost for the rest of the run.
+  handoff_.set_kill_drop_handler([this](int32_t&& index) { DecRef(index); });
+}
+
+size_t BufferPool::InjectPressure(size_t count) {
+  size_t seized = 0;
+  while (seized < count && !free_.empty()) {
+    int32_t index = free_.back();
+    free_.pop_back();
+    SlotAt(index).refs = 1;
+    pressured_.push_back(index);
+    ++seized;
+  }
+  if (free_.size() < min_free_seen_) {
+    min_free_seen_ = free_.size();
+  }
+  if (seized > 0) {
+    reporter_.Report("allocator.pressure", ReportSeverity::kWarning,
+                     "fault injection seized buffers");
+  }
+  return seized;
+}
+
+void BufferPool::ReleasePressure() {
+  while (!pressured_.empty()) {
+    int32_t index = pressured_.back();
+    pressured_.pop_back();
+    // DecRef takes the normal free path: direct handoff to the longest
+    // parked requester first, free list otherwise.
+    DecRef(index);
+  }
 }
 
 Task<SegmentRef> BufferPool::Allocate() {

@@ -92,6 +92,14 @@ class BufferPool {
   // Non-blocking variant for callers that would rather drop than wait.
   std::optional<SegmentRef> TryAllocate();
 
+  // Fault hook: seizes up to `count` free buffers so real traffic sees an
+  // artificially starved pool (the paper's "serious fault" path exercised
+  // on demand).  Returns how many were actually seized; ReleasePressure
+  // returns them all, handing off directly to parked requesters first.
+  size_t InjectPressure(size_t count);
+  void ReleasePressure();
+  size_t pressure_held() const { return pressured_.size(); }
+
   size_t capacity() const { return slots_.size(); }
   size_t free_count() const { return free_.size(); }
   size_t in_use() const { return slots_.size() - free_.size(); }
@@ -123,6 +131,8 @@ class BufferPool {
   Reporter reporter_;
   std::vector<Slot> slots_;
   std::vector<int32_t> free_;
+  // Buffers seized by InjectPressure (refs held at 1 until released).
+  std::vector<int32_t> pressured_;
   // Direct handoff to parked allocators: DecRef passes a freed index
   // straight to the longest-waiting requester.
   Channel<int32_t> handoff_;

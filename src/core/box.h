@@ -15,6 +15,16 @@
 // The host-side control surface (allocate stream, plumb destination back to
 // source, start the source — section 1.1) lives on Simulation, which owns
 // the boxes and the network.
+//
+// Crash/restart (fault injection): every board lives inside the Boards
+// struct behind a unique_ptr.  Crash() takes the port's link down, kills
+// every process in the box's "<name>." group mid-run (see
+// Scheduler::KillProcesses) and destroys the boards — queued segments drain
+// back to the pool while it is still alive, then the pool itself goes.
+// Restart() rebuilds the boards cold: empty buffers, fresh stats, streams
+// re-registered by the host (Simulation::RestartBox).  The AtmPort and the
+// microphone hardware survive the reboot; everything else is lost, exactly
+// as a real power cycle would lose it.
 #ifndef PANDORA_SRC_CORE_BOX_H_
 #define PANDORA_SRC_CORE_BOX_H_
 
@@ -35,6 +45,7 @@
 #include "src/control/report.h"
 #include "src/net/atm.h"
 #include "src/repository/repository.h"
+#include "src/runtime/check.h"
 #include "src/runtime/resource.h"
 #include "src/runtime/scheduler.h"
 #include "src/server/netio.h"
@@ -83,6 +94,27 @@ class PandoraBox {
 
   void Start();
 
+  // --- Fault lifecycle -------------------------------------------------------
+
+  // Power-fails the box mid-run: link down, every "<name>."-prefixed process
+  // killed, all boards destroyed.  The rest of the simulation keeps going;
+  // peers observe loss and (via the host) closed circuits.  Must not be
+  // called from one of this box's own processes.
+  void Crash();
+
+  // Cold boot after Crash(): rebuilds the boards from Options, brings the
+  // link back up and starts the component processes.  All buffers start
+  // empty and all statistics start from zero; the host re-plumbs streams.
+  void Restart();
+
+  bool crashed() const { return boards_ == nullptr; }
+  uint64_t crash_count() const { return crash_count_; }
+
+  // Fault hook: steps this box's audio quartz (capture, playout and mixing
+  // run off the same local oscillator).  Survives a restart.
+  void SetAudioClockDrift(double drift);
+  double audio_clock_drift() const { return options_.audio_clock_drift; }
+
   // --- Host-side controls ---------------------------------------------------
 
   // The local microphone stream's id (starts producing on first use).
@@ -95,35 +127,87 @@ class PandoraBox {
 
   // --- Topology handles (used by Simulation's plumbing) ----------------------
 
-  Switch& server_switch() { return switch_; }
+  Switch& server_switch() { return boards().switch_; }
   AtmPort* port() { return port_; }
-  DestinationId dest_audio_out() const { return dest_audio_out_; }
-  DestinationId dest_display() const { return dest_display_; }
-  DestinationId dest_network() const { return dest_network_; }
-  DestinationId dest_repository() const { return dest_repository_; }
-  Channel<SegmentRef>& switch_input() { return switch_.input(); }
-  BufferPool& pool() { return pool_; }
+  DestinationId dest_audio_out() const { return boards().dest_audio_out_; }
+  DestinationId dest_display() const { return boards().dest_display_; }
+  DestinationId dest_network() const { return boards().dest_network_; }
+  DestinationId dest_repository() const { return boards().dest_repository_; }
+  Channel<SegmentRef>& switch_input() { return boards().switch_.input(); }
+  BufferPool& pool() { return boards().pool_; }
 
   // --- Observability ----------------------------------------------------------
 
   const std::string& name() const { return options_.name; }
-  AudioMixer& mixer() { return mixer_; }
-  CodecOutput& codec_out() { return codec_out_; }
-  AudioReceiver& audio_receiver() { return receiver_; }
-  AudioSender& audio_sender() { return sender_; }
-  ClawbackBank& clawback_bank() { return bank_; }
-  MutingControl& muting() { return muting_; }
-  VideoDisplay* display() { return display_.get(); }
-  FrameStore* framestore() { return framestore_.get(); }
-  VideoCapture* capture(size_t i) { return captures_.at(i).get(); }
-  NetworkOutput& network_output() { return net_out_; }
-  NetworkInput& network_input() { return net_in_; }
-  Repository* repository() { return repository_.get(); }
-  CpuModel& audio_cpu() { return audio_cpu_; }
-  CpuModel& server_cpu() { return server_cpu_; }
-  DecouplingBuffer& audio_out_buffer() { return to_audio_buf_; }
+  AudioMixer& mixer() { return boards().mixer_; }
+  CodecOutput& codec_out() { return boards().codec_out_; }
+  AudioReceiver& audio_receiver() { return boards().receiver_; }
+  AudioSender& audio_sender() { return boards().sender_; }
+  ClawbackBank& clawback_bank() { return boards().bank_; }
+  MutingControl& muting() { return boards().muting_; }
+  VideoDisplay* display() { return boards().display_.get(); }
+  FrameStore* framestore() { return boards().framestore_.get(); }
+  VideoCapture* capture(size_t i) { return boards().captures_.at(i).get(); }
+  NetworkOutput& network_output() { return boards().net_out_; }
+  NetworkInput& network_input() { return boards().net_in_; }
+  Repository* repository() { return boards().repository_.get(); }
+  CpuModel& audio_cpu() { return boards().audio_cpu_; }
+  CpuModel& server_cpu() { return boards().server_cpu_; }
+  DecouplingBuffer& audio_out_buffer() { return boards().to_audio_buf_; }
 
  private:
+  // Everything that dies in a crash.  Construction wires the boards exactly
+  // as the original single-shot constructor did; destruction order (reverse
+  // of declaration) drains consumers before the pool they drain into.
+  struct Boards {
+    Boards(Scheduler* sched, AtmNetwork* net, AtmPort* port, const Options& options,
+           SampleSource* mic, ReportSink* report_sink);
+
+    // Server board.
+    CpuModel server_cpu_;
+    BufferPool pool_;
+    Switch switch_;
+    DecouplingBuffer to_audio_buf_;
+    DecouplingBuffer to_display_buf_;
+    NetworkOutput net_out_;
+    NetworkInput net_in_;
+    DestinationId dest_audio_out_ = kInvalidDestination;
+    DestinationId dest_display_ = kInvalidDestination;
+    DestinationId dest_network_ = kInvalidDestination;
+    DestinationId dest_repository_ = kInvalidDestination;
+
+    // Audio board.
+    CpuModel audio_cpu_;
+    Channel<AudioBlock> mic_chan_;
+    MutingControl muting_;
+    CodecInput codec_in_;
+    Channel<SegmentRef> audio_up_;
+    AudioSender sender_;
+    LinkRelay audio_up_link_;
+    Channel<SegmentRef> audio_down_;
+    LinkRelay audio_down_link_;
+    ClawbackBank bank_;
+    AudioReceiver receiver_;
+    CodecOutput codec_out_;
+    AudioMixer mixer_;
+
+    // Capture + mixer (display) boards.
+    std::unique_ptr<MovingBarPattern> pattern_;
+    std::unique_ptr<FrameStore> framestore_;
+    Channel<SegmentRef> video_up_;
+    LinkRelay video_up_link_;
+    Channel<SegmentRef> video_down_;
+    LinkRelay video_down_link_;
+    std::unique_ptr<VideoDisplay> display_;
+    std::vector<std::unique_ptr<VideoCapture>> captures_;
+
+    std::unique_ptr<Repository> repository_;
+  };
+
+  Boards& boards() const {
+    PANDORA_CHECK(boards_ != nullptr, "box is crashed");
+    return *boards_;
+  }
   SampleSource* mic_source();
 
   Scheduler* sched_;
@@ -131,51 +215,19 @@ class PandoraBox {
   Options options_;
   ReportSink* report_sink_;
 
-  // Server board.
-  CpuModel server_cpu_;
-  BufferPool pool_;
-  Switch switch_;
-  DecouplingBuffer to_audio_buf_;
-  DecouplingBuffer to_display_buf_;
-  AtmPort* port_;
-  NetworkOutput net_out_;
-  NetworkInput net_in_;
-  DestinationId dest_audio_out_ = kInvalidDestination;
-  DestinationId dest_display_ = kInvalidDestination;
-  DestinationId dest_network_ = kInvalidDestination;
-  DestinationId dest_repository_ = kInvalidDestination;
-
-  // Audio board.
-  CpuModel audio_cpu_;
+  // The physical microphone outlives a reboot: after Restart() the source
+  // resumes from its current phase, it does not rewind.
   std::unique_ptr<SampleSource> owned_mic_;
-  Channel<AudioBlock> mic_chan_;
-  MutingControl muting_;
-  CodecInput codec_in_;
-  Channel<SegmentRef> audio_up_;
-  AudioSender sender_;
-  LinkRelay audio_up_link_;
-  Channel<SegmentRef> audio_down_;
-  LinkRelay audio_down_link_;
-  ClawbackBank bank_;
-  AudioReceiver receiver_;
-  CodecOutput codec_out_;
-  AudioMixer mixer_;
+  // The network port object belongs to AtmNetwork and survives a crash; only
+  // its link state and transmit process cycle with the box.
+  AtmPort* port_;
 
-  // Capture + mixer (display) boards.
-  std::unique_ptr<MovingBarPattern> pattern_;
-  std::unique_ptr<FrameStore> framestore_;
-  Channel<SegmentRef> video_up_;
-  LinkRelay video_up_link_;
-  Channel<SegmentRef> video_down_;
-  LinkRelay video_down_link_;
-  std::unique_ptr<VideoDisplay> display_;
-  std::vector<std::unique_ptr<VideoCapture>> captures_;
-
-  std::unique_ptr<Repository> repository_;
+  std::unique_ptr<Boards> boards_;
 
   StreamId mic_stream_ = kInvalidStream;
   bool mic_producing_ = false;
   bool started_ = false;
+  uint64_t crash_count_ = 0;
 };
 
 }  // namespace pandora

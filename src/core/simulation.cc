@@ -46,6 +46,14 @@ StreamId Simulation::SendAudio(PandoraBox& src, PandoraBox& dst, const CallPath&
                                 /*audio=*/true, /*out_vci=*/at_dst);
   // 4. Finally, command the source to begin producing data.
   src.EnsureMicProducing();
+  CallRecord record;
+  record.kind = CallRecord::Kind::kAudio;
+  record.src = &src;
+  record.dst = &dst;
+  record.src_stream = src.mic_stream();
+  record.at_dst = at_dst;
+  record.path = path;
+  calls_.push_back(std::move(record));
   return at_dst;
 }
 
@@ -59,6 +67,14 @@ StreamId Simulation::SplitAudioTo(PandoraBox& src, StreamId src_stream, PandoraB
   src.server_switch().OpenRoute(src_stream, src.dest_network(), /*incoming=*/false,
                                 /*audio=*/true, /*out_vci=*/at_dst);
   src.EnsureMicProducing();
+  CallRecord record;
+  record.kind = CallRecord::Kind::kAudio;
+  record.src = &src;
+  record.dst = &dst;
+  record.src_stream = src_stream;
+  record.at_dst = at_dst;
+  record.path = path;
+  calls_.push_back(std::move(record));
   return at_dst;
 }
 
@@ -72,6 +88,16 @@ StreamId Simulation::SendVideo(PandoraBox& src, PandoraBox& dst, const Rect& rec
   src.server_switch().OpenRoute(local, src.dest_network(), /*incoming=*/false, /*audio=*/false,
                                 /*out_vci=*/at_dst);
   src.AddCameraStream(local, rect, rate_numer, rate_denom, segments_per_frame);
+  calls_.push_back(CallRecord{.kind = CallRecord::Kind::kVideo,
+                              .src = &src,
+                              .dst = &dst,
+                              .src_stream = local,
+                              .at_dst = at_dst,
+                              .path = path,
+                              .rect = rect,
+                              .rate_numer = rate_numer,
+                              .rate_denom = rate_denom,
+                              .segments_per_frame = segments_per_frame});
   return at_dst;
 }
 
@@ -89,6 +115,88 @@ void Simulation::HangUpAudio(PandoraBox& src, PandoraBox& dst, StreamId at_dst) 
   src.server_switch().CloseNetworkCopy(src.mic_stream(), at_dst, src.dest_network());
   net_.CloseCircuit(src.port(), at_dst);
   dst.server_switch().CloseRoute(at_dst, dst.dest_audio_out());
+  for (CallRecord& call : calls_) {
+    if (call.src == &src && call.dst == &dst && call.at_dst == at_dst) {
+      call.active = false;
+    }
+  }
+}
+
+PandoraBox* Simulation::FindBox(const std::string& name) {
+  for (auto& box : boxes_) {
+    if (box->name() == name) {
+      return box.get();
+    }
+  }
+  return nullptr;
+}
+
+void Simulation::CrashBox(PandoraBox& box) {
+  // Suspend every live leg touching the box, tearing down the surviving
+  // endpoint's half of the plumbing.  The dead endpoint's state is about to
+  // be destroyed wholesale, so only the peer needs host attention.
+  for (CallRecord& call : calls_) {
+    if (!call.active || call.suspended || (call.src != &box && call.dst != &box)) {
+      continue;
+    }
+    call.suspended = true;
+    if (call.dst == &box && !call.src->crashed()) {
+      // The receiver died: stop the sender's copy toward the dead VCI.  Any
+      // other copies of the same source stream keep flowing (principle 6).
+      call.src->server_switch().CloseNetworkCopy(call.src_stream, call.at_dst,
+                                                 call.src->dest_network());
+    }
+    if (call.src == &box) {
+      call.src_down = true;
+      if (!call.dst->crashed()) {
+        // The sender died: the receiver's stream table drops the dead
+        // peer's row; its other calls are untouched.
+        DestinationId dest = call.kind == CallRecord::Kind::kAudio ? call.dst->dest_audio_out()
+                                                                   : call.dst->dest_display();
+        call.dst->server_switch().CloseRoute(call.at_dst, dest);
+      }
+    }
+    // The circuit is keyed by the (surviving) source port; close it in
+    // either case so a restart reopens it cleanly.
+    net_.CloseCircuit(call.src->port(), call.at_dst);
+  }
+  box.Crash();
+}
+
+void Simulation::RestartBox(PandoraBox& box) {
+  box.Restart();
+  for (CallRecord& call : calls_) {
+    if (!call.active || !call.suspended || (call.src != &box && call.dst != &box)) {
+      continue;
+    }
+    if (call.src->crashed() || call.dst->crashed()) {
+      continue;  // the peer is still down; its restart will re-plumb
+    }
+    ReestablishCall(call);
+  }
+}
+
+void Simulation::ReestablishCall(CallRecord& call) {
+  PandoraBox& src = *call.src;
+  PandoraBox& dst = *call.dst;
+  const bool audio = call.kind == CallRecord::Kind::kAudio;
+  // Same order and same ids as the original plumbing: destination first,
+  // then circuit, then source, then (for audio) the producer command.
+  dst.server_switch().OpenRoute(call.at_dst, audio ? dst.dest_audio_out() : dst.dest_display(),
+                                /*incoming=*/true, audio);
+  net_.OpenCircuit(src.port(), call.at_dst, dst.port(), call.path.hops, call.path.direct);
+  src.server_switch().OpenRoute(call.src_stream, src.dest_network(), /*incoming=*/false, audio,
+                                /*out_vci=*/call.at_dst);
+  if (audio) {
+    src.EnsureMicProducing();
+  } else if (call.src_down) {
+    // The sender's reboot took its capture processes with it (a surviving
+    // sender whose receiver crashed keeps the camera running).
+    src.AddCameraStream(call.src_stream, call.rect, call.rate_numer, call.rate_denom,
+                        call.segments_per_frame);
+  }
+  call.suspended = false;
+  call.src_down = false;
 }
 
 void Simulation::RecordStream(PandoraBox& box, StreamId stream, bool audio) {

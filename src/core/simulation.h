@@ -26,6 +26,25 @@ struct CallPath {
 
 class Simulation {
  public:
+  // One leg of host-plumbed traffic, remembered so churn (box crash and
+  // restart) can tear down and re-establish exactly the same plumbing.
+  struct CallRecord {
+    enum class Kind { kAudio, kVideo } kind = Kind::kAudio;
+    PandoraBox* src = nullptr;
+    PandoraBox* dst = nullptr;
+    StreamId src_stream = kInvalidStream;  // id at the source (mic / camera)
+    StreamId at_dst = kInvalidStream;      // id at the destination (the VCI)
+    CallPath path;
+    // Camera parameters, for re-registering a crashed sender's capture.
+    Rect rect;
+    int rate_numer = 1;
+    int rate_denom = 1;
+    int segments_per_frame = 4;
+    bool active = true;      // false once hung up for good
+    bool suspended = false;  // a crashed endpoint took the leg down
+    bool src_down = false;   // the sender crashed (its camera needs re-adding)
+  };
+
   explicit Simulation(uint64_t seed = 1);
   ~Simulation();
 
@@ -70,6 +89,26 @@ class Simulation {
   // route is removed — without disturbing any other copies (principle 6).
   void HangUpAudio(PandoraBox& src, PandoraBox& dst, StreamId at_dst);
 
+  // --- Churn (used by the fault driver and chaos tests) ---------------------
+
+  PandoraBox* FindBox(const std::string& name);
+  size_t box_count() const { return boxes_.size(); }
+  PandoraBox& box(size_t i) { return *boxes_.at(i); }
+  const std::vector<CallRecord>& calls() const { return calls_; }
+
+  // Crashes `box` mid-run.  Every active call leg touching it is suspended:
+  // the surviving endpoint's plumbing is closed host-side (its stream table
+  // drops the dead peer's rows; other calls are untouched) and the circuit
+  // is torn down.  Repository record/play sessions on the box are simply
+  // lost, as a power cut would lose them.
+  void CrashBox(PandoraBox& box);
+
+  // Reboots a crashed box and re-establishes every suspended leg whose
+  // other endpoint is alive, reusing the original stream ids and paths —
+  // deterministic re-registration.  Legs whose peer is still down stay
+  // suspended until that peer restarts.
+  void RestartBox(PandoraBox& box);
+
   // Records a stream arriving at (or produced by) `box` into its repository.
   void RecordStream(PandoraBox& box, StreamId stream, bool audio = true);
   void FinishRecording(PandoraBox& box, StreamId stream);
@@ -80,10 +119,14 @@ class Simulation {
   StreamId PlayVideoRecording(PandoraBox& box, StreamId stored);
 
  private:
+  // Re-plumbs one suspended leg whose endpoints are both alive again.
+  void ReestablishCall(CallRecord& call);
+
   Scheduler sched_;
   ReportCollector reports_;
   AtmNetwork net_;
   std::vector<std::unique_ptr<PandoraBox>> boxes_;
+  std::vector<CallRecord> calls_;
   StreamId next_stream_ = 1;
   bool started_ = false;
 };

@@ -1,0 +1,254 @@
+#include "src/fault/driver.h"
+
+#include <algorithm>
+
+#include "src/runtime/check.h"
+#include "src/trace/trace.h"
+
+namespace pandora {
+
+FaultDriver::FaultDriver(Simulation* sim, FaultPlan plan, FaultDriverOptions options)
+    : sim_(sim), plan_(std::move(plan)), options_(std::move(options)) {
+  plan_.Normalize();
+}
+
+void FaultDriver::Start() {
+  PANDORA_CHECK(!started_);
+  started_ = true;
+  // High priority: an onset scheduled for time T is applied before ordinary
+  // traffic processing at T, so the fault's first victim is deterministic.
+  sim_->scheduler().Spawn(Run(), options_.name, Priority::kHigh);
+}
+
+void FaultDriver::PushRestore(Restore restore) {
+  restore.order = next_restore_order_++;
+  restores_.push_back(std::move(restore));
+  std::push_heap(restores_.begin(), restores_.end(), [](const Restore& a, const Restore& b) {
+    return a.at != b.at ? a.at > b.at : a.order > b.order;
+  });
+}
+
+FaultDriver::Restore FaultDriver::PopRestore() {
+  std::pop_heap(restores_.begin(), restores_.end(), [](const Restore& a, const Restore& b) {
+    return a.at != b.at ? a.at > b.at : a.order > b.order;
+  });
+  Restore restore = std::move(restores_.back());
+  restores_.pop_back();
+  return restore;
+}
+
+void FaultDriver::TraceFault(const std::string& what, int target, int64_t value) {
+  // Cold path (a handful of events per run): the dynamic-name instant keeps
+  // one trace track per fault kind without pre-interned sites.
+  PANDORA_TRACE_INSTANT_DYN(sim_->scheduler().trace(), "fault." + what,
+                            static_cast<int64_t>(target), value);
+}
+
+Process FaultDriver::Run() {
+  Scheduler& sched = sim_->scheduler();
+  size_t next_event = 0;
+  while (next_event < plan_.events.size() || !restores_.empty()) {
+    Time next = kNever;
+    if (next_event < plan_.events.size()) {
+      next = plan_.events[next_event].at;
+    }
+    if (!restores_.empty()) {
+      next = std::min(next, restores_.front().at);
+    }
+    if (next > sched.now()) {
+      co_await sched.WaitUntil(next);
+    }
+    // Restores fire before onsets at the same instant, so a plan may end
+    // one episode and begin another on the same microsecond and see the
+    // healthy state in between.
+    while (!restores_.empty() && restores_.front().at <= sched.now()) {
+      ApplyRestore(PopRestore());
+    }
+    while (next_event < plan_.events.size() && plan_.events[next_event].at <= sched.now()) {
+      Apply(plan_.events[next_event]);
+      ++next_event;
+    }
+  }
+  quiescent_ = true;
+  quiescent_at_ = sched.now();
+  TraceFault("quiescent", 0, static_cast<int64_t>(applied_));
+}
+
+void FaultDriver::Apply(const FaultEvent& event) {
+  AtmNetwork& net = sim_->network();
+  const std::string kind_name = FormatFaultKind(event.kind);
+
+  if (TargetOf(event.kind) == FaultTarget::kCall) {
+    if (event.target < 0 || static_cast<size_t>(event.target) >= sim_->calls().size()) {
+      ++skipped_;
+      TraceFault(kind_name + ".skip", event.target, 0);
+      return;
+    }
+    const Simulation::CallRecord& call = sim_->calls()[static_cast<size_t>(event.target)];
+    if (!call.active || call.suspended || call.src->crashed()) {
+      // The circuit this fault would impair is gone (hung up, or torn down
+      // by an earlier crash in the same plan).
+      ++skipped_;
+      TraceFault(kind_name + ".skip", event.target, 0);
+      return;
+    }
+    AtmPort* port = call.src->port();
+    const Vci vci = call.at_dst;
+    switch (event.kind) {
+      case FaultKind::kCircuitDown: {
+        if (!net.SetCircuitUp(port, vci, false)) {
+          ++skipped_;
+          TraceFault(kind_name + ".skip", event.target, 0);
+          return;
+        }
+        if (event.duration > 0) {
+          Restore restore;
+          restore.at = event.at + event.duration;
+          restore.kind = event.kind;
+          restore.target = event.target;
+          PushRestore(std::move(restore));
+        }
+        break;
+      }
+      case FaultKind::kBandwidthCollapse:
+      case FaultKind::kBurstLoss:
+      case FaultKind::kJitterStorm: {
+        const HopQuality* current = net.CircuitQuality(port, vci);
+        if (current == nullptr) {
+          ++skipped_;
+          TraceFault(kind_name + ".skip", event.target, 0);
+          return;
+        }
+        HopQuality snapshot = *current;
+        HopQuality impaired = snapshot;
+        if (event.kind == FaultKind::kBandwidthCollapse) {
+          impaired.bits_per_second = std::max<int64_t>(1, static_cast<int64_t>(event.value));
+        } else if (event.kind == FaultKind::kBurstLoss) {
+          impaired.loss_rate = std::clamp(event.value, 0.0, 1.0);
+        } else {
+          impaired.jitter_max = std::max<Duration>(0, static_cast<Duration>(event.value));
+        }
+        net.SetCircuitQuality(port, vci, impaired);
+        if (event.duration > 0) {
+          Restore restore;
+          restore.at = event.at + event.duration;
+          restore.kind = event.kind;
+          restore.target = event.target;
+          restore.quality = snapshot;
+          PushRestore(std::move(restore));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    ++applied_;
+    TraceFault(kind_name, event.target, static_cast<int64_t>(event.value));
+    return;
+  }
+
+  // Box-targeted faults.
+  if (event.target < 0 || static_cast<size_t>(event.target) >= sim_->box_count()) {
+    ++skipped_;
+    TraceFault(kind_name + ".skip", event.target, 0);
+    return;
+  }
+  PandoraBox& box = sim_->box(static_cast<size_t>(event.target));
+  switch (event.kind) {
+    case FaultKind::kBoxCrash: {
+      if (box.crashed()) {
+        ++skipped_;
+        TraceFault(kind_name + ".skip", event.target, 0);
+        return;
+      }
+      sim_->CrashBox(box);
+      if (event.duration > 0) {
+        Restore restore;
+        restore.at = event.at + event.duration;
+        restore.kind = event.kind;
+        restore.target = event.target;
+        PushRestore(std::move(restore));
+      }
+      break;
+    }
+    case FaultKind::kClockStep: {
+      const double prev = box.audio_clock_drift();
+      box.SetAudioClockDrift(event.value);
+      if (event.duration > 0) {
+        Restore restore;
+        restore.at = event.at + event.duration;
+        restore.kind = event.kind;
+        restore.target = event.target;
+        restore.prev_value = prev;
+        PushRestore(std::move(restore));
+      }
+      break;
+    }
+    case FaultKind::kPoolPressure: {
+      if (box.crashed()) {
+        ++skipped_;
+        TraceFault(kind_name + ".skip", event.target, 0);
+        return;
+      }
+      box.pool().InjectPressure(static_cast<size_t>(std::max(0.0, event.value)));
+      if (event.duration > 0) {
+        Restore restore;
+        restore.at = event.at + event.duration;
+        restore.kind = event.kind;
+        restore.target = event.target;
+        PushRestore(std::move(restore));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  ++applied_;
+  TraceFault(kind_name, event.target, static_cast<int64_t>(event.value));
+}
+
+void FaultDriver::ApplyRestore(const Restore& restore) {
+  AtmNetwork& net = sim_->network();
+  const std::string kind_name = FormatFaultKind(restore.kind);
+  switch (restore.kind) {
+    case FaultKind::kCircuitDown:
+    case FaultKind::kBandwidthCollapse:
+    case FaultKind::kBurstLoss:
+    case FaultKind::kJitterStorm: {
+      const Simulation::CallRecord& call = sim_->calls()[static_cast<size_t>(restore.target)];
+      if (!call.active || call.suspended || call.src->crashed()) {
+        break;  // a crash tore the circuit down; restart re-plumbs it healthy
+      }
+      if (restore.kind == FaultKind::kCircuitDown) {
+        net.SetCircuitUp(call.src->port(), call.at_dst, true);
+      } else {
+        net.SetCircuitQuality(call.src->port(), call.at_dst, restore.quality);
+      }
+      break;
+    }
+    case FaultKind::kBoxCrash: {
+      PandoraBox& box = sim_->box(static_cast<size_t>(restore.target));
+      if (box.crashed()) {
+        sim_->RestartBox(box);
+      }
+      break;
+    }
+    case FaultKind::kClockStep: {
+      sim_->box(static_cast<size_t>(restore.target)).SetAudioClockDrift(restore.prev_value);
+      break;
+    }
+    case FaultKind::kPoolPressure: {
+      PandoraBox& box = sim_->box(static_cast<size_t>(restore.target));
+      if (!box.crashed()) {
+        // After a crash+restart the rebuilt pool holds no pressure and this
+        // release is a harmless no-op.
+        box.pool().ReleasePressure();
+      }
+      break;
+    }
+  }
+  ++restored_;
+  TraceFault(kind_name + ".restore", restore.target, 0);
+}
+
+}  // namespace pandora

@@ -1,0 +1,88 @@
+// FaultDriver: applies a FaultPlan from inside the scheduler.
+//
+// The driver is one more cooperative process on the simulated timeline — it
+// waits (in simulated time) for each event's onset, applies it through the
+// sanctioned mutators (AtmNetwork's fault hooks, Simulation's
+// CrashBox/RestartBox, PandoraBox::SetAudioClockDrift, BufferPool's
+// pressure injection) and, for episodic faults, snapshots the prior state
+// and schedules its own restore.  It draws no randomness: given the same
+// plan against the same topology, every apply and restore lands on the same
+// microsecond, so chaos runs replay bit-identically.
+//
+// Events whose target no longer makes sense when their onset arrives — the
+// call was hung up, its circuit is already closed, the box is already down
+// — are counted as skipped, not errors: a random plan is allowed to race
+// the faults it injected earlier (a crash closes the circuits a later
+// burst-loss episode would have impaired).
+#ifndef PANDORA_SRC_FAULT_DRIVER_H_
+#define PANDORA_SRC_FAULT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/fault/plan.h"
+#include "src/net/atm.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+struct FaultDriverOptions {
+  // Deliberately NOT under any box's "<name>." prefix, so a box crash's
+  // process-group kill can never take the fault driver with it.
+  std::string name = "fault.driver";
+};
+
+class FaultDriver {
+ public:
+  FaultDriver(Simulation* sim, FaultPlan plan, FaultDriverOptions options = {});
+
+  // Spawns the driver process.  Call after Simulation::Start() and after
+  // the calls the plan targets have been plumbed (targets are call/box
+  // indices into the Simulation's registries).
+  void Start();
+
+  const FaultPlan& plan() const { return plan_; }
+  size_t applied() const { return applied_; }
+  size_t skipped() const { return skipped_; }
+  size_t restored() const { return restored_; }
+  // True once every event fired and every episodic restore has run: from
+  // here on the environment is healthy and recovery clocks may be started.
+  bool quiescent() const { return quiescent_; }
+  // Simulated time the driver went quiescent (-1 while still active).
+  Time quiescent_at() const { return quiescent_at_; }
+
+ private:
+  // One scheduled undo of an episodic fault, with the state it restores.
+  struct Restore {
+    Time at = 0;
+    uint64_t order = 0;  // tie-break: restores replay in schedule order
+    FaultKind kind = FaultKind::kCircuitDown;
+    int target = 0;
+    HopQuality quality;     // circuit episodes
+    double prev_value = 0;  // clock steps
+  };
+
+  Process Run();
+  void Apply(const FaultEvent& event);
+  void ApplyRestore(const Restore& restore);
+  void PushRestore(Restore restore);
+  Restore PopRestore();
+  void TraceFault(const std::string& what, int target, int64_t value);
+
+  Simulation* sim_;
+  FaultPlan plan_;
+  FaultDriverOptions options_;
+  std::vector<Restore> restores_;  // min-heap on (at, order)
+  uint64_t next_restore_order_ = 0;
+  size_t applied_ = 0;
+  size_t skipped_ = 0;
+  size_t restored_ = 0;
+  bool quiescent_ = false;
+  Time quiescent_at_ = -1;
+  bool started_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_FAULT_DRIVER_H_

@@ -1,0 +1,278 @@
+#include "src/fault/plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/runtime/random.h"
+
+namespace pandora {
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kCircuitDown, "circuit-down"},
+    {FaultKind::kBandwidthCollapse, "bandwidth-collapse"},
+    {FaultKind::kBurstLoss, "burst-loss"},
+    {FaultKind::kJitterStorm, "jitter-storm"},
+    {FaultKind::kBoxCrash, "crash"},
+    {FaultKind::kClockStep, "clock-step"},
+    {FaultKind::kPoolPressure, "pool-pressure"},
+};
+
+// Durations are emitted in plain microseconds so Format -> Parse is an
+// identity on the integer; the human-friendly ms/s suffixes are for
+// hand-written plans.
+bool ParseDuration(std::string_view text, Duration* out) {
+  if (text.empty()) {
+    return false;
+  }
+  int64_t scale = 1;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    text.remove_suffix(2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale = kMillisecond;
+    text.remove_suffix(2);
+  } else if (text.back() == 's') {
+    scale = kSecond;
+    text.remove_suffix(1);
+  }
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  std::string buf(text);
+  double n = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<Duration>(n * static_cast<double>(scale) + (n >= 0 ? 0.5 : -0.5));
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(text.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+void FaultPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+std::string FormatFaultKind(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+bool ParseFaultKind(std::string_view text, FaultKind* kind) {
+  for (const KindName& entry : kKindNames) {
+    if (text == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FormatFaultPlan(const FaultPlan& plan) {
+  std::string out = "seed=" + std::to_string(plan.seed);
+  char buf[64];
+  for (const FaultEvent& event : plan.events) {
+    out += "; @" + std::to_string(event.at) + "us " + FormatFaultKind(event.kind);
+    out += TargetOf(event.kind) == FaultTarget::kCall ? " call=" : " box=";
+    out += std::to_string(event.target);
+    if (event.value != 0.0) {
+      std::snprintf(buf, sizeof(buf), " value=%.17g", event.value);
+      out += buf;
+    }
+    if (event.duration != 0) {
+      out += " for=" + std::to_string(event.duration) + "us";
+    }
+  }
+  return out;
+}
+
+bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error) {
+  FaultPlan parsed;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t semi = text.find(';', pos);
+    std::string_view clause =
+        text.substr(pos, semi == std::string_view::npos ? std::string_view::npos : semi - pos);
+    pos = semi == std::string_view::npos ? text.size() + 1 : semi + 1;
+    std::vector<std::string_view> tokens = SplitTokens(clause);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens[0].rfind("seed=", 0) == 0) {
+      if (tokens.size() != 1) {
+        return Fail(error, "seed clause takes no other tokens");
+      }
+      parsed.seed = std::strtoull(std::string(tokens[0].substr(5)).c_str(), nullptr, 10);
+      continue;
+    }
+    FaultEvent event;
+    bool have_at = false;
+    bool have_kind = false;
+    bool have_target = false;
+    for (std::string_view token : tokens) {
+      if (token[0] == '@') {
+        if (!ParseDuration(token.substr(1), &event.at)) {
+          return Fail(error, "bad onset time: " + std::string(token));
+        }
+        have_at = true;
+      } else if (token.rfind("call=", 0) == 0 || token.rfind("box=", 0) == 0) {
+        std::string_view num = token.substr(token.find('=') + 1);
+        event.target = static_cast<int>(std::strtol(std::string(num).c_str(), nullptr, 10));
+        have_target = true;
+      } else if (token.rfind("value=", 0) == 0) {
+        event.value = std::strtod(std::string(token.substr(6)).c_str(), nullptr);
+      } else if (token.rfind("for=", 0) == 0) {
+        if (!ParseDuration(token.substr(4), &event.duration)) {
+          return Fail(error, "bad episode length: " + std::string(token));
+        }
+      } else if (ParseFaultKind(token, &event.kind)) {
+        have_kind = true;
+      } else {
+        return Fail(error, "unrecognized token: " + std::string(token));
+      }
+    }
+    if (!have_at || !have_kind || !have_target) {
+      return Fail(error, "event needs @time, a kind and a call=/box= target: \"" +
+                             std::string(clause) + "\"");
+    }
+    parsed.events.push_back(event);
+  }
+  parsed.Normalize();
+  *plan = std::move(parsed);
+  return true;
+}
+
+bool FaultPlanFromEnv(FaultPlan* plan, std::string* error) {
+  const char* text = std::getenv("PANDORA_FAULT_PLAN");
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  if (!ParseFaultPlan(text, plan, error)) {
+    return false;
+  }
+  return true;
+}
+
+FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  auto allowed = [&](int target, const std::vector<int>& excluded) {
+    return std::find(excluded.begin(), excluded.end(), target) == excluded.end();
+  };
+  std::vector<int> calls;
+  for (int i = 0; i < options.call_count; ++i) {
+    if (allowed(i, options.protected_calls)) {
+      calls.push_back(i);
+    }
+  }
+  std::vector<int> boxes;
+  for (int i = 0; i < options.box_count; ++i) {
+    if (allowed(i, options.protected_boxes)) {
+      boxes.push_back(i);
+    }
+  }
+
+  std::vector<FaultKind> kinds;
+  if (!calls.empty()) {
+    kinds.insert(kinds.end(), {FaultKind::kCircuitDown, FaultKind::kBandwidthCollapse,
+                               FaultKind::kBurstLoss, FaultKind::kJitterStorm});
+  }
+  if (!boxes.empty()) {
+    if (options.allow_crash) {
+      kinds.push_back(FaultKind::kBoxCrash);
+    }
+    if (options.allow_clock_step) {
+      kinds.push_back(FaultKind::kClockStep);
+    }
+    if (options.allow_pool_pressure) {
+      kinds.push_back(FaultKind::kPoolPressure);
+    }
+  }
+  if (kinds.empty()) {
+    return plan;
+  }
+
+  const int count = static_cast<int>(
+      rng.UniformInt(options.min_events, std::max(options.min_events, options.max_events)));
+  for (int i = 0; i < count; ++i) {
+    FaultEvent event;
+    event.at = static_cast<Time>(
+        rng.UniformInt(options.start, std::max(options.start, options.horizon - 1)));
+    event.kind = kinds[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(kinds.size()) - 1))];
+    event.duration =
+        rng.UniformInt(options.min_episode, std::max(options.min_episode, options.max_episode));
+    if (TargetOf(event.kind) == FaultTarget::kCall) {
+      event.target = calls[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(calls.size()) - 1))];
+    } else {
+      event.target = boxes[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(boxes.size()) - 1))];
+    }
+    switch (event.kind) {
+      case FaultKind::kBandwidthCollapse:
+        // Collapse to somewhere between 64 kbit/s and 2 Mbit/s: enough to
+        // hurt, not enough to look like a dead circuit.
+        event.value = static_cast<double>(rng.UniformInt(64'000, 2'000'000));
+        break;
+      case FaultKind::kBurstLoss:
+        event.value = rng.Uniform(0.05, 0.6);
+        break;
+      case FaultKind::kJitterStorm:
+        event.value = static_cast<double>(rng.UniformInt(2'000, 40'000));  // us
+        break;
+      case FaultKind::kClockStep:
+        event.value = rng.Uniform(-5e-5, 5e-5);
+        break;
+      case FaultKind::kPoolPressure:
+        event.value = static_cast<double>(rng.UniformInt(8, 64));
+        break;
+      case FaultKind::kCircuitDown:
+      case FaultKind::kBoxCrash:
+        break;
+    }
+    plan.events.push_back(event);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+}  // namespace pandora

@@ -1,0 +1,119 @@
+// Fault plans: deterministic, simulated-time schedules of impairment.
+//
+// The paper's machinery exists to survive a hostile environment — congested
+// bridges, lossy trunks, boxes that power-cycle mid-call — but the
+// reproduction's experiments so far only dialled those conditions in by
+// hand.  A FaultPlan makes the hostile environment itself a first-class,
+// replayable artifact: a seeded list of timed FaultEvents (circuit down,
+// bandwidth collapse, burst-loss episode, jitter storm, box crash and
+// restart, clock step, buffer-pool pressure) that a FaultDriver process
+// applies from inside the scheduler.  Every chaos run is exactly
+// reproducible from (plan, seed): the driver consumes no randomness at
+// apply time, and the plan itself round-trips through a text format so a
+// failing run's schedule can be attached to a bug report and replayed with
+// PANDORA_FAULT_PLAN=<text>.
+#ifndef PANDORA_SRC_FAULT_PLAN_H_
+#define PANDORA_SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+enum class FaultKind {
+  kCircuitDown,         // call's circuit administratively down for `duration`
+  kBandwidthCollapse,   // call's direct path collapses to `value` bits/s
+  kBurstLoss,           // call's direct path loses `value` fraction of segments
+  kJitterStorm,         // call's direct path jitters up to `value` microseconds
+  kBoxCrash,            // box power-fails; restarts after `duration` (0: never)
+  kClockStep,           // box's audio quartz steps to drift `value`
+  kPoolPressure,        // `value` buffers of the box's pool seized
+};
+
+// Which kind of entity an event's `target` indexes.
+enum class FaultTarget { kCall, kBox };
+
+inline FaultTarget TargetOf(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCircuitDown:
+    case FaultKind::kBandwidthCollapse:
+    case FaultKind::kBurstLoss:
+    case FaultKind::kJitterStorm:
+      return FaultTarget::kCall;
+    case FaultKind::kBoxCrash:
+    case FaultKind::kClockStep:
+    case FaultKind::kPoolPressure:
+      return FaultTarget::kBox;
+  }
+  return FaultTarget::kBox;
+}
+
+struct FaultEvent {
+  Time at = 0;          // simulated time of onset
+  FaultKind kind = FaultKind::kCircuitDown;
+  int target = 0;       // call index (Simulation::calls()) or box index
+  double value = 0.0;   // kind-specific magnitude (bps, loss rate, us, drift, buffers)
+  Duration duration = 0;  // episode length; 0 = permanent (or never-restart)
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;  // provenance only; the driver never draws from it
+  std::vector<FaultEvent> events;
+
+  // Stable-sorts events by onset time, preserving authored order at ties so
+  // replay order is exactly the plan order.
+  void Normalize();
+};
+
+// Options for RandomFaultPlan.  Target counts come from the caller (who
+// knows the topology); constrained targeting keeps property-test invariants
+// meaningful — e.g. a P5 "good copy loses nothing" check must exclude the
+// good copy's call from impairment.
+struct RandomPlanOptions {
+  Time start = Seconds(1);      // no faults before traffic has plateaued
+  Time horizon = Seconds(8);    // onsets drawn in [start, horizon)
+  int min_events = 3;
+  int max_events = 8;
+  int call_count = 0;           // calls eligible for circuit faults
+  int box_count = 0;            // boxes eligible for crash/clock/pressure
+  std::vector<int> protected_calls;  // never impaired (P5 good copies)
+  std::vector<int> protected_boxes;  // never crashed/stepped/pressured
+  bool allow_crash = true;
+  bool allow_clock_step = true;
+  bool allow_pool_pressure = true;
+  Duration min_episode = Millis(100);
+  Duration max_episode = Millis(800);
+};
+
+// Draws a plan from `seed`.  Same (seed, options) -> same plan, always.
+FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options);
+
+// --- Text format -------------------------------------------------------------
+//
+//   seed=42; @1500ms circuit-down call=0 for=300ms; @2s burst-loss call=1
+//   value=0.25 for=500ms; @3s crash box=2 for=1s; @4s clock-step box=0
+//   value=2e-05
+//
+// Events are ';'-separated; within an event, whitespace-separated tokens:
+// `@<duration>` (onset), a kind name, then `call=`/`box=` (target),
+// `value=`, `for=` (episode length).  Durations take us/ms/s suffixes; a
+// bare number is microseconds.  Format output round-trips through Parse
+// bit-exactly (times in us, values via %.17g).
+
+std::string FormatFaultKind(FaultKind kind);
+bool ParseFaultKind(std::string_view text, FaultKind* kind);
+
+std::string FormatFaultPlan(const FaultPlan& plan);
+bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error = nullptr);
+
+// Parses $PANDORA_FAULT_PLAN if set; false (untouched plan) when unset.
+// A set-but-malformed value is reported through `error` and also false.
+bool FaultPlanFromEnv(FaultPlan* plan, std::string* error = nullptr);
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_FAULT_PLAN_H_

@@ -34,7 +34,7 @@ Process AtmPort::TxProc() {
     Segment wire_copy = *out.segment;
     wire_copy.stream = out.vci;
     out.segment.Reset();
-    sched_->Spawn(net_->ForwardProc(circuit, std::move(wire_copy)),
+    sched_->Spawn(net_->ForwardProc(this, out.vci, std::move(wire_copy)),
                   name_ + ".fwd", Priority::kHigh);
   }
 }
@@ -66,14 +66,79 @@ void AtmNetwork::OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<Ne
 
 void AtmNetwork::CloseCircuit(AtmPort* src, Vci vci) { circuits_.erase({src, vci}); }
 
+void AtmNetwork::SetPortUp(AtmPort* port, bool up) {
+  port->up_ = up;
+  if (!up) {
+    // Discard deliveries already parked on the rx channel: their forwarders
+    // resume and finish normally, but the segments never reach a box.
+    while (port->rx_.TryReceive().has_value()) {
+      ++port->rx_discarded_;
+      ++total_lost_;
+    }
+  }
+}
+
+void AtmNetwork::RestartPort(AtmPort* port) {
+  sched_->Spawn(port->TxProc(), port->name_ + ".txproc", Priority::kHigh);
+}
+
+bool AtmNetwork::SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality) {
+  auto it = circuits_.find({src, vci});
+  if (it == circuits_.end()) {
+    return false;
+  }
+  it->second->direct = quality;
+  return true;
+}
+
+const HopQuality* AtmNetwork::CircuitQuality(AtmPort* src, Vci vci) const {
+  auto it = circuits_.find({src, vci});
+  return it == circuits_.end() ? nullptr : &it->second->direct;
+}
+
+bool AtmNetwork::SetCircuitUp(AtmPort* src, Vci vci, bool up) {
+  auto it = circuits_.find({src, vci});
+  if (it == circuits_.end()) {
+    return false;
+  }
+  it->second->up = up;
+  return true;
+}
+
+void AtmNetwork::SetHopQuality(NetHop* hop, const HopQuality& quality) {
+  hop->quality = quality;
+  hop->gate.SetRate(quality.bits_per_second);
+}
+
 const CircuitStats* AtmNetwork::StatsFor(AtmPort* src, Vci vci) const {
   auto it = circuits_.find({src, vci});
   return it == circuits_.end() ? nullptr : &it->second->stats;
 }
 
-Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
+AtmNetwork::Circuit* AtmNetwork::FindCircuit(AtmPort* src, Vci vci) {
+  auto it = circuits_.find({src, vci});
+  return it == circuits_.end() ? nullptr : it->second.get();
+}
+
+Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
   const Time departed = sched_->now();
   const size_t bytes = segment.EncodedSize();
+
+  Circuit* circuit = FindCircuit(src, vci);
+  if (circuit == nullptr) {
+    ++total_lost_;  // closed before this forwarder first ran
+    co_return;
+  }
+
+  // An administratively-down circuit loses everything offered to it.
+  if (!circuit->up) {
+    ++circuit->stats.lost;
+    ++total_lost_;
+    PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
+                           "seq", static_cast<int64_t>(segment.header.sequence), "bytes",
+                           static_cast<int64_t>(bytes));
+    co_return;
+  }
 
   // FIFO per circuit: each stage's exit time is computed and CLAMPED
   // against the previous segment's exit BEFORE waiting, so segments that
@@ -100,6 +165,11 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
                  circuit->stage_last_exit[0] + 1);
     circuit->stage_last_exit[0] = exit_at;
     co_await sched_->WaitUntil(exit_at);
+    circuit = FindCircuit(src, vci);
+    if (circuit == nullptr) {
+      ++total_lost_;  // closed while this segment was in flight
+      co_return;
+    }
   } else {
     for (size_t i = 0; i < circuit->path.size(); ++i) {
       NetHop* hop = circuit->path[i];
@@ -117,6 +187,11 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
       // sharing the hop (contention); reservations are made in program
       // order, which per circuit is send order by induction.
       co_await hop->gate.Transmit(bytes);
+      circuit = FindCircuit(src, vci);
+      if (circuit == nullptr || circuit->path.size() <= i) {
+        ++total_lost_;  // closed (or re-opened shorter) while in flight
+        co_return;
+      }
       Duration jitter = hop->quality.jitter_max > 0
                             ? static_cast<Duration>(hop->rng.Uniform(
                                   0.0, static_cast<double>(hop->quality.jitter_max)))
@@ -125,9 +200,27 @@ Process AtmNetwork::ForwardProc(Circuit* circuit, Segment segment) {
                               circuit->stage_last_exit[i] + 1);
       circuit->stage_last_exit[i] = exit_at;
       co_await sched_->WaitUntil(exit_at);
+      circuit = FindCircuit(src, vci);
+      if (circuit == nullptr || circuit->path.size() <= i) {
+        ++total_lost_;
+        co_return;
+      }
     }
   }
 
+  // The destination link may have gone down while this segment was in
+  // flight; a dead box receives nothing (PandoraBox::Crash takes the port
+  // down before killing the box's processes, so nothing parks forever on an
+  // unreceived rx channel).
+  if (!circuit->dst->up_) {
+    ++circuit->dst->rx_discarded_;
+    ++circuit->stats.lost;
+    ++total_lost_;
+    PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
+                           "seq", static_cast<int64_t>(segment.header.sequence), "bytes",
+                           static_cast<int64_t>(bytes));
+    co_return;
+  }
   ++circuit->stats.delivered;
   ++total_delivered_;
   circuit->stats.latency.Add(static_cast<double>(sched_->now() - departed));

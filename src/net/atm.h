@@ -83,6 +83,11 @@ class AtmPort {
   const std::string& name() const { return name_; }
   uint64_t sent() const { return sent_; }
   uint64_t unrouted() const { return unrouted_; }
+  // Link state (AtmNetwork::SetPortUp).  A down port receives nothing:
+  // in-flight segments aimed at it are discarded on arrival.
+  bool up() const { return up_; }
+  // Segments discarded because this port was down when they arrived.
+  uint64_t rx_discarded() const { return rx_discarded_; }
 
  private:
   friend class AtmNetwork;
@@ -94,8 +99,10 @@ class AtmPort {
   Channel<NetTx> tx_;
   Channel<Segment> rx_;
   BandwidthGate egress_;
+  bool up_ = true;
   uint64_t sent_ = 0;
   uint64_t unrouted_ = 0;
+  uint64_t rx_discarded_ = 0;
 };
 
 // One virtual circuit: (source port, VCI) -> destination port; the VCI is
@@ -121,6 +128,34 @@ class AtmNetwork {
                    const HopQuality& direct = HopQuality{});
   void CloseCircuit(AtmPort* src, Vci vci);
 
+  // --- Fault hooks ---------------------------------------------------------
+  // All runtime impairment goes through these mutators (and from there
+  // through src/fault/'s FaultDriver); nothing else may poke circuit or hop
+  // parameters mid-run (pandora-lint rule `fault-hooks`).
+
+  // Takes a port's link down or back up.  Going down discards anything
+  // already parked for delivery on the port's rx channel and everything
+  // that arrives while down (counted in AtmPort::rx_discarded and the
+  // circuit's loss stats).  The box-side processes are the box's problem
+  // (PandoraBox::Crash kills them); the port object itself survives.
+  void SetPortUp(AtmPort* port, bool up);
+
+  // Respawns a port's transmit process after its box restarts (the old one
+  // died with the box's process group).
+  void RestartPort(AtmPort* port);
+
+  // Per-circuit impairment for circuits with no intermediate hops: replaces
+  // the direct-path quality (burst loss, jitter storm, rate change).
+  // Returns false if no such circuit is open.
+  bool SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality);
+  // Snapshot of the current direct-path quality, for restore-after-episode.
+  const HopQuality* CircuitQuality(AtmPort* src, Vci vci) const;
+  // Administrative circuit state: a down circuit loses every segment.
+  bool SetCircuitUp(AtmPort* src, Vci vci, bool up);
+
+  // Replaces a shared hop's quality, keeping its bandwidth gate in sync.
+  void SetHopQuality(NetHop* hop, const HopQuality& quality);
+
   const CircuitStats* StatsFor(AtmPort* src, Vci vci) const;
   uint64_t total_delivered() const { return total_delivered_; }
   uint64_t total_lost() const { return total_lost_; }
@@ -132,6 +167,7 @@ class AtmNetwork {
     AtmPort* dst = nullptr;
     std::vector<NetHop*> path;
     HopQuality direct;
+    bool up = true;
     // Per-stage FIFO clamps (one per hop, or one for a direct path): the
     // exit time of the previous segment of THIS circuit through each stage.
     std::vector<Time> stage_last_exit;
@@ -144,8 +180,12 @@ class AtmNetwork {
   };
 
   // Walks the remaining hops of one segment's journey; spawned per segment
-  // so transmissions overlap (store and forward).
-  Process ForwardProc(Circuit* circuit, Segment segment);
+  // so transmissions overlap (store and forward).  Keyed by (src, vci), not
+  // a Circuit*: the circuit can be closed (box crash, hang-up) while this
+  // segment is mid-flight, so the pointer is re-fetched after every
+  // suspension and the segment counts as lost if the circuit is gone.
+  Process ForwardProc(AtmPort* src, Vci vci, Segment segment);
+  Circuit* FindCircuit(AtmPort* src, Vci vci);
 
   Scheduler* sched_;
   Rng rng_;

@@ -35,6 +35,23 @@ class Alt : public AltWaiter {
  public:
   explicit Alt(Scheduler* sched) : sched_(sched) {}
 
+  // An Alt lives in a coroutine frame; if that frame is destroyed while
+  // parked in Select (Scheduler::KillProcesses — a crashing box), the guard
+  // channels still hold a registration and the timeout timer still holds a
+  // raw pointer to this object.  Undo both.  Guard channels are owned by
+  // boards, not frames, so they outlive the Alt here.
+  ~Alt() {
+    if (waiting_ctx_ != nullptr) {
+      for (const Guard& guard : guards_) {
+        if (guard.kind == Guard::kChannel) {
+          guard.channel->UnregisterAltWaiter(this);
+        }
+      }
+      timeout_timer_.Cancel();
+      waiting_ctx_ = nullptr;
+    }
+  }
+
   Alt(const Alt&) = delete;
   Alt& operator=(const Alt&) = delete;
 

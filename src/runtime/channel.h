@@ -24,6 +24,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -121,6 +122,47 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     delivered_.clear();
   }
 
+  // Kill sweep, phase 1 (before the victims' frames die): forget parked
+  // receivers that belong to killed processes so nothing delivers to them.
+  void OnProcessesKilled() override {
+    std::erase_if(receivers_, [](const ParkedReceiver& r) { return r.ctx->killed; });
+  }
+
+  // Kill sweep, phase 2 (after the victims' frames died): drop the values
+  // killed processes parked here — a killed sender's payload, a delivery a
+  // killed receiver was woken for but never resumed to claim.
+  void OnKilledFramesDestroyed() override {
+    auto drop = [this](T&& value) {
+      if (kill_drop_handler_) {
+        kill_drop_handler_(std::move(value));
+      }
+    };
+    for (auto it = senders_.begin(); it != senders_.end();) {
+      if (it->ctx->killed) {
+        drop(std::move(it->value));
+        it = senders_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = delivered_.begin(); it != delivered_.end();) {
+      if (it->second.ctx->killed) {
+        drop(std::move(it->second.value));
+        it = delivered_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Invoked for each parked value dropped by a kill sweep.  Channels whose
+  // payload carries out-of-band ownership (the pool handoff channel passes
+  // raw slot indices whose refcount was already transferred to the doomed
+  // receiver) use this to reclaim it; RAII payloads need no handler.
+  void set_kill_drop_handler(std::function<void(T&&)> handler) {
+    kill_drop_handler_ = std::move(handler);
+  }
+
   bool InputReady() const override { return !senders_.empty(); }
   size_t waiting_senders() const { return senders_.size(); }
   size_t waiting_receivers() const { return receivers_.size(); }
@@ -138,7 +180,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
         // continues without suspending.
         ParkedReceiver receiver = channel->receivers_.front();
         channel->receivers_.pop_front();
-        channel->delivered_.emplace(receiver.ticket, std::move(value));
+        channel->delivered_.emplace(receiver.ticket, Delivery{receiver.ctx, std::move(value)});
         ++channel->transfers_;
         channel->sched_->Ready(receiver.ctx);
         PANDORA_TRACE_RENDEZVOUS_END(channel->sched_->trace(), channel->trace_site_,
@@ -206,7 +248,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       // any frame relocation of this awaiter).
       auto it = channel->delivered_.find(ticket);
       PANDORA_CHECK(it != channel->delivered_.end());
-      T value = std::move(it->second);
+      T value = std::move(it->second.value);
       channel->delivered_.erase(it);
       return value;
     }
@@ -225,7 +267,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     }
     ParkedReceiver receiver = receivers_.front();
     receivers_.pop_front();
-    delivered_.emplace(receiver.ticket, std::move(value));
+    delivered_.emplace(receiver.ticket, Delivery{receiver.ctx, std::move(value)});
     ++transfers_;
     sched_->Ready(receiver.ctx);
     PANDORA_TRACE_RENDEZVOUS_END(sched_->trace(), trace_site_, receiver.trace_id);
@@ -257,13 +299,20 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     uint64_t ticket;
     uint64_t trace_id = 0;
   };
+  // A value handed to a woken-but-not-yet-resumed receiver; the ctx lets a
+  // kill sweep reclaim deliveries the receiver will never pick up.
+  struct Delivery {
+    ProcessCtx* ctx;
+    T value;
+  };
 
   Scheduler* sched_;
   std::string name_;
   std::deque<ParkedSender> senders_;
   std::deque<ParkedReceiver> receivers_;
   // Values handed to woken-but-not-yet-resumed receivers, keyed by ticket.
-  std::map<uint64_t, T> delivered_;
+  std::map<uint64_t, Delivery> delivered_;
+  std::function<void(T&&)> kill_drop_handler_;
   uint64_t next_ticket_ = 0;
   uint64_t transfers_ = 0;
   // Cached trace site for this channel's rendezvous-wait track.

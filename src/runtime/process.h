@@ -47,6 +47,14 @@ struct ProcessCtx {
 
   bool done = false;
   bool queued = false;  // present in a ready queue
+  // Set by Scheduler::KillProcesses before the frame is destroyed; channels
+  // and pools consult it to sweep parked state the victim will never claim.
+  bool killed = false;
+  // Timers created by WaitUntil that have not fired yet.  Their fire
+  // closures hold this ProcessCtx by raw pointer, so PruneCompleted must
+  // not release the record while any are outstanding (a killed process can
+  // leave its wakeup timer pending).
+  int pending_timers = 0;
   std::exception_ptr error;
   uint64_t resumptions = 0;  // context switches into this process
   // Cached trace site for this process's run-slice track (0 = uninterned).

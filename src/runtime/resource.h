@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/runtime/check.h"
 #include "src/runtime/scheduler.h"
 #include "src/runtime/task.h"
 #include "src/runtime/time.h"
@@ -118,6 +119,15 @@ class BandwidthGate : public SerialResource {
       : SerialResource(sched, std::move(name)), bits_per_second_(bits_per_second) {}
 
   int64_t bits_per_second() const { return bits_per_second_; }
+
+  // Fault hook: changes the link rate in place (bandwidth collapse and
+  // restore).  Reservations already made keep their old completion times —
+  // the bits on the wire were already clocked out; only future
+  // transmissions see the new rate.
+  void SetRate(int64_t bits_per_second) {
+    PANDORA_CHECK(bits_per_second > 0, "link rate must be positive");
+    bits_per_second_ = bits_per_second;
+  }
 
   Duration TransmissionTime(size_t bytes) const {
     // ceil(bytes * 8 / bps) in microseconds.

@@ -100,7 +100,7 @@ ProcessHandle Scheduler::Spawn(Process process, std::string name, Priority prior
 
 void Scheduler::Ready(ProcessCtx* ctx) {
   PANDORA_CHECK(ctx != nullptr);
-  if (shutting_down_ || ctx->done || ctx->queued) {
+  if (shutting_down_ || ctx->done || ctx->killed || ctx->queued) {
     return;
   }
   ctx->queued = true;
@@ -119,9 +119,65 @@ TimerHandle Scheduler::AddTimer(Time when, std::function<void()> fire) {
 size_t Scheduler::PruneCompleted() {
   size_t before = processes_.size();
   std::erase_if(processes_, [](const std::unique_ptr<ProcessCtx>& ctx) {
-    return ctx->done && !ctx->error;
+    // A killed process can leave its WaitUntil wakeup timer pending; the
+    // timer closure holds the ctx raw, so the record stays until it fires.
+    return ctx->done && !ctx->error && ctx->pending_timers == 0;
   });
   return before - processes_.size();
+}
+
+size_t Scheduler::KillProcesses(const std::function<bool(const ProcessCtx&)>& predicate) {
+  // Mark every victim first: the sweep hooks and the destructors that run
+  // during frame teardown identify doomed processes by ctx->killed.
+  std::vector<ProcessCtx*> victims;
+  for (auto& ctx : processes_) {
+    if (!ctx->done && ctx->top && predicate(*ctx)) {
+      PANDORA_CHECK(ctx.get() != current_, "a process cannot kill itself");
+      ctx->killed = true;
+      victims.push_back(ctx.get());
+    }
+  }
+  if (victims.empty()) {
+    return 0;
+  }
+  // Phase 1: pull killed receivers out of every channel while no frame has
+  // been touched yet.  Once they are gone, a DecRef running inside a frame
+  // destructor below cannot hand a buffer to a process that will never
+  // resume to claim it.  Snapshot: destroying frames can destroy channels.
+  std::vector<ShutdownParticipant*> snapshot = shutdown_participants_;
+  for (ShutdownParticipant* participant : snapshot) {
+    if (std::find(shutdown_participants_.begin(), shutdown_participants_.end(), participant) !=
+        shutdown_participants_.end()) {
+      participant->OnProcessesKilled();
+    }
+  }
+  // Destroy the victims' frames.  This runs the destructors of everything
+  // the frame holds: SegmentRefs go back to their pools, Alts unregister
+  // from their guard channels, nested Task frames cascade.
+  for (ProcessCtx* ctx : victims) {
+    ctx->top.destroy();
+    ctx->top = nullptr;
+    ctx->done = true;
+    --live_processes_;
+  }
+  for (auto& queue : ready_) {
+    std::erase_if(queue, [](const ProcessCtx* ctx) { return ctx->killed; });
+  }
+  for (ProcessCtx* ctx : victims) {
+    ctx->queued = false;
+  }
+  // Phase 2: drop the values the victims parked (sender payloads, unclaimed
+  // deliveries).  Pools are still alive, so dropping a SegmentRef here is a
+  // normal DecRef — and with the killed receivers already removed it can
+  // only hand off to live requesters.
+  snapshot = shutdown_participants_;
+  for (ShutdownParticipant* participant : snapshot) {
+    if (std::find(shutdown_participants_.begin(), shutdown_participants_.end(), participant) !=
+        shutdown_participants_.end()) {
+      participant->OnKilledFramesDestroyed();
+    }
+  }
+  return victims.size();
 }
 
 void Scheduler::OnProcessDone(ProcessCtx* ctx) {

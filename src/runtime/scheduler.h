@@ -62,6 +62,21 @@ class ShutdownParticipant {
   // destroyed.  Drop parked values; nothing will run afterwards.
   virtual void OnSchedulerShutdown() = 0;
 
+  // Kill-sweep hooks for Scheduler::KillProcesses (fault injection: a box
+  // crash destroys its processes mid-run while the rest of the world keeps
+  // going).  Victims are marked ctx->killed before either hook runs.
+  //
+  // Phase 1, before the victims' frames are destroyed: remove parked
+  // *waiters* (receivers) belonging to killed processes, so that
+  // destructors running during frame teardown (e.g. a SegmentRef returning
+  // a buffer to its pool) cannot hand a value to a process that will never
+  // resume.  Do not destroy values here.
+  virtual void OnProcessesKilled() {}
+  // Phase 2, after the victims' frames are destroyed: drop parked values
+  // belonging to killed processes (a killed sender's payload, a delivery a
+  // killed receiver never claimed).
+  virtual void OnKilledFramesDestroyed() {}
+
  protected:
   ~ShutdownParticipant() = default;
 };
@@ -116,6 +131,14 @@ class Scheduler {
   void Shutdown();
   bool shutting_down() const { return shutting_down_; }
 
+  // Destroys the frames of every live process matching `predicate`, mid-run,
+  // without stopping the world (fault injection: a crashing box takes down
+  // exactly its own processes).  Parked state the victims left in channels
+  // is swept via the ShutdownParticipant kill hooks; the victims' wakeup
+  // timers are left to fire harmlessly.  Must not be called from inside a
+  // process that matches the predicate.  Returns the number killed.
+  size_t KillProcesses(const std::function<bool(const ProcessCtx&)>& predicate);
+
   // Channels register so Shutdown can drain their parked values (see
   // ShutdownParticipant).  Unregister is safe at any time, including from
   // inside another participant's OnSchedulerShutdown.
@@ -133,7 +156,13 @@ class Scheduler {
       void await_suspend(std::coroutine_handle<> h) {
         ProcessCtx* ctx = sched->current_;
         ctx->resume_point = h;
-        sched->AddTimer(when, [sched = sched, ctx] { sched->Ready(ctx); });
+        // The closure holds ctx raw; pending_timers keeps the record alive
+        // past a kill (see ProcessCtx::pending_timers).
+        ++ctx->pending_timers;
+        sched->AddTimer(when, [sched = sched, ctx] {
+          --ctx->pending_timers;
+          sched->Ready(ctx);
+        });
       }
       void await_resume() const {}
     };

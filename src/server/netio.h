@@ -50,6 +50,10 @@ class NetworkOutput {
   uint64_t sent() const { return sent_; }
   uint64_t audio_drops() const { return audio_sender_.drops(); }
   uint64_t video_drops() const { return video_sender_.drops(); }
+  // Per-class accepted counts, so chaos tests can compare drop *fractions*
+  // (P2: the audio fraction must not exceed the video fraction).
+  uint64_t audio_sent() const { return audio_sender_.sent(); }
+  uint64_t video_sent() const { return video_sender_.sent(); }
   DecouplingBuffer& audio_buffer() { return audio_buffer_; }
   DecouplingBuffer& video_buffer() { return video_buffer_; }
 

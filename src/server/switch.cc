@@ -17,7 +17,7 @@ Switch::Switch(Scheduler* sched, SwitchOptions options, CpuModel* cpu, ReportSin
 DestinationId Switch::AddDestination(const std::string& name, Channel<SegmentRef>* input,
                                      Channel<bool>* ready) {
   auto destination = std::make_unique<Destination>(
-      Destination{name, ReadySender(input, ready), AdaptiveDegrader(options_.degrade), 0});
+      Destination{name, ReadySender(input, ready), AdaptiveDegrader(options_.degrade), 0, {}});
   destinations_.push_back(std::move(destination));
   return static_cast<DestinationId>(destinations_.size() - 1);
 }
@@ -117,6 +117,21 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
       // Principles 1-3: sustained overload sheds whole streams in
       // degradation order rather than shaving every stream equally.
       drop = true;
+      if (route->attrs.incoming) {
+        if (destination.sheds.incoming++ == 0) {
+          destination.sheds.first_incoming = sched_->now();
+        }
+        if (sheds_incoming_++ == 0) {
+          first_shed_incoming_ = sched_->now();
+        }
+      } else {
+        if (destination.sheds.outgoing++ == 0) {
+          destination.sheds.first_outgoing = sched_->now();
+        }
+        if (sheds_outgoing_++ == 0) {
+          first_shed_outgoing_ = sched_->now();
+        }
+      }
       // Degradation decision, split by stream kind; "age" is the route's
       // open order (P3 sheds the most recently opened first).
       if (route->attrs.audio) {

@@ -76,6 +76,26 @@ class Switch {
 
   uint64_t segments_switched() const { return segments_switched_; }
   uint64_t segments_dropped() const { return segments_dropped_; }
+  // Degradation sheds split by stream direction, with the sim-time of the
+  // first shed in each class.  P1 says incoming streams are sacrificed
+  // before outgoing ones; the ordering is only meaningful within one
+  // destination's population (each destination has its own degrader), so
+  // the stats are kept per destination: wherever outgoing sheds happened
+  // alongside routed incoming streams, the incoming class must have begun
+  // shedding no later (modulo segment arrival interleaving).
+  struct ShedStats {
+    uint64_t incoming = 0;
+    uint64_t outgoing = 0;
+    Time first_incoming = -1;  // -1: never shed
+    Time first_outgoing = -1;
+  };
+  const ShedStats& shed_stats_for(DestinationId id) const {
+    return destinations_[static_cast<size_t>(id)]->sheds;
+  }
+  uint64_t sheds_incoming() const { return sheds_incoming_; }
+  uint64_t sheds_outgoing() const { return sheds_outgoing_; }
+  Time first_shed_incoming() const { return first_shed_incoming_; }  // -1: never
+  Time first_shed_outgoing() const { return first_shed_outgoing_; }  // -1: never
   uint64_t drops_for(StreamId stream) const {
     const StreamRoute* route = table_.Find(stream);
     return route == nullptr ? 0 : route->drops;
@@ -91,6 +111,7 @@ class Switch {
     ReadySender sender;
     AdaptiveDegrader degrader;
     uint64_t drops = 0;
+    ShedStats sheds;
   };
 
   Process Run();
@@ -107,6 +128,10 @@ class Switch {
   std::vector<std::unique_ptr<Destination>> destinations_;
   uint64_t segments_switched_ = 0;
   uint64_t segments_dropped_ = 0;
+  uint64_t sheds_incoming_ = 0;
+  uint64_t sheds_outgoing_ = 0;
+  Time first_shed_incoming_ = -1;
+  Time first_shed_outgoing_ = -1;
   bool started_ = false;
 
   // Telemetry sites: per-segment handling span plus degradation-decision

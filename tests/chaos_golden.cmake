@@ -1,0 +1,26 @@
+# Pinned-seed golden run: bench_chaos executed twice with the same built-in
+# plan must produce byte-identical summary JSON — the determinism guarantee
+# the whole fault subsystem rests on.  Invoked by the chaos_golden CTest
+# entry (see tests/CMakeLists.txt).
+if(NOT DEFINED BENCH_CHAOS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "chaos_golden.cmake needs -DBENCH_CHAOS=<bin> -DWORK_DIR=<dir>")
+endif()
+
+set(first "${WORK_DIR}/chaos_golden_1.json")
+set(second "${WORK_DIR}/chaos_golden_2.json")
+
+foreach(out IN ITEMS ${first} ${second})
+  execute_process(COMMAND ${BENCH_CHAOS} --json=${out}
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_chaos failed (exit ${rc}) writing ${out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${first} ${second}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "bench_chaos summary JSON differs between two pinned-seed runs: "
+                      "${first} vs ${second} — chaos runs are no longer deterministic")
+endif()
+message(STATUS "chaos golden: two pinned-seed runs byte-identical")

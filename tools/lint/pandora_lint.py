@@ -49,6 +49,17 @@ expensive to debug:
       zero-overhead-when-disabled guarantee.  Intern*/Enable/ExportJson
       calls are fine anywhere (they are cold-path setup).
 
+  fault-hooks
+      Mid-run impairment of network state (AtmNetwork::SetPortUp /
+      RestartPort / SetCircuitQuality / SetCircuitUp / SetHopQuality) is
+      reserved to the fault layer.  Anywhere else these mutators bypass the
+      FaultDriver's snapshot/restore bookkeeping, so the run stops being
+      reproducible from (plan, seed) and nothing puts the parameters back.
+      Script the episode in a FaultPlan instead (src/fault/plan.h).  Outside
+      src/fault/ and src/net/ the only sanctioned caller is the box crash
+      lifecycle (PandoraBox::Crash/Restart parking its own port), which
+      carries per-line NOLINT exemptions.
+
 Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
 "// NOLINT") to the offending line, with a reason:
 
@@ -96,6 +107,14 @@ TRACE_RECORD_RE = re.compile(
     r"(?:Begin|End|Complete|Instant(?:Args)?|Counter|Async(?:Begin|End)|Histogram)"
     r"\s*\("
 )
+
+# Impairment mutators owned by the fault layer (rule fault-hooks).  Plain
+# word match: the definitions live in src/net/ and the driver in src/fault/,
+# both exempt, so any other occurrence is a call site to flag.
+FAULT_HOOK_RE = re.compile(
+    r"\b(?:SetPortUp|RestartPort|SetCircuitQuality|SetCircuitUp|SetHopQuality)\s*\("
+)
+FAULT_HOOK_ALLOWED = ("src/fault/", "src/net/")
 
 THREAD_INCLUDES = [
     "<thread>",
@@ -389,6 +408,18 @@ def lint_file(relpath, text):
                        "direct TraceRecorder::Record* call; use the "
                        "PANDORA_TRACE_* macros (src/trace/trace.h), which "
                        "own the enabled-guard and compile-out path")
+
+    # --- fault-hooks (everywhere except the fault layer and the network) ----
+    if not relpath.startswith(FAULT_HOOK_ALLOWED):
+        for i, line in enumerate(code_lines, 1):
+            m = FAULT_HOOK_RE.search(line)
+            if m:
+                name = m.group(0).rstrip("( \t")
+                report(i, "fault-hooks",
+                       f"direct impairment call '{name}' outside src/fault/ "
+                       "and src/net/ bypasses the FaultDriver's restore "
+                       "bookkeeping; script it in a FaultPlan "
+                       "(src/fault/plan.h) so the run stays reproducible")
 
     # --- awaiter-retained-address (everywhere: tests define awaiters too) ---
     check_awaiter_addresses(relpath, code, raw_lines, report)

@@ -1,0 +1,11 @@
+// Known-good fixture: the box crash lifecycle parks its own port with a
+// per-line NOLINT carrying the reason (the sanctioned fault-hooks escape).
+#include "src/net/atm.h"
+
+namespace pandora {
+
+void ParkOwnPort(AtmNetwork* net, AtmPort* port) {
+  net->SetPortUp(port, false);  // NOLINT(pandora-fault-hooks): crash lifecycle
+}
+
+}  // namespace pandora
