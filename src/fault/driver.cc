@@ -20,6 +20,19 @@ void FaultDriver::Start() {
   sim_->scheduler().Spawn(Run(), options_.name, Priority::kHigh);
 }
 
+void FaultDriver::BeginEpisode(const FaultEvent& event, EpisodeState& episode) {
+  if (event.duration <= 0) {
+    episode.permanent = true;
+    return;
+  }
+  ++episode.active;
+  Restore restore;
+  restore.at = event.at + event.duration;
+  restore.kind = event.kind;
+  restore.target = event.target;
+  PushRestore(std::move(restore));
+}
+
 void FaultDriver::PushRestore(Restore restore) {
   restore.order = next_restore_order_++;
   restores_.push_back(std::move(restore));
@@ -101,26 +114,27 @@ void FaultDriver::Apply(const FaultEvent& event) {
           TraceFault(kind_name + ".skip", event.target, 0);
           return;
         }
-        if (event.duration > 0) {
-          Restore restore;
-          restore.at = event.at + event.duration;
-          restore.kind = event.kind;
-          restore.target = event.target;
-          PushRestore(std::move(restore));
-        }
+        BeginEpisode(event, episodes_[{event.kind, event.target}]);
         break;
       }
       case FaultKind::kBandwidthCollapse:
       case FaultKind::kBurstLoss:
       case FaultKind::kJitterStorm: {
+        // Null when the circuit is closed — or bridged, where the direct
+        // quality is never consulted and the storm would be a silent no-op.
         const HopQuality* current = net.CircuitQuality(port, vci);
         if (current == nullptr) {
           ++skipped_;
           TraceFault(kind_name + ".skip", event.target, 0);
           return;
         }
-        HopQuality snapshot = *current;
-        HopQuality impaired = snapshot;
+        EpisodeState& episode = episodes_[{event.kind, event.target}];
+        if (episode.active == 0) {
+          // First episode of this kind on this target: this (and only
+          // this) snapshot is what the last overlapping restore puts back.
+          episode.base = *current;
+        }
+        HopQuality impaired = *current;
         if (event.kind == FaultKind::kBandwidthCollapse) {
           impaired.bits_per_second = std::max<int64_t>(1, static_cast<int64_t>(event.value));
         } else if (event.kind == FaultKind::kBurstLoss) {
@@ -129,14 +143,7 @@ void FaultDriver::Apply(const FaultEvent& event) {
           impaired.jitter_max = std::max<Duration>(0, static_cast<Duration>(event.value));
         }
         net.SetCircuitQuality(port, vci, impaired);
-        if (event.duration > 0) {
-          Restore restore;
-          restore.at = event.at + event.duration;
-          restore.kind = event.kind;
-          restore.target = event.target;
-          restore.quality = snapshot;
-          PushRestore(std::move(restore));
-        }
+        BeginEpisode(event, episode);
         break;
       }
       default:
@@ -162,26 +169,16 @@ void FaultDriver::Apply(const FaultEvent& event) {
         return;
       }
       sim_->CrashBox(box);
-      if (event.duration > 0) {
-        Restore restore;
-        restore.at = event.at + event.duration;
-        restore.kind = event.kind;
-        restore.target = event.target;
-        PushRestore(std::move(restore));
-      }
+      BeginEpisode(event, episodes_[{event.kind, event.target}]);
       break;
     }
     case FaultKind::kClockStep: {
-      const double prev = box.audio_clock_drift();
-      box.SetAudioClockDrift(event.value);
-      if (event.duration > 0) {
-        Restore restore;
-        restore.at = event.at + event.duration;
-        restore.kind = event.kind;
-        restore.target = event.target;
-        restore.prev_value = prev;
-        PushRestore(std::move(restore));
+      EpisodeState& episode = episodes_[{event.kind, event.target}];
+      if (episode.active == 0) {
+        episode.base_value = box.audio_clock_drift();
       }
+      box.SetAudioClockDrift(event.value);
+      BeginEpisode(event, episode);
       break;
     }
     case FaultKind::kPoolPressure: {
@@ -191,13 +188,7 @@ void FaultDriver::Apply(const FaultEvent& event) {
         return;
       }
       box.pool().InjectPressure(static_cast<size_t>(std::max(0.0, event.value)));
-      if (event.duration > 0) {
-        Restore restore;
-        restore.at = event.at + event.duration;
-        restore.kind = event.kind;
-        restore.target = event.target;
-        PushRestore(std::move(restore));
-      }
+      BeginEpisode(event, episodes_[{event.kind, event.target}]);
       break;
     }
     default:
@@ -210,6 +201,18 @@ void FaultDriver::Apply(const FaultEvent& event) {
 void FaultDriver::ApplyRestore(const Restore& restore) {
   AtmNetwork& net = sim_->network();
   const std::string kind_name = FormatFaultKind(restore.kind);
+  EpisodeState& episode = episodes_[{restore.kind, restore.target}];
+  if (episode.active > 0) {
+    --episode.active;
+  }
+  ++restored_;
+  if (episode.active > 0 || episode.permanent) {
+    // A sibling episode of the same kind still covers this target (or a
+    // duration-0 event made the impairment permanent): the state stays
+    // impaired until the LAST restore puts the pre-episode snapshot back.
+    TraceFault(kind_name + ".restore", restore.target, static_cast<int64_t>(episode.active));
+    return;
+  }
   switch (restore.kind) {
     case FaultKind::kCircuitDown:
     case FaultKind::kBandwidthCollapse:
@@ -221,9 +224,23 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
       }
       if (restore.kind == FaultKind::kCircuitDown) {
         net.SetCircuitUp(call.src->port(), call.at_dst, true);
-      } else {
-        net.SetCircuitQuality(call.src->port(), call.at_dst, restore.quality);
+        break;
       }
+      const HopQuality* current = net.CircuitQuality(call.src->port(), call.at_dst);
+      if (current == nullptr) {
+        break;
+      }
+      // Put back only this kind's own field: episodes of the OTHER quality
+      // kinds may still be holding theirs on the same circuit.
+      HopQuality restored = *current;
+      if (restore.kind == FaultKind::kBandwidthCollapse) {
+        restored.bits_per_second = episode.base.bits_per_second;
+      } else if (restore.kind == FaultKind::kBurstLoss) {
+        restored.loss_rate = episode.base.loss_rate;
+      } else {
+        restored.jitter_max = episode.base.jitter_max;
+      }
+      net.SetCircuitQuality(call.src->port(), call.at_dst, restored);
       break;
     }
     case FaultKind::kBoxCrash: {
@@ -234,7 +251,7 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
       break;
     }
     case FaultKind::kClockStep: {
-      sim_->box(static_cast<size_t>(restore.target)).SetAudioClockDrift(restore.prev_value);
+      sim_->box(static_cast<size_t>(restore.target)).SetAudioClockDrift(episode.base_value);
       break;
     }
     case FaultKind::kPoolPressure: {
@@ -247,7 +264,6 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
       break;
     }
   }
-  ++restored_;
   TraceFault(kind_name + ".restore", restore.target, 0);
 }
 

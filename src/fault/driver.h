@@ -14,10 +14,21 @@
 // — are counted as skipped, not errors: a random plan is allowed to race
 // the faults it injected earlier (a crash closes the circuits a later
 // burst-loss episode would have impaired).
+//
+// Random plans freely overlap episodes on one target, so episodes of one
+// kind share bookkeeping: the pre-episode state is snapshotted when the
+// FIRST overlapping episode begins and put back when the LAST one ends.  A
+// later onset must never snapshot the already-impaired state — that would
+// leave the impairment in place after every restore had run, with
+// quiescent() claiming a healthy environment.  An event with no episode
+// length (duration 0) makes its impairment permanent for the run: no
+// restore of the same kind may undo it.
 #ifndef PANDORA_SRC_FAULT_DRIVER_H_
 #define PANDORA_SRC_FAULT_DRIVER_H_
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/simulation.h"
@@ -53,19 +64,30 @@ class FaultDriver {
   Time quiescent_at() const { return quiescent_at_; }
 
  private:
-  // One scheduled undo of an episodic fault, with the state it restores.
+  // One scheduled undo of an episodic fault.  The state it restores lives
+  // in the shared EpisodeState, not here: with overlapping episodes only
+  // the last restore of a kind may put the pre-episode snapshot back.
   struct Restore {
     Time at = 0;
     uint64_t order = 0;  // tie-break: restores replay in schedule order
     FaultKind kind = FaultKind::kCircuitDown;
     int target = 0;
-    HopQuality quality;     // circuit episodes
-    double prev_value = 0;  // clock steps
+  };
+
+  // Bookkeeping shared by every episode of one fault kind on one target.
+  struct EpisodeState {
+    int active = 0;          // episodes currently open (restore pending)
+    bool permanent = false;  // a duration-0 event: the impairment stays
+    HopQuality base;         // quality kinds: state before the first episode
+    double base_value = 0;   // clock steps: drift before the first episode
   };
 
   Process Run();
   void Apply(const FaultEvent& event);
   void ApplyRestore(const Restore& restore);
+  // Opens one episode of `event`'s kind on its target: a timed event heaps
+  // its restore; a duration-0 event marks the impairment permanent.
+  void BeginEpisode(const FaultEvent& event, EpisodeState& episode);
   void PushRestore(Restore restore);
   Restore PopRestore();
   void TraceFault(const std::string& what, int target, int64_t value);
@@ -74,6 +96,7 @@ class FaultDriver {
   FaultPlan plan_;
   FaultDriverOptions options_;
   std::vector<Restore> restores_;  // min-heap on (at, order)
+  std::map<std::pair<FaultKind, int>, EpisodeState> episodes_;
   uint64_t next_restore_order_ = 0;
   size_t applied_ = 0;
   size_t skipped_ = 0;

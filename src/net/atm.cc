@@ -59,6 +59,7 @@ void AtmNetwork::OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<Ne
   circuit->dst = dst;
   circuit->path = std::move(path);
   circuit->direct = direct;
+  circuit->generation = ++next_generation_;
   circuit->trace_name = dst->name() + ".net.vci" + std::to_string(vci);
   circuit->stage_last_exit.assign(std::max<size_t>(1, circuit->path.size()), 0);
   circuits_[{src, vci}] = std::move(circuit);
@@ -84,8 +85,8 @@ void AtmNetwork::RestartPort(AtmPort* port) {
 
 bool AtmNetwork::SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality) {
   auto it = circuits_.find({src, vci});
-  if (it == circuits_.end()) {
-    return false;
+  if (it == circuits_.end() || !it->second->path.empty()) {
+    return false;  // closed, or bridged: ForwardProc never reads `direct` then
   }
   it->second->direct = quality;
   return true;
@@ -93,7 +94,7 @@ bool AtmNetwork::SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& qual
 
 const HopQuality* AtmNetwork::CircuitQuality(AtmPort* src, Vci vci) const {
   auto it = circuits_.find({src, vci});
-  return it == circuits_.end() ? nullptr : &it->second->direct;
+  return it == circuits_.end() || !it->second->path.empty() ? nullptr : &it->second->direct;
 }
 
 bool AtmNetwork::SetCircuitUp(AtmPort* src, Vci vci, bool up) {
@@ -129,6 +130,11 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
     ++total_lost_;  // closed before this forwarder first ran
     co_return;
   }
+  // Every re-fetch below must also land on this incarnation: a crash and
+  // restart re-opens the circuit under the same key, and a segment from the
+  // old call must not be delivered into (or clamp the FIFO bookkeeping of)
+  // the new one.
+  const uint64_t generation = circuit->generation;
 
   // An administratively-down circuit loses everything offered to it.
   if (!circuit->up) {
@@ -166,8 +172,8 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
     circuit->stage_last_exit[0] = exit_at;
     co_await sched_->WaitUntil(exit_at);
     circuit = FindCircuit(src, vci);
-    if (circuit == nullptr) {
-      ++total_lost_;  // closed while this segment was in flight
+    if (circuit == nullptr || circuit->generation != generation) {
+      ++total_lost_;  // closed (or re-opened for a new call) while in flight
       co_return;
     }
   } else {
@@ -188,8 +194,8 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
       // order, which per circuit is send order by induction.
       co_await hop->gate.Transmit(bytes);
       circuit = FindCircuit(src, vci);
-      if (circuit == nullptr || circuit->path.size() <= i) {
-        ++total_lost_;  // closed (or re-opened shorter) while in flight
+      if (circuit == nullptr || circuit->generation != generation) {
+        ++total_lost_;  // closed (or re-opened for a new call) while in flight
         co_return;
       }
       Duration jitter = hop->quality.jitter_max > 0
@@ -201,7 +207,7 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
       circuit->stage_last_exit[i] = exit_at;
       co_await sched_->WaitUntil(exit_at);
       circuit = FindCircuit(src, vci);
-      if (circuit == nullptr || circuit->path.size() <= i) {
+      if (circuit == nullptr || circuit->generation != generation) {
         ++total_lost_;
         co_return;
       }

@@ -146,9 +146,13 @@ class AtmNetwork {
 
   // Per-circuit impairment for circuits with no intermediate hops: replaces
   // the direct-path quality (burst loss, jitter storm, rate change).
-  // Returns false if no such circuit is open.
+  // Returns false if no such circuit is open, or if the circuit is bridged
+  // — a hop path never consults the direct quality, so accepting the write
+  // would let a storm silently not happen (impair bridged paths through
+  // SetHopQuality instead).
   bool SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality);
   // Snapshot of the current direct-path quality, for restore-after-episode.
+  // Null for closed and for bridged circuits, matching SetCircuitQuality.
   const HopQuality* CircuitQuality(AtmPort* src, Vci vci) const;
   // Administrative circuit state: a down circuit loses every segment.
   bool SetCircuitUp(AtmPort* src, Vci vci, bool up);
@@ -168,6 +172,11 @@ class AtmNetwork {
     std::vector<NetHop*> path;
     HopQuality direct;
     bool up = true;
+    // Incarnation stamp, unique per OpenCircuit: a crash+restart re-opens
+    // a call's circuit under the SAME (src, vci) key, and a forwarder that
+    // suspended inside the old incarnation must not deliver into the new
+    // one (the key-based re-fetch alone would ABA onto it).
+    uint64_t generation = 0;
     // Per-stage FIFO clamps (one per hop, or one for a direct path): the
     // exit time of the previous segment of THIS circuit through each stage.
     std::vector<Time> stage_last_exit;
@@ -183,7 +192,9 @@ class AtmNetwork {
   // so transmissions overlap (store and forward).  Keyed by (src, vci), not
   // a Circuit*: the circuit can be closed (box crash, hang-up) while this
   // segment is mid-flight, so the pointer is re-fetched after every
-  // suspension and the segment counts as lost if the circuit is gone.
+  // suspension — and its generation compared, since the key may have been
+  // re-opened for a new call — with the segment counted as lost if the
+  // original circuit is gone.
   Process ForwardProc(AtmPort* src, Vci vci, Segment segment);
   Circuit* FindCircuit(AtmPort* src, Vci vci);
 
@@ -192,6 +203,7 @@ class AtmNetwork {
   std::vector<std::unique_ptr<AtmPort>> ports_;
   std::vector<std::unique_ptr<NetHop>> hops_;
   std::map<std::pair<AtmPort*, Vci>, std::unique_ptr<Circuit>> circuits_;
+  uint64_t next_generation_ = 0;
   uint64_t total_delivered_ = 0;
   uint64_t total_lost_ = 0;
 };

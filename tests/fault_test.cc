@@ -159,6 +159,98 @@ TEST(FaultDriverTest, CircuitEpisodeRestoresPriorQuality) {
   EXPECT_GT(tracker->received(), 800u);
 }
 
+TEST(FaultDriverTest, OverlappingEpisodesRestoreThePreStormState) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  StreamId at_b = sim.SendAudio(a, b);
+
+  // Jitter episode B starts inside episode A and outlives A's restore; a
+  // burst-loss episode overlaps both.  A's restore must not truncate B, and
+  // B's restore must put back the PRE-storm state, not A's impairment
+  // (which is what a restore-time snapshot of "current" would capture).
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("@1s jitter-storm call=0 value=20000 for=600ms;"
+                             "@1200ms jitter-storm call=0 value=30000 for=1s;"
+                             "@1300ms burst-loss call=0 value=0.4 for=400ms",
+                             &plan));
+  FaultDriver driver(&sim, plan);
+  driver.Start();
+
+  // 1.9s: A (1.6s) and the burst episode (1.7s) have nominally ended, B is
+  // still active — the circuit must still carry B's jitter, with the burst
+  // restore having put back only its own field.
+  sim.RunFor(Millis(1900));
+  const HopQuality* quality = sim.network().CircuitQuality(a.port(), at_b);
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->jitter_max, 30000);
+  EXPECT_EQ(quality->loss_rate, 0.0);
+
+  sim.RunFor(Millis(2100));
+  EXPECT_TRUE(driver.quiescent());
+  EXPECT_EQ(driver.applied(), 3u);
+  EXPECT_EQ(driver.restored(), 3u);
+  quality = sim.network().CircuitQuality(a.port(), at_b);
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->jitter_max, 0);
+  EXPECT_EQ(quality->loss_rate, 0.0);
+  EXPECT_EQ(quality->bits_per_second, HopQuality{}.bits_per_second);
+}
+
+TEST(FaultDriverTest, OverlappingCircuitDownStaysDownUntilTheLastEpisodeEnds) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  StreamId at_b = sim.SendAudio(a, b);
+
+  // Two overlapping outages covering 1.0s..1.8s: the first restore (1.4s)
+  // must not bring the circuit up under the second episode.
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("@1s circuit-down call=0 for=400ms;"
+                             "@1200ms circuit-down call=0 for=600ms",
+                             &plan));
+  FaultDriver driver(&sim, plan);
+  driver.Start();
+  sim.RunFor(Seconds(3));
+
+  EXPECT_TRUE(driver.quiescent());
+  const SequenceTracker* tracker = b.audio_receiver().TrackerFor(at_b);
+  ASSERT_NE(tracker, nullptr);
+  // ~200 segments fall in the union of the outages (a truncated second
+  // episode would lose only ~100); delivery resumes afterwards.
+  EXPECT_GT(tracker->missing_total(), 160u);
+  EXPECT_LT(tracker->missing_total(), 240u);
+  EXPECT_GT(tracker->received(), 450u);
+}
+
+TEST(FaultDriverTest, BridgedCircuitQualityFaultsAreSkipped) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  CallPath path;
+  path.hops = {sim.network().AddHop("bridge", HopQuality{})};
+  sim.Start();
+  StreamId at_b = sim.SendAudio(a, b, path);
+
+  // ForwardProc never consults the direct quality on a bridged circuit, so
+  // a quality storm there must count as skipped, not silently applied.
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("@1s burst-loss call=0 value=0.5 for=300ms", &plan));
+  FaultDriver driver(&sim, plan);
+  driver.Start();
+  sim.RunFor(Seconds(2));
+
+  EXPECT_TRUE(driver.quiescent());
+  EXPECT_EQ(driver.applied(), 0u);
+  EXPECT_EQ(driver.skipped(), 1u);
+  EXPECT_EQ(driver.restored(), 0u);
+  const SequenceTracker* tracker = b.audio_receiver().TrackerFor(at_b);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->missing_total(), 0u);
+}
+
 TEST(FaultDriverTest, CircuitDownLosesOnlyDuringEpisode) {
   Simulation sim;
   PandoraBox& a = sim.AddBox(BoxOptions("a"));
@@ -228,6 +320,29 @@ TEST(FaultDriverTest, PoolPressureEpisodeStarvesThenReleases) {
   ASSERT_NE(tracker, nullptr);
   uint64_t received_after = tracker->received();
   EXPECT_GT(received_after, 500u);
+}
+
+TEST(FaultDriverTest, OverlappingPoolPressureReleasesOnlyAfterTheLastEpisode) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  sim.SendAudio(a, b);
+
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("@1s pool-pressure box=0 value=60 for=300ms;"
+                             "@1100ms pool-pressure box=0 value=60 for=600ms",
+                             &plan));
+  FaultDriver driver(&sim, plan);
+  driver.Start();
+
+  // 1.5s: the first episode's restore has fired but the second is active —
+  // the seized buffers must still be held, not released wholesale.
+  sim.RunFor(Millis(1500));
+  EXPECT_GT(a.pool().pressure_held(), 0u);
+  sim.RunFor(Millis(1500));
+  EXPECT_TRUE(driver.quiescent());
+  EXPECT_EQ(a.pool().pressure_held(), 0u);
 }
 
 // --- Crash / restart --------------------------------------------------------

@@ -110,6 +110,32 @@ TEST(AtmTest, LossRateApproximatelyHonoured) {
   EXPECT_EQ(stats->delivered + stats->lost, 1000u);
 }
 
+TEST(AtmTest, ReopenedCircuitDoesNotReceiveOldIncarnationTraffic) {
+  NetRig rig;
+  HopQuality direct;
+  direct.propagation = Millis(10);
+  rig.net.OpenCircuit(rig.a, 42, rig.b, {}, direct);
+  std::vector<Segment> got;
+  rig.sched.Spawn(SendSegments(&rig.sched, &rig.pool, rig.a, 42, 1, Millis(1)), "tx");
+  rig.sched.Spawn(CollectSegments(rig.b, &got), "rx");
+
+  // Close and re-open under the same (port, VCI) key while the segment is
+  // in flight — exactly what a box crash + restart does to a call's
+  // circuit.  The old-incarnation segment must not be delivered into the
+  // new call or touch its zeroed FIFO clamps (ABA on the key).
+  rig.sched.RunFor(Millis(5));
+  rig.net.CloseCircuit(rig.a, 42);
+  rig.net.OpenCircuit(rig.a, 42, rig.b, {}, direct);
+  rig.sched.RunFor(Millis(50));
+
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(rig.net.total_lost(), 1u);
+  const CircuitStats* stats = rig.net.StatsFor(rig.a, 42);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->offered, 0u);  // the new incarnation's stats stay fresh
+  EXPECT_EQ(stats->delivered, 0u);
+}
+
 TEST(AtmTest, MultiHopPathAccumulatesLatency) {
   NetRig rig;
   HopQuality hop_quality;
