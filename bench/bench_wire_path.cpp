@@ -1,0 +1,123 @@
+// E16 — Wire-path copy discipline (DESIGN.md section 9).
+//
+// Claim: a segment is serialized exactly once at the source port and parsed
+// exactly once at the destination; ATM hops between them move refcounted
+// handles to the same immutable byte image.  So deep copies per delivered
+// segment must stay at 2 (one encode + one decode into a pool buffer)
+// regardless of how many bridges the circuit crosses, and wire overhead is
+// the 36-byte header, not a per-hop reassembly tax.
+//
+// The bench sweeps hop count on a quiet two-box audio call and prints the
+// measured copies-per-delivered-segment next to the per-hop cost a
+// store-and-forward implementation would pay.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/simulation.h"
+#include "src/net/atm.h"
+#include "src/segment/constants.h"
+
+namespace pandora {
+namespace {
+
+struct WirePathRun {
+  uint64_t offered = 0;
+  uint64_t delivered = 0;
+  uint64_t encode_copies = 0;  // source-side deep copies
+  uint64_t decode_copies = 0;  // destination-side deep copies
+  uint64_t wire_bytes = 0;
+  double copies_per_delivered = 0.0;
+  double wire_overhead_pct = 0.0;
+};
+
+WirePathRun Run(int hop_count) {
+  Simulation sim;
+  PandoraBox::Options options;
+  options.with_video = false;
+  options.name = "tx";
+  PandoraBox& tx = sim.AddBox(options);
+  options.name = "rx";
+  PandoraBox& rx = sim.AddBox(options);
+  BenchEnableTrace(sim.scheduler());
+  sim.Start();
+
+  CallPath path;
+  HopQuality quality;
+  quality.propagation = Millis(1);
+  for (int hop = 0; hop < hop_count; ++hop) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "bridge%d", hop);
+    path.hops.push_back(sim.network().AddHop(name, quality));
+  }
+  const StreamId stream = sim.SendAudio(tx, rx, path);
+  sim.RunFor(Seconds(10));
+  BenchExportTrace(sim.scheduler());
+
+  WirePathRun run;
+  const CircuitStats* stats = sim.network().StatsFor(tx.port(), stream);
+  if (stats == nullptr) {
+    return run;
+  }
+  run.offered = stats->offered;
+  run.delivered = stats->delivered;
+  run.encode_copies = tx.deep_copies();
+  run.decode_copies = rx.deep_copies();
+  run.wire_bytes = sim.network().bytes_on_wire();
+  if (run.delivered > 0) {
+    run.copies_per_delivered =
+        static_cast<double>(run.encode_copies + run.decode_copies) /
+        static_cast<double>(run.delivered);
+    // bytes_on_wire counts every transmission stage (source egress plus one
+    // per bridge), so normalize by traversals to get the per-image size.
+    const double payload = kDefaultBlocksPerSegment * kAudioBlockBytes;  // 32 bytes
+    const double per_image = static_cast<double>(run.wire_bytes) /
+                             (static_cast<double>(run.offered) * (1.0 + hop_count));
+    run.wire_overhead_pct = 100.0 * (per_image - payload) / payload;
+  }
+  return run;
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main(int argc, char** argv) {
+  using namespace pandora;
+  BenchParseArgs(argc, argv);
+  BenchHeader("E16", "deep copies per delivered segment vs hop count",
+              "encode once, decode once: 2 copies end-to-end however long the bridge chain");
+
+  std::printf("\n  %-8s %-10s %-10s %-10s %-10s %-14s %-14s\n", "hops", "offered", "delivered",
+              "encodes", "decodes", "copies/deliv", "store&fwd would");
+  WirePathRun baseline;
+  WirePathRun longest;
+  for (int hops : {0, 1, 3, 5}) {
+    WirePathRun run = Run(hops);
+    if (hops == 0) {
+      baseline = run;
+    }
+    longest = run;
+    // A store-and-forward bridge chain re-serializes at every hop: encode,
+    // N bridge copies, decode.
+    std::printf("  %-8d %-10llu %-10llu %-10llu %-10llu %-14.3f %-14.3f\n", hops,
+                static_cast<unsigned long long>(run.offered),
+                static_cast<unsigned long long>(run.delivered),
+                static_cast<unsigned long long>(run.encode_copies),
+                static_cast<unsigned long long>(run.decode_copies), run.copies_per_delivered,
+                static_cast<double>(2 + hops));
+  }
+
+  std::printf("\n");
+  BenchRow("copies/delivered, direct circuit", baseline.copies_per_delivered, "",
+           "(encode + decode)");
+  BenchRow("copies/delivered, 5-hop bridge", longest.copies_per_delivered, "",
+           "(unchanged: hops move handles)");
+  BenchRow("copies a store-and-forward 5-hop path would make", 7.0, "", "(2 + one per bridge)");
+  BenchRow("wire bytes per image", baseline.offered > 0
+               ? static_cast<double>(baseline.wire_bytes) / static_cast<double>(baseline.offered)
+               : 0.0,
+           "bytes", "(32B payload + 36B header)");
+  BenchRow("wire header overhead", longest.wire_overhead_pct, "%",
+           "(same image at every traversal; no per-hop reassembly tax)");
+  return BenchFinish();
+}

@@ -49,6 +49,14 @@ Process AudioReceiver::Run() {
     } else if (observation.outcome == SequenceTracker::Outcome::kDuplicate ||
                observation.outcome == SequenceTracker::Outcome::kStale) {
       continue;  // already played or unplayably late: discard
+    } else if (observation.outcome == SequenceTracker::Outcome::kSuspect) {
+      // Implausible sequence jump — most likely a bit flip in the header
+      // (the wire format carries no checksum).  The tracker kept its
+      // expectation, so the stream survives; drop the damaged segment.
+      reporter_.Report("receiver.suspect", ReportSeverity::kWarning,
+                       "implausible sequence jump on stream " + std::to_string(segment.stream),
+                       static_cast<int64_t>(segment.header.sequence));
+      continue;
     }
 
     for (const AudioBlock& block : SplitIntoBlocks(segment)) {

@@ -1,156 +1,17 @@
 #include "src/buffer/pool.h"
 
-#include "src/runtime/check.h"
+#include "src/segment/wire.h"
 
 namespace pandora {
 
-SegmentRef SegmentRef::Dup() const {
-  if (pool_ == nullptr) {
-    return SegmentRef();
-  }
-  pool_->IncRef(index_);
-  return SegmentRef(pool_, index_);
-}
-
-Segment& SegmentRef::operator*() const { return *get(); }
-Segment* SegmentRef::operator->() const { return get(); }
-
-Segment* SegmentRef::get() const {
-  PANDORA_CHECK(pool_ != nullptr, "dereferencing an empty SegmentRef");
-  return &pool_->SlotAt(index_).segment;
-}
-
-void SegmentRef::Reset() {
-  if (pool_ != nullptr) {
-    pool_->DecRef(index_);
-    pool_ = nullptr;
-    index_ = -1;
-  }
-}
-
-BufferPool::BufferPool(Scheduler* sched, std::string name, size_t capacity,
-                       ReportSink* report_sink)
-    : sched_(sched),
-      name_(std::move(name)),
-      reporter_(sched, report_sink, name_),
-      slots_(capacity),
-      handoff_(sched, name_ + ".handoff"),
-      min_free_seen_(capacity) {
-  free_.reserve(capacity);
-  // Hand out low indices first so tests are deterministic.
-  for (size_t i = capacity; i > 0; --i) {
-    free_.push_back(static_cast<int32_t>(i - 1));
-  }
-  // The handoff channel passes raw slot indices whose refcount was already
-  // transferred to the woken requester.  If that requester is killed before
-  // resuming (box crash), the kill sweep hands the index back so the buffer
-  // is not lost for the rest of the run.
-  handoff_.set_kill_drop_handler([this](int32_t&& index) { DecRef(index); });
-}
-
-size_t BufferPool::InjectPressure(size_t count) {
-  size_t seized = 0;
-  while (seized < count && !free_.empty()) {
-    int32_t index = free_.back();
-    free_.pop_back();
-    SlotAt(index).refs = 1;
-    pressured_.push_back(index);
-    ++seized;
-  }
-  if (free_.size() < min_free_seen_) {
-    min_free_seen_ = free_.size();
-  }
-  if (seized > 0) {
-    reporter_.Report("allocator.pressure", ReportSeverity::kWarning,
-                     "fault injection seized buffers");
-  }
-  return seized;
-}
-
-void BufferPool::ReleasePressure() {
-  while (!pressured_.empty()) {
-    int32_t index = pressured_.back();
-    pressured_.pop_back();
-    // DecRef takes the normal free path: direct handoff to the longest
-    // parked requester first, free list otherwise.
-    DecRef(index);
-  }
-}
-
-Task<SegmentRef> BufferPool::Allocate() {
-  if (!free_.empty()) {
-    int32_t index = free_.back();
-    free_.pop_back();
-    if (free_.size() < min_free_seen_) {
-      min_free_seen_ = free_.size();
-    }
-    co_return MakeRef(index);
-  }
-  ++starvation_events_;
-  min_free_seen_ = 0;
-  reporter_.Report("allocator.starved", ReportSeverity::kError,
-                   "no buffers available; requester descheduled");
-  // Park until DecRef hands a freed buffer straight to us.  The slot's
-  // reference count is already set to 1 by the handoff path.
-  int32_t index = co_await handoff_.Receive();
-  ++allocations_;
-  co_return SegmentRef(this, index);
-}
-
-std::optional<SegmentRef> BufferPool::TryAllocate() {
-  if (free_.empty()) {
-    return std::nullopt;
-  }
-  int32_t index = free_.back();
-  free_.pop_back();
-  if (free_.size() < min_free_seen_) {
-    min_free_seen_ = free_.size();
-  }
-  return MakeRef(index);
-}
-
-SegmentRef BufferPool::MakeRef(int32_t index) {
-  Slot& slot = SlotAt(index);
-  PANDORA_CHECK(slot.refs == 0, "allocating a buffer that is still referenced");
-  slot.refs = 1;
-  ++allocations_;
-  return SegmentRef(this, index);
-}
-
-BufferPool::Slot& BufferPool::SlotAt(int32_t index) {
-  PANDORA_CHECK(index >= 0 && static_cast<size_t>(index) < slots_.size(),
-                "buffer index out of range");
-  return slots_[static_cast<size_t>(index)];
-}
-
-void BufferPool::IncRef(int32_t index) {
-  Slot& slot = SlotAt(index);
-  PANDORA_CHECK(slot.refs > 0, "IncRef on a buffer that was already freed");
-  ++slot.refs;
-}
-
-void BufferPool::DecRef(int32_t index) {
-  Slot& slot = SlotAt(index);
-  PANDORA_CHECK(slot.refs > 0, "DecRef on a buffer that was already freed");
-  if (--slot.refs > 0) {
-    return;
-  }
-  // Keep the payload's capacity (real Pandora reuses fixed buffers) but
-  // drop contents so stale data cannot leak between streams.
-  slot.segment.payload.clear();
-  slot.segment.compression_args.clear();
-  slot.segment.stream = kInvalidStream;
-  if (sched_->shutting_down()) {
-    // Teardown: parked requesters' frames may already be gone; just free.
-    free_.push_back(index);
-    return;
-  }
-  if (handoff_.TrySend(index)) {
-    // A starved requester was parked: the buffer goes straight to it.
-    slot.refs = 1;
-    return;
-  }
-  free_.push_back(index);
-}
+// Explicit instantiations of both pool payloads: every member of the
+// template is compiled (and its PANDORA_CHECKs kept honest) even if some
+// path is unused in a given build.  The wire-buffer pool instantiates here
+// rather than in src/segment/wire.cc because RefPool reports starvation
+// through the control plane, which layers above src/segment/.
+template class PoolRef<Segment>;
+template class RefPool<Segment>;
+template class PoolRef<WireBuffer>;
+template class RefPool<WireBuffer>;
 
 }  // namespace pandora

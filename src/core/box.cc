@@ -39,8 +39,9 @@ PandoraBox::Boards::Boards(Scheduler* sched, AtmNetwork* net, AtmPort* port,
                  o.name = options.name + ".netout";
                  return o;
                }(),
-               &switch_.table(), port, report_sink),
-      net_in_(sched, {.name = options.name + ".netin"}, port, &pool_, &switch_.input()),
+               &switch_.table(), port, report_sink, &deep_copies_),
+      net_in_(sched, {.name = options.name + ".netin"}, port, &pool_, &switch_.input(),
+              report_sink, &deep_copies_),
       // --- audio board ---
       audio_cpu_(sched, options.name + ".audio.cpu"),
       mic_chan_(sched, options.name + ".mic"),
@@ -111,7 +112,8 @@ PandoraBox::PandoraBox(Scheduler* sched, AtmNetwork* net, Options options,
       net_(net),
       options_(std::move(options)),
       report_sink_(report_sink),
-      port_(net->AddPort(options_.name + ".port", options_.network_egress_bps)),
+      port_(net->AddPort(options_.name + ".port", options_.network_egress_bps,
+                         options_.pool_buffers, report_sink)),
       mic_stream_(options_.mic_stream) {
   boards_ = std::make_unique<Boards>(sched_, net_, port_, options_, mic_source(), report_sink_);
 }

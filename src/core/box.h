@@ -150,6 +150,8 @@ class PandoraBox {
   VideoCapture* capture(size_t i) { return boards().captures_.at(i).get(); }
   NetworkOutput& network_output() { return boards().net_out_; }
   NetworkInput& network_input() { return boards().net_in_; }
+  // Wire-path payload copies since (re)boot — encodes plus decodes.
+  uint64_t deep_copies() const { return boards().deep_copies_; }
   Repository* repository() { return boards().repository_.get(); }
   CpuModel& audio_cpu() { return boards().audio_cpu_; }
   CpuModel& server_cpu() { return boards().server_cpu_; }
@@ -169,6 +171,10 @@ class PandoraBox {
     Switch switch_;
     DecouplingBuffer to_audio_buf_;
     DecouplingBuffer to_display_buf_;
+    // Deep copies of segment data on the wire path (one per encode at
+    // net_out_, one per decode at net_in_): the §3.4 "once in, once out"
+    // budget, asserted ≤ 2 per delivered segment by tests/wirepath_test.cc.
+    uint64_t deep_copies_ = 0;
     NetworkOutput net_out_;
     NetworkInput net_in_;
     DestinationId dest_audio_out_ = kInvalidDestination;

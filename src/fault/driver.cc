@@ -119,7 +119,8 @@ void FaultDriver::Apply(const FaultEvent& event) {
       }
       case FaultKind::kBandwidthCollapse:
       case FaultKind::kBurstLoss:
-      case FaultKind::kJitterStorm: {
+      case FaultKind::kJitterStorm:
+      case FaultKind::kWireCorrupt: {
         // Null when the circuit is closed — or bridged, where the direct
         // quality is never consulted and the storm would be a silent no-op.
         const HopQuality* current = net.CircuitQuality(port, vci);
@@ -139,8 +140,10 @@ void FaultDriver::Apply(const FaultEvent& event) {
           impaired.bits_per_second = std::max<int64_t>(1, static_cast<int64_t>(event.value));
         } else if (event.kind == FaultKind::kBurstLoss) {
           impaired.loss_rate = std::clamp(event.value, 0.0, 1.0);
-        } else {
+        } else if (event.kind == FaultKind::kJitterStorm) {
           impaired.jitter_max = std::max<Duration>(0, static_cast<Duration>(event.value));
+        } else {
+          impaired.corrupt_rate = std::clamp(event.value, 0.0, 1.0);
         }
         net.SetCircuitQuality(port, vci, impaired);
         BeginEpisode(event, episode);
@@ -217,7 +220,8 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
     case FaultKind::kCircuitDown:
     case FaultKind::kBandwidthCollapse:
     case FaultKind::kBurstLoss:
-    case FaultKind::kJitterStorm: {
+    case FaultKind::kJitterStorm:
+    case FaultKind::kWireCorrupt: {
       const Simulation::CallRecord& call = sim_->calls()[static_cast<size_t>(restore.target)];
       if (!call.active || call.suspended || call.src->crashed()) {
         break;  // a crash tore the circuit down; restart re-plumbs it healthy
@@ -237,8 +241,10 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
         restored.bits_per_second = episode.base.bits_per_second;
       } else if (restore.kind == FaultKind::kBurstLoss) {
         restored.loss_rate = episode.base.loss_rate;
-      } else {
+      } else if (restore.kind == FaultKind::kJitterStorm) {
         restored.jitter_max = episode.base.jitter_max;
+      } else {
+        restored.corrupt_rate = episode.base.corrupt_rate;
       }
       net.SetCircuitQuality(call.src->port(), call.at_dst, restored);
       break;

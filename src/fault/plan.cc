@@ -24,6 +24,7 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kBoxCrash, "crash"},
     {FaultKind::kClockStep, "clock-step"},
     {FaultKind::kPoolPressure, "pool-pressure"},
+    {FaultKind::kWireCorrupt, "wire-corrupt"},
 };
 
 // Durations are emitted in plain microseconds so Format -> Parse is an
@@ -217,6 +218,9 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
   if (!calls.empty()) {
     kinds.insert(kinds.end(), {FaultKind::kCircuitDown, FaultKind::kBandwidthCollapse,
                                FaultKind::kBurstLoss, FaultKind::kJitterStorm});
+    if (options.allow_wire_corrupt) {
+      kinds.push_back(FaultKind::kWireCorrupt);
+    }
   }
   if (!boxes.empty()) {
     if (options.allow_crash) {
@@ -255,6 +259,9 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
         break;
       case FaultKind::kBurstLoss:
         event.value = rng.Uniform(0.05, 0.6);
+        break;
+      case FaultKind::kWireCorrupt:
+        event.value = rng.Uniform(0.05, 0.5);
         break;
       case FaultKind::kJitterStorm:
         event.value = static_cast<double>(rng.UniformInt(2'000, 40'000));  // us

@@ -32,6 +32,7 @@ enum class FaultKind {
   kBoxCrash,            // box power-fails; restarts after `duration` (0: never)
   kClockStep,           // box's audio quartz steps to drift `value`
   kPoolPressure,        // `value` buffers of the box's pool seized
+  kWireCorrupt,         // call's direct path flips bits in `value` of segments
 };
 
 // Which kind of entity an event's `target` indexes.
@@ -43,6 +44,7 @@ inline FaultTarget TargetOf(FaultKind kind) {
     case FaultKind::kBandwidthCollapse:
     case FaultKind::kBurstLoss:
     case FaultKind::kJitterStorm:
+    case FaultKind::kWireCorrupt:
       return FaultTarget::kCall;
     case FaultKind::kBoxCrash:
     case FaultKind::kClockStep:
@@ -85,6 +87,8 @@ struct RandomPlanOptions {
   bool allow_crash = true;
   bool allow_clock_step = true;
   bool allow_pool_pressure = true;
+  // Corruption storms (bit flips the destination decoder must reject).
+  bool allow_wire_corrupt = true;
   Duration min_episode = Millis(100);
   Duration max_episode = Millis(800);
 };

@@ -50,16 +50,9 @@ Process NetMicrophone::UplinkProc() {
     if (vcis_.empty()) {
       continue;  // nobody listening yet: the codec data is discarded
     }
-    for (size_t i = 0; i + 1 < vcis_.size(); ++i) {
-      NetTx tx;
-      tx.vci = vcis_[i];
-      tx.segment = ref.Dup();
-      co_await port_->tx().Send(std::move(tx));
-    }
-    NetTx tx;
-    tx.vci = vcis_.back();
-    tx.segment = std::move(ref);
-    co_await port_->tx().Send(std::move(tx));
+    // Encode once; every listener's NetTx shares the same wire bytes (the
+    // VCI relabels per circuit).
+    co_await SendEncodedSegment(port_, std::move(ref), vcis_, &deep_copies_);
   }
 }
 
@@ -70,7 +63,8 @@ NetSpeaker::NetSpeaker(Scheduler* sched, AtmNetwork* net, Options options,
     : MedusaDevice(sched, net, options.name),
       options_(options),
       incoming_(sched, options.name + ".in"),
-      net_in_(sched, {.name = options.name + ".netin"}, port_, &pool_, &incoming_),
+      net_in_(sched, {.name = options.name + ".netin"}, port_, &pool_, &incoming_, report_sink,
+              &deep_copies_),
       bank_(options.clawback),
       receiver_(sched, {.name = options.name + ".receiver"}, &incoming_, &bank_, nullptr,
                 report_sink),
@@ -122,16 +116,7 @@ Process NetCamera::UplinkProc() {
     if (vcis_.empty()) {
       continue;
     }
-    for (size_t i = 0; i + 1 < vcis_.size(); ++i) {
-      NetTx tx;
-      tx.vci = vcis_[i];
-      tx.segment = ref.Dup();
-      co_await port_->tx().Send(std::move(tx));
-    }
-    NetTx tx;
-    tx.vci = vcis_.back();
-    tx.segment = std::move(ref);
-    co_await port_->tx().Send(std::move(tx));
+    co_await SendEncodedSegment(port_, std::move(ref), vcis_, &deep_copies_);
   }
 }
 
@@ -142,7 +127,8 @@ NetDisplay::NetDisplay(Scheduler* sched, AtmNetwork* net, Options options,
     : MedusaDevice(sched, net, options.name),
       options_(options),
       incoming_(sched, options.name + ".in"),
-      net_in_(sched, {.name = options.name + ".netin"}, port_, &pool_, &incoming_),
+      net_in_(sched, {.name = options.name + ".netin"}, port_, &pool_, &incoming_, report_sink,
+              &deep_copies_),
       display_(sched,
                VideoDisplayOptions{.name = options.name + ".screen",
                                    .width = options.width,

@@ -50,7 +50,7 @@ class MedusaDevice {
                size_t pool_buffers = 64, int64_t egress_bps = kMedusaLinkBps)
       : sched_(sched),
         name_(name),
-        port_(net->AddPort(name + ".port", egress_bps)),
+        port_(net->AddPort(name + ".port", egress_bps, pool_buffers)),
         pool_(sched, name + ".pool", pool_buffers) {}
 
   virtual ~MedusaDevice() = default;
@@ -58,12 +58,15 @@ class MedusaDevice {
   const std::string& name() const { return name_; }
   AtmPort* port() { return port_; }
   BufferPool& pool() { return pool_; }
+  // Wire-path payload copies (encodes at senders, decodes at receivers).
+  uint64_t deep_copies() const { return deep_copies_; }
 
  protected:
   Scheduler* sched_;
   std::string name_;
   AtmPort* port_;
   BufferPool pool_;
+  uint64_t deep_copies_ = 0;
 };
 
 // A microphone on the network: codec -> block handler -> fabric.  The

@@ -1,15 +1,18 @@
 #include "src/net/atm.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace pandora {
 
-AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps)
+AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps,
+                 size_t wire_buffers, ReportSink* report_sink)
     : sched_(sched),
       net_(net),
       name_(std::move(name)),
       tx_(sched, name_ + ".tx"),
       rx_(sched, name_ + ".rx"),
+      wire_pool_(sched, name_ + ".wire", wire_buffers, report_sink),
       egress_(sched, name_ + ".egress", egress_bps) {}
 
 Process AtmPort::TxProc() {
@@ -17,32 +20,37 @@ Process AtmPort::TxProc() {
     NetTx out = co_await tx_.Receive();
     // Whole-segment serialization at the interface: no interleaving, so a
     // large video segment delays any audio queued behind it (section 4.2).
-    co_await egress_.Transmit(out.segment->EncodedSize());
+    // The charge is the TRUE encoded size — exactly the bytes in the wire
+    // image (stream field omitted, it rides in the VCI).
+    const size_t bytes = out.wire->bytes.size();
+    co_await egress_.Transmit(bytes);
     ++sent_;
+    net_->bytes_on_wire_ += bytes;
+    PANDORA_TRACE_COUNTER(sched_->trace(), net_->trace_wire_bytes_, "net.bytes_on_wire",
+                          static_cast<int64_t>(net_->bytes_on_wire_));
 
     auto it = net_->circuits_.find({this, out.vci});
     if (it == net_->circuits_.end()) {
       ++unrouted_;
-      continue;  // circuit closed mid-flight: traffic discarded
+      continue;  // circuit closed mid-flight: traffic discarded (handle dropped)
     }
     AtmNetwork::Circuit* circuit = it->second.get();
     ++circuit->stats.offered;
     // "Incoming streams from the network carry the stream number allocated
-    // by the destination box in their VCIs."  Copy the payload out of the
-    // source box's buffer (now fully serialized) so the buffer can be
-    // recycled immediately.
-    Segment wire_copy = *out.segment;
-    wire_copy.stream = out.vci;
-    out.segment.Reset();
-    sched_->Spawn(net_->ForwardProc(this, out.vci, std::move(wire_copy)),
+    // by the destination box in their VCIs."  The wire image omits the
+    // stream field, so relabelling costs nothing: the refcounted handle
+    // moves into the fabric untouched, no payload copy.
+    sched_->Spawn(net_->ForwardProc(this, out.vci, std::move(out.wire)),
                   name_ + ".fwd", Priority::kHigh);
   }
 }
 
 AtmNetwork::AtmNetwork(Scheduler* sched, uint64_t seed) : sched_(sched), rng_(seed) {}
 
-AtmPort* AtmNetwork::AddPort(const std::string& name, int64_t egress_bps) {
-  ports_.push_back(std::make_unique<AtmPort>(sched_, this, name, egress_bps));
+AtmPort* AtmNetwork::AddPort(const std::string& name, int64_t egress_bps, size_t wire_buffers,
+                             ReportSink* report_sink) {
+  ports_.push_back(
+      std::make_unique<AtmPort>(sched_, this, name, egress_bps, wire_buffers, report_sink));
   AtmPort* port = ports_.back().get();
   sched_->Spawn(port->TxProc(), name + ".txproc", Priority::kHigh);
   return port;
@@ -71,7 +79,8 @@ void AtmNetwork::SetPortUp(AtmPort* port, bool up) {
   port->up_ = up;
   if (!up) {
     // Discard deliveries already parked on the rx channel: their forwarders
-    // resume and finish normally, but the segments never reach a box.
+    // resume and finish normally, but the segments never reach a box (the
+    // dropped NetRx releases its wire buffer back to the source pool).
     while (port->rx_.TryReceive().has_value()) {
       ++port->rx_discarded_;
       ++total_lost_;
@@ -121,9 +130,38 @@ AtmNetwork::Circuit* AtmNetwork::FindCircuit(AtmPort* src, Vci vci) {
   return it == circuits_.end() ? nullptr : it->second.get();
 }
 
-Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
+bool AtmNetwork::CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit) {
+  if (wire->bytes.empty()) {
+    return true;  // nothing to damage
+  }
+  // Copy-on-corrupt: sibling handles of this buffer (multi-destination
+  // fanout) must keep the pristine bytes, so the damage lands in a scratch
+  // buffer from the same pool.  A starved pool drops the segment instead.
+  std::optional<WireRef> scratch = wire.pool()->TryAllocate();
+  if (!scratch.has_value()) {
+    return false;
+  }
+  (*scratch)->bytes = wire->bytes;
+  const int64_t bit =
+      rng.UniformInt(0, static_cast<int64_t>((*scratch)->bytes.size()) * 8 - 1);
+  (*scratch)->bytes[static_cast<size_t>(bit / 8)] ^=
+      static_cast<uint8_t>(1u << static_cast<unsigned>(bit % 8));
+  wire = std::move(*scratch);
+  ++circuit->stats.corrupted;
+  ++total_corrupted_;
+  return true;
+}
+
+Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
   const Time departed = sched_->now();
-  const size_t bytes = segment.EncodedSize();
+  const size_t bytes = wire->bytes.size();
+  // One cheap header peek for telemetry — which sequence number a loss or
+  // corrupt event struck.  The full decode happens only at the destination
+  // box (src/server/netio.cc).
+  WireHeaderPeek peek;
+  const int64_t seq = PeekWireHeader(wire->bytes, StreamField::kOmitted, &peek, vci)
+                          ? static_cast<int64_t>(peek.sequence)
+                          : -1;
 
   Circuit* circuit = FindCircuit(src, vci);
   if (circuit == nullptr) {
@@ -141,8 +179,7 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
     ++circuit->stats.lost;
     ++total_lost_;
     PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
-                           "seq", static_cast<int64_t>(segment.header.sequence), "bytes",
-                           static_cast<int64_t>(bytes));
+                           "seq", seq, "bytes", static_cast<int64_t>(bytes));
     co_return;
   }
 
@@ -157,10 +194,25 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
       ++circuit->stats.lost;
       ++total_lost_;
       PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
-                             circuit->trace_name + ".loss", "seq",
-                             static_cast<int64_t>(segment.header.sequence), "bytes",
+                             circuit->trace_name + ".loss", "seq", seq, "bytes",
                              static_cast<int64_t>(bytes));
       co_return;
+    }
+    // Bit corruption (line noise): the damaged copy still travels and is
+    // delivered for the destination decoder to reject.  The rate check
+    // short-circuits so healthy circuits draw nothing (determinism).
+    if (circuit->direct.corrupt_rate > 0 && rng_.Bernoulli(circuit->direct.corrupt_rate)) {
+      if (!CorruptInFlight(wire, rng_, circuit)) {
+        ++circuit->stats.lost;
+        ++total_lost_;
+        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+                               circuit->trace_name + ".loss", "seq", seq, "bytes",
+                               static_cast<int64_t>(bytes));
+        co_return;
+      }
+      PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_corrupt,
+                             circuit->trace_name + ".corrupt", "seq", seq, "bytes",
+                             static_cast<int64_t>(bytes));
     }
     Duration jitter = circuit->direct.jitter_max > 0
                           ? static_cast<Duration>(rng_.Uniform(
@@ -184,15 +236,30 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
         ++circuit->stats.lost;
         ++total_lost_;
         PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
-                               circuit->trace_name + ".loss", "seq",
-                               static_cast<int64_t>(segment.header.sequence), "bytes",
+                               circuit->trace_name + ".loss", "seq", seq, "bytes",
                                static_cast<int64_t>(bytes));
         co_return;
+      }
+      if (hop->quality.corrupt_rate > 0 && hop->rng.Bernoulli(hop->quality.corrupt_rate)) {
+        if (!CorruptInFlight(wire, hop->rng, circuit)) {
+          ++circuit->stats.lost;
+          ++total_lost_;
+          PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+                                 circuit->trace_name + ".loss", "seq", seq, "bytes",
+                                 static_cast<int64_t>(bytes));
+          co_return;
+        }
+        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_corrupt,
+                               circuit->trace_name + ".corrupt", "seq", seq, "bytes",
+                               static_cast<int64_t>(bytes));
       }
       // The gate serializes whole segments FIFO across every circuit
       // sharing the hop (contention); reservations are made in program
       // order, which per circuit is send order by induction.
       co_await hop->gate.Transmit(bytes);
+      bytes_on_wire_ += bytes;
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_wire_bytes_, "net.bytes_on_wire",
+                            static_cast<int64_t>(bytes_on_wire_));
       circuit = FindCircuit(src, vci);
       if (circuit == nullptr || circuit->generation != generation) {
         ++total_lost_;  // closed (or re-opened for a new call) while in flight
@@ -223,8 +290,7 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
     ++circuit->stats.lost;
     ++total_lost_;
     PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
-                           "seq", static_cast<int64_t>(segment.header.sequence), "bytes",
-                           static_cast<int64_t>(bytes));
+                           "seq", seq, "bytes", static_cast<int64_t>(bytes));
     co_return;
   }
   ++circuit->stats.delivered;
@@ -237,7 +303,10 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, Segment segment) {
     circuit->stats.inter_arrival.Add(static_cast<double>(sched_->now() - circuit->last_rx_time));
   }
   circuit->last_rx_time = sched_->now();
-  co_await circuit->dst->rx().Send(std::move(segment));
+  NetRx delivery;
+  delivery.vci = vci;
+  delivery.wire = std::move(wire);
+  co_await circuit->dst->rx().Send(std::move(delivery));
 }
 
 }  // namespace pandora

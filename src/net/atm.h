@@ -12,8 +12,15 @@
 //  * a circuit may traverse several store-and-forward hops (bridges,
 //    backbone links, protocol conversions — the SuperJanet trial of
 //    section 3.7.2), each with its own bandwidth, propagation delay,
-//    queueing jitter and loss;
+//    queueing jitter, loss and bit corruption;
 //  * delivery is FIFO per circuit (jitter never reorders one stream).
+//
+// The network carries ENCODED segments: the source box serializes once into
+// a refcounted WireBuffer drawn from its port's WirePool, every stage below
+// (egress gate, hops, delivery) moves the handle, and only the destination
+// box decodes (DESIGN.md §9).  Per-hop byte accounting therefore uses the
+// true encoded size, and damage (corrupt_rate) flips bits in the actual
+// wire image for the receiver's decoder to catch.
 #ifndef PANDORA_SRC_NET_ATM_H_
 #define PANDORA_SRC_NET_ATM_H_
 
@@ -30,6 +37,7 @@
 #include "src/runtime/scheduler.h"
 #include "src/runtime/stats.h"
 #include "src/segment/constants.h"
+#include "src/segment/wire.h"
 #include "src/trace/trace.h"
 
 namespace pandora {
@@ -40,6 +48,10 @@ struct HopQuality {
   Duration propagation = Micros(20);
   Duration jitter_max = 0;  // uniform [0, jitter_max) queueing delay
   double loss_rate = 0.0;
+  // Probability that a traversal flips a bit somewhere in the segment's
+  // wire image (line noise, a flaky bridge).  The damaged copy is still
+  // delivered; the destination's decoder rejects it (wire-corrupt fault).
+  double corrupt_rate = 0.0;
   // Queue bound: a segment arriving when the hop's backlog exceeds this is
   // discarded (bridges have finite buffers; overload shows as loss, not as
   // unbounded delay).
@@ -58,24 +70,38 @@ class NetHop {
   Rng rng;
 };
 
-// What the box's network output handler hands to its port.
+// What the box's network output handler hands to its port: an encoded
+// segment (stream field omitted — the VCI carries it) ready for the wire.
 struct NetTx {
   Vci vci = 0;
-  SegmentRef segment;
+  WireRef wire;
+};
+
+// What the network delivers to the destination port: the same encoded
+// bytes, untouched unless a corrupt_rate impairment struck in flight.
+struct NetRx {
+  Vci vci = 0;
+  WireRef wire;
 };
 
 class AtmNetwork;
 
 class AtmPort {
  public:
-  AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps);
+  AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps,
+          size_t wire_buffers, ReportSink* report_sink);
 
-  // Box-side channels.  Delivery is by value: each box owns its own buffer
-  // memory, so the network input handler copies arriving segments into the
-  // destination box's pool ("copy once into memory", section 3.4), and the
-  // source box's buffer is freed as soon as serialization completes.
+  // Box-side channels.  Transmission passes a refcounted handle to encoded
+  // bytes drawn from this port's wire pool; the source box's segment buffer
+  // is freed as soon as serialization completes ("copy once into memory,
+  // once out", section 3.4), and nothing below this line copies payloads.
   Channel<NetTx>& tx() { return tx_; }
-  Channel<Segment>& rx() { return rx_; }
+  Channel<NetRx>& rx() { return rx_; }
+
+  // The pool of fixed wire buffers this port's transmit path encodes into.
+  // Owned by the port (not the box) so handles held by in-flight forwarders
+  // stay valid across a box crash.
+  WirePool& wire_pool() { return wire_pool_; }
 
   // The non-interleaving interface gate (the E7 bottleneck).
   BandwidthGate& egress() { return egress_; }
@@ -97,7 +123,8 @@ class AtmPort {
   AtmNetwork* net_;
   std::string name_;
   Channel<NetTx> tx_;
-  Channel<Segment> rx_;
+  Channel<NetRx> rx_;
+  WirePool wire_pool_;
   BandwidthGate egress_;
   bool up_ = true;
   uint64_t sent_ = 0;
@@ -111,6 +138,8 @@ struct CircuitStats {
   uint64_t offered = 0;
   uint64_t delivered = 0;
   uint64_t lost = 0;
+  // Segments delivered with in-flight bit damage (corrupt_rate).
+  uint64_t corrupted = 0;
   StatAccumulator latency;        // network transit per segment (us)
   StatAccumulator inter_arrival;  // spacing at destination (us), for jitter
 };
@@ -119,7 +148,8 @@ class AtmNetwork {
  public:
   AtmNetwork(Scheduler* sched, uint64_t seed = 1);
 
-  AtmPort* AddPort(const std::string& name, int64_t egress_bps = 20'000'000);
+  AtmPort* AddPort(const std::string& name, int64_t egress_bps = 20'000'000,
+                   size_t wire_buffers = 256, ReportSink* report_sink = nullptr);
   NetHop* AddHop(const std::string& name, const HopQuality& quality);
 
   // Opens a circuit; `path` lists intermediate hops (may be empty for a
@@ -145,11 +175,11 @@ class AtmNetwork {
   void RestartPort(AtmPort* port);
 
   // Per-circuit impairment for circuits with no intermediate hops: replaces
-  // the direct-path quality (burst loss, jitter storm, rate change).
-  // Returns false if no such circuit is open, or if the circuit is bridged
-  // — a hop path never consults the direct quality, so accepting the write
-  // would let a storm silently not happen (impair bridged paths through
-  // SetHopQuality instead).
+  // the direct-path quality (burst loss, jitter storm, rate change, bit
+  // corruption).  Returns false if no such circuit is open, or if the
+  // circuit is bridged — a hop path never consults the direct quality, so
+  // accepting the write would let a storm silently not happen (impair
+  // bridged paths through SetHopQuality instead).
   bool SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality);
   // Snapshot of the current direct-path quality, for restore-after-episode.
   // Null for closed and for bridged circuits, matching SetCircuitQuality.
@@ -163,6 +193,11 @@ class AtmNetwork {
   const CircuitStats* StatsFor(AtmPort* src, Vci vci) const;
   uint64_t total_delivered() const { return total_delivered_; }
   uint64_t total_lost() const { return total_lost_; }
+  // Segments delivered carrying in-flight bit damage.
+  uint64_t total_corrupted() const { return total_corrupted_; }
+  // True encoded bytes pushed through transmission stages (source egress
+  // plus every store-and-forward hop traversal).
+  uint64_t bytes_on_wire() const { return bytes_on_wire_; }
 
  private:
   friend class AtmPort;
@@ -186,6 +221,7 @@ class AtmNetwork {
     std::string trace_name;
     TraceSiteId trace_hist = 0;
     TraceSiteId trace_loss = 0;
+    TraceSiteId trace_corrupt = 0;
   };
 
   // Walks the remaining hops of one segment's journey; spawned per segment
@@ -194,9 +230,17 @@ class AtmNetwork {
   // segment is mid-flight, so the pointer is re-fetched after every
   // suspension — and its generation compared, since the key may have been
   // re-opened for a new call — with the segment counted as lost if the
-  // original circuit is gone.
-  Process ForwardProc(AtmPort* src, Vci vci, Segment segment);
+  // original circuit is gone.  The wire handle is MOVED stage to stage; the
+  // encoded bytes are never copied (except copy-on-corrupt below).
+  Process ForwardProc(AtmPort* src, Vci vci, WireRef wire);
   Circuit* FindCircuit(AtmPort* src, Vci vci);
+
+  // Applies a corrupt_rate strike: replaces `wire` with a damaged COPY so
+  // sibling handles of the same buffer (multi-destination fanout) keep the
+  // pristine bytes.  Draws the bit index from `rng`.  Returns false when
+  // the wire pool has no scratch buffer — the strike then drops the
+  // segment instead (the caller counts it as lost).
+  bool CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit);
 
   Scheduler* sched_;
   Rng rng_;
@@ -206,6 +250,9 @@ class AtmNetwork {
   uint64_t next_generation_ = 0;
   uint64_t total_delivered_ = 0;
   uint64_t total_lost_ = 0;
+  uint64_t total_corrupted_ = 0;
+  uint64_t bytes_on_wire_ = 0;
+  TraceSiteId trace_wire_bytes_ = 0;
 };
 
 }  // namespace pandora

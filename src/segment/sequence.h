@@ -21,12 +21,26 @@ class SequenceTracker {
     kGap,        // one or more segments missing before this one
     kDuplicate,  // sequence number already consumed
     kStale,      // older than anything useful (late reordered arrival)
+    kSuspect,    // implausible jump — discarded, expectation unchanged
+    kResync,     // a suspect jump confirmed by its successor; re-anchored
   };
 
   struct Observation {
     Outcome outcome = Outcome::kFirst;
     uint32_t missing = 0;  // count of skipped sequence numbers, if kGap
   };
+
+  // Any jump (forward or back) larger than this is treated as suspect: the
+  // wire format has no checksum, so a bit flip landing in the sequence
+  // field decodes cleanly and would otherwise re-anchor the expectation by
+  // up to 2^31 — after which every genuine segment reads as stale and the
+  // stream is dead forever.  A suspect segment is discarded, but its
+  // successor is remembered: a REAL discontinuity this large (sender
+  // re-origination) keeps counting from the new point, confirms on the next
+  // arrival, and costs exactly one segment.  16 s of audio at the default
+  // 4 ms cadence — far above any plausible shed/jitter gap, far below any
+  // interesting bit flip.
+  static constexpr int32_t kMaxPlausibleJump = 4096;
 
   // Feeds the sequence number of an arriving segment.
   Observation Observe(uint32_t sequence) {
@@ -41,11 +55,31 @@ class SequenceTracker {
     if (sequence == next_expected_) {
       ++received_;
       ++next_expected_;
+      suspect_pending_ = false;
       obs.outcome = Outcome::kInOrder;
       return obs;
     }
     // Wrap-aware signed distance from the expected number.
     int32_t delta = static_cast<int32_t>(sequence - next_expected_);
+    if (delta > kMaxPlausibleJump || delta < -kMaxPlausibleJump) {
+      if (suspect_pending_ && sequence == suspect_next_) {
+        // Two consecutive numbers in the new space: genuine re-origination,
+        // not line noise.  Re-anchor without polluting the gap accounting
+        // (the distance across a resync is meaningless).
+        suspect_pending_ = false;
+        next_expected_ = sequence + 1;
+        ++received_;
+        ++resyncs_;
+        obs.outcome = Outcome::kResync;
+        return obs;
+      }
+      suspect_pending_ = true;
+      suspect_next_ = sequence + 1;
+      ++suspects_;
+      obs.outcome = Outcome::kSuspect;
+      return obs;
+    }
+    suspect_pending_ = false;
     if (delta > 0) {
       obs.outcome = Outcome::kGap;
       obs.missing = static_cast<uint32_t>(delta);
@@ -73,6 +107,8 @@ class SequenceTracker {
   uint64_t gap_events() const { return gap_events_; }
   uint64_t duplicates() const { return duplicates_; }
   uint64_t stale() const { return stale_; }
+  uint64_t suspects() const { return suspects_; }
+  uint64_t resyncs() const { return resyncs_; }
   uint32_t max_gap() const { return max_gap_; }
   double LossFraction() const {
     uint64_t offered = received_ + missing_total_;
@@ -84,11 +120,15 @@ class SequenceTracker {
  private:
   bool started_ = false;
   uint32_t next_expected_ = 0;
+  bool suspect_pending_ = false;
+  uint32_t suspect_next_ = 0;
   uint64_t received_ = 0;
   uint64_t missing_total_ = 0;
   uint64_t gap_events_ = 0;
   uint64_t duplicates_ = 0;
   uint64_t stale_ = 0;
+  uint64_t suspects_ = 0;
+  uint64_t resyncs_ = 0;
   uint32_t max_gap_ = 0;
 };
 

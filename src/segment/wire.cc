@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <cstring>
 
+#include "src/runtime/check.h"
+
 namespace pandora {
 namespace {
 
@@ -54,41 +56,53 @@ DecodeResult Fail(std::string error) {
 
 }  // namespace
 
-std::vector<uint8_t> EncodeSegment(const Segment& segment, StreamField stream_field) {
-  std::vector<uint8_t> out;
-  out.reserve(segment.EncodedSize() + 4);
+void EncodeSegmentInto(const Segment& segment, StreamField stream_field,
+                       std::vector<uint8_t>* out) {
+  // Make*Segment stamp `length` once; mutating the payload (or the video
+  // compression args) afterwards silently desynchronizes them, and the
+  // receiver would reject the segment as damaged.  Catch it at the source.
+  PANDORA_DCHECK(segment.header.length == segment.EncodedSize(),
+                 "header.length drifted from EncodedSize(); "
+                 "restamp length after mutating payload or compression args");
+  out->clear();
+  out->reserve(segment.EncodedSize() + 4);
   if (stream_field == StreamField::kIncluded) {
-    PutU32(&out, segment.stream);
+    PutU32(out, segment.stream);
   }
-  PutU32(&out, segment.header.version_id);
-  PutU32(&out, segment.header.sequence);
-  PutU32(&out, segment.header.timestamp);
-  PutU32(&out, static_cast<uint32_t>(segment.header.type));
-  PutU32(&out, static_cast<uint32_t>(segment.EncodedSize()));
+  PutU32(out, segment.header.version_id);
+  PutU32(out, segment.header.sequence);
+  PutU32(out, segment.header.timestamp);
+  PutU32(out, static_cast<uint32_t>(segment.header.type));
+  PutU32(out, static_cast<uint32_t>(segment.EncodedSize()));
 
   if (const auto* audio = std::get_if<AudioHeader>(&segment.sub)) {
-    PutU32(&out, audio->sampling_rate);
-    PutU32(&out, static_cast<uint32_t>(audio->format));
-    PutU32(&out, static_cast<uint32_t>(audio->compression));
-    PutU32(&out, static_cast<uint32_t>(segment.payload.size()));
+    PutU32(out, audio->sampling_rate);
+    PutU32(out, static_cast<uint32_t>(audio->format));
+    PutU32(out, static_cast<uint32_t>(audio->compression));
+    PutU32(out, static_cast<uint32_t>(segment.payload.size()));
   } else if (const auto* video = std::get_if<VideoHeader>(&segment.sub)) {
-    PutU32(&out, video->frame_number);
-    PutU32(&out, video->segments_in_frame);
-    PutU32(&out, video->segment_number);
-    PutU32(&out, video->x_offset);
-    PutU32(&out, video->y_offset);
-    PutU32(&out, static_cast<uint32_t>(video->pixel_format));
-    PutU32(&out, static_cast<uint32_t>(video->compression_type));
-    PutU32(&out, static_cast<uint32_t>(segment.compression_args.size()));
+    PutU32(out, video->frame_number);
+    PutU32(out, video->segments_in_frame);
+    PutU32(out, video->segment_number);
+    PutU32(out, video->x_offset);
+    PutU32(out, video->y_offset);
+    PutU32(out, static_cast<uint32_t>(video->pixel_format));
+    PutU32(out, static_cast<uint32_t>(video->compression_type));
+    PutU32(out, static_cast<uint32_t>(segment.compression_args.size()));
     for (uint32_t arg : segment.compression_args) {
-      PutU32(&out, arg);
+      PutU32(out, arg);
     }
-    PutU32(&out, video->x_width);
-    PutU32(&out, video->start_line_y);
-    PutU32(&out, video->line_count);
-    PutU32(&out, static_cast<uint32_t>(segment.payload.size()));
+    PutU32(out, video->x_width);
+    PutU32(out, video->start_line_y);
+    PutU32(out, video->line_count);
+    PutU32(out, static_cast<uint32_t>(segment.payload.size()));
   }
-  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  out->insert(out->end(), segment.payload.begin(), segment.payload.end());
+}
+
+std::vector<uint8_t> EncodeSegment(const Segment& segment, StreamField stream_field) {
+  std::vector<uint8_t> out;
+  EncodeSegmentInto(segment, stream_field, &out);
   return out;
 }
 
@@ -199,5 +213,44 @@ DecodeResult DecodeSegment(const std::vector<uint8_t>& bytes, StreamField stream
   result.ok = true;
   return result;
 }
+
+bool PeekWireHeader(const std::vector<uint8_t>& bytes, StreamField stream_field,
+                    WireHeaderPeek* out, StreamId vci_stream) {
+  Reader reader(bytes);
+  if (stream_field == StreamField::kIncluded) {
+    uint32_t stream = 0;
+    if (!reader.GetU32(&stream)) {
+      return false;
+    }
+    out->stream = stream;
+  } else {
+    out->stream = vci_stream;
+  }
+  uint32_t type_raw = 0;
+  if (!reader.GetU32(&out->version_id) || !reader.GetU32(&out->sequence) ||
+      !reader.GetU32(&out->timestamp) || !reader.GetU32(&type_raw) || !reader.GetU32(&out->length)) {
+    return false;
+  }
+  if (out->version_id != kSegmentVersionId) {
+    return false;
+  }
+  switch (static_cast<SegmentType>(type_raw)) {
+    case SegmentType::kAudio:
+    case SegmentType::kVideo:
+    case SegmentType::kTest:
+      out->type = static_cast<SegmentType>(type_raw);
+      break;
+    default:
+      return false;
+  }
+  // The declared length covers everything but the optional stream prefix; a
+  // well-formed buffer contains the whole segment and nothing else.
+  const size_t prefix = stream_field == StreamField::kIncluded ? 4u : 0u;
+  return bytes.size() == static_cast<size_t>(out->length) + prefix;
+}
+
+// The explicit instantiation of the wire-buffer pool lives in
+// src/buffer/pool.cc: RefPool reports starvation through the control plane,
+// and control already depends on this library.
 
 }  // namespace pandora

@@ -7,6 +7,12 @@
 // (section 3.4); over the ATM network the stream number rides in the VCI
 // instead, so encoders can omit the prefix.
 //
+// This codec is the production data plane, not just a test harness: the
+// network carries refcounted WireBuffers of encoded bytes (WirePool below),
+// encoded exactly once at the source port (src/server/netio.cc) and decoded
+// exactly once at the destination.  Intermediate hops that only need
+// routing metadata use PeekWireHeader instead of a full decode.
+//
 // Byte order is little-endian (the transputer is a little-endian machine).
 #ifndef PANDORA_SRC_SEGMENT_WIRE_H_
 #define PANDORA_SRC_SEGMENT_WIRE_H_
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/buffer/pool.h"
 #include "src/segment/segment.h"
 
 namespace pandora {
@@ -24,8 +31,28 @@ enum class StreamField {
   kOmitted,   // network: stream number carried in the VCI
 };
 
-// Encodes `segment` to bytes.  The result's length equals
-// segment.EncodedSize() (+4 if the stream field is included).
+// One fixed wire buffer: a segment's encoded bytes, owned by a port-side
+// WirePool and passed between network stages by refcounted handle.
+struct WireBuffer {
+  std::vector<uint8_t> bytes;
+};
+
+// Recycle hook (ADL, src/buffer/pool.h): keep capacity, drop contents.
+inline void PoolRecycle(WireBuffer& buffer) { buffer.bytes.clear(); }
+
+// The port-side pool of encoded segments crossing the network.
+using WirePool = RefPool<WireBuffer>;
+using WireRef = PoolRef<WireBuffer>;
+
+// Encodes `segment` into `*out` (cleared first; heap capacity is reused, so
+// encoding into a recycled WireBuffer allocates nothing in steady state).
+// The result's length equals segment.EncodedSize() (+4 if the stream field
+// is included).  DCHECKs that header.length has not drifted from
+// EncodedSize() — mutating a payload after Make*Segment desynchronizes them.
+void EncodeSegmentInto(const Segment& segment, StreamField stream_field,
+                       std::vector<uint8_t>* out);
+
+// Convenience wrapper allocating a fresh vector.
 std::vector<uint8_t> EncodeSegment(const Segment& segment,
                                    StreamField stream_field = StreamField::kIncluded);
 
@@ -41,6 +68,26 @@ struct DecodeResult {
 DecodeResult DecodeSegment(const std::vector<uint8_t>& bytes,
                            StreamField stream_field = StreamField::kIncluded,
                            StreamId vci_stream = kInvalidStream);
+
+// The common header of an encoded segment, read without touching the
+// type-specific header or payload.
+struct WireHeaderPeek {
+  StreamId stream = kInvalidStream;
+  uint32_t version_id = 0;
+  uint32_t sequence = 0;
+  uint32_t timestamp = 0;
+  SegmentType type = SegmentType::kTest;
+  uint32_t length = 0;  // EncodedSize() of the segment (excludes stream field)
+};
+
+// Extracts the common header from encoded bytes without a full decode.
+// Validates only what it reads: the buffer is long enough, the version id
+// matches, the type is known, and the declared length agrees with the
+// buffer size.  A successful full decode implies a successful peek with the
+// same field values; the converse does not hold (a peek cannot see
+// type-specific damage).
+bool PeekWireHeader(const std::vector<uint8_t>& bytes, StreamField stream_field,
+                    WireHeaderPeek* out, StreamId vci_stream = kInvalidStream);
 
 }  // namespace pandora
 

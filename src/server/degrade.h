@@ -30,6 +30,8 @@ struct StreamAttrs {
   bool incoming = false;  // arrived over the network (vs locally produced)
   bool audio = false;
   uint64_t open_order = 0;  // allocation stamp; lower = open longer
+
+  bool operator==(const StreamAttrs&) const = default;
 };
 
 // True if `a` should be degraded before `b`.  `recording_priority` reverses
@@ -77,16 +79,26 @@ class AdaptiveDegrader {
   // Should `victim`'s segment be dropped, given the streams currently
   // active towards this destination?  The `suppressed_count_` most
   // degradable streams are shed.
-  bool ShouldDrop(const StreamAttrs& victim, std::vector<StreamAttrs> active) const {
+  //
+  // The degradation ordering is a pure function of the active membership
+  // (attrs never change after open), so it is sorted once per membership
+  // change rather than once per segment; a suppression-count change only
+  // moves the shed prefix boundary, which costs a prefix scan, not a sort.
+  bool ShouldDrop(const StreamAttrs& victim, const std::vector<StreamAttrs>& active) const {
     if (suppressed_count_ == 0 || active.empty()) {
       return false;
     }
-    std::sort(active.begin(), active.end(), [this](const StreamAttrs& a, const StreamAttrs& b) {
-      return DegradesBefore(a, b, options_.recording_priority);
-    });
-    size_t shed = std::min(static_cast<size_t>(suppressed_count_), active.size());
+    if (active != cached_active_) {
+      cached_active_ = active;
+      cached_order_ = active;
+      std::sort(cached_order_.begin(), cached_order_.end(),
+                [this](const StreamAttrs& a, const StreamAttrs& b) {
+                  return DegradesBefore(a, b, options_.recording_priority);
+                });
+    }
+    size_t shed = std::min(static_cast<size_t>(suppressed_count_), cached_order_.size());
     for (size_t i = 0; i < shed; ++i) {
-      if (active[i].stream == victim.stream) {
+      if (cached_order_[i].stream == victim.stream) {
         return true;
       }
     }
@@ -102,6 +114,11 @@ class AdaptiveDegrader {
   Time last_pressure_ = 0;
   Time next_recovery_ = 0;
   uint64_t pressure_events_ = 0;
+  // Degradation-ordering cache: `cached_active_` is the membership the
+  // cache was built from (as handed in), `cached_order_` the same streams
+  // in DegradesBefore order.  Mutable: the cache is invisible to callers.
+  mutable std::vector<StreamAttrs> cached_active_;
+  mutable std::vector<StreamAttrs> cached_order_;
 };
 
 }  // namespace pandora

@@ -1,11 +1,41 @@
 #include "src/server/netio.h"
 
 #include "src/runtime/check.h"
+#include "src/segment/wire.h"
+#include "src/trace/trace.h"
 
 namespace pandora {
 
+Task<void> SendEncodedSegment(AtmPort* port, SegmentRef ref, const std::vector<Vci>& vcis,
+                              uint64_t* deep_copies) {
+  PANDORA_CHECK(!vcis.empty(), "wire send with no destination VCI");
+  // The ONE serialization on the transmit side.  Wire-pool starvation
+  // applies back pressure here, before the box's segment buffer is given
+  // up; the encode reuses the recycled buffer's heap capacity.
+  WireRef wire = co_await port->wire_pool().Allocate();
+  EncodeSegmentInto(*ref, StreamField::kOmitted, &wire->bytes);
+  ref.Reset();  // the box buffer recycles as soon as serialization completes
+  if (deep_copies != nullptr) {
+    ++*deep_copies;
+  }
+  // Note: the NetTx is built in a named local before the co_await; GCC
+  // 12 miscompiles move-only aggregate temporaries materialized inside
+  // co_await argument expressions (the moved-from ref was destroyed as
+  // if still live, double-releasing the buffer).
+  for (size_t i = 0; i + 1 < vcis.size(); ++i) {
+    NetTx tx;
+    tx.vci = vcis[i];
+    tx.wire = wire.Dup();
+    co_await port->tx().Send(std::move(tx));
+  }
+  NetTx tx;
+  tx.vci = vcis.back();
+  tx.wire = std::move(wire);
+  co_await port->tx().Send(std::move(tx));
+}
+
 NetworkOutput::NetworkOutput(Scheduler* sched, NetworkOutputOptions options, StreamTable* table,
-                             AtmPort* port, ReportSink* report_sink)
+                             AtmPort* port, ReportSink* report_sink, uint64_t* deep_copies)
     : sched_(sched),
       options_(std::move(options)),
       table_(table),
@@ -24,7 +54,8 @@ NetworkOutput::NetworkOutput(Scheduler* sched, NetworkOutputOptions options, Str
                      .use_ready_channel = true},
                     report_sink),
       audio_sender_(&audio_buffer_.input(), &audio_buffer_.ready()),
-      video_sender_(&video_buffer_.input(), &video_buffer_.ready()) {}
+      video_sender_(&video_buffer_.input(), &video_buffer_.ready()),
+      deep_copies_(deep_copies) {}
 
 void NetworkOutput::Start() {
   PANDORA_CHECK(!started_);
@@ -92,8 +123,8 @@ Process NetworkOutput::SenderProc() {
     } else {
       ref = co_await video_buffer_.output().Receive();
     }
-    // One wire copy per far-end circuit (the VCI relabels the stream with
-    // the id the destination box allocated).
+    // One ENCODE regardless of fanout; one NetTx per far-end circuit (the
+    // VCI relabels the stream with the id each destination box allocated).
     std::vector<Vci> vcis;
     if (const StreamRoute* route = table_->Find(ref->stream);
         route != nullptr && !route->out_vcis.empty()) {
@@ -101,22 +132,46 @@ Process NetworkOutput::SenderProc() {
     } else {
       vcis.push_back(ref->stream);
     }
-    // Note: the NetTx is built in a named local before the co_await; GCC
-    // 12 miscompiles move-only aggregate temporaries materialized inside
-    // co_await argument expressions (the moved-from ref was destroyed as
-    // if still live, double-releasing the buffer).
-    for (size_t i = 0; i + 1 < vcis.size(); ++i) {
-      ++sent_;
-      NetTx tx;
-      tx.vci = vcis[i];
-      tx.segment = ref.Dup();
-      co_await port_->tx().Send(std::move(tx));
+    sent_ += vcis.size();
+    co_await SendEncodedSegment(port_, std::move(ref), vcis, deep_copies_);
+    if (deep_copies_ != nullptr) {
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_copies_, options_.name + ".deep_copies",
+                            static_cast<int64_t>(*deep_copies_));
     }
-    ++sent_;
-    NetTx tx;
-    tx.vci = vcis.back();
-    tx.segment = std::move(ref);
-    co_await port_->tx().Send(std::move(tx));
+  }
+}
+
+Process NetworkInput::Run() {
+  for (;;) {
+    NetRx in = co_await port_->rx().Receive();
+    // The ONE decode on the whole path (DESIGN.md §9), done BEFORE taking a
+    // buffer so malformed wire images cannot consume this box's pool.
+    DecodeResult decoded = DecodeSegment(in.wire->bytes, StreamField::kOmitted, in.vci);
+    in.wire.Reset();  // encoded bytes go back to the source port's pool
+    if (!decoded.ok) {
+      // Bit corruption or truncation in flight: the self-describing header
+      // let us reject it here.  Count, report, drop — the sequence gap is
+      // absorbed downstream by the clawback buffer.
+      ++decode_failures_;
+      reporter_.Report("netin.decode_failure", ReportSeverity::kWarning, decoded.error,
+                       static_cast<int64_t>(in.vci));
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_decode_fail_,
+                            options_.name + ".decode_failures",
+                            static_cast<int64_t>(decode_failures_));
+      continue;
+    }
+    // Copy into this box's buffer memory ("copy once into memory"); pool
+    // starvation applies back pressure all the way into the network
+    // delivery path.
+    SegmentRef ref = co_await pool_->Allocate();
+    *ref = std::move(decoded.segment);
+    ++received_;
+    if (deep_copies_ != nullptr) {
+      ++*deep_copies_;
+      PANDORA_TRACE_COUNTER(sched_->trace(), trace_copies_, options_.name + ".deep_copies",
+                            static_cast<int64_t>(*deep_copies_));
+    }
+    co_await to_switch_->Send(std::move(ref));
   }
 }
 

@@ -9,13 +9,23 @@
 // decoupling buffer and a deliberately small video one; its sender drains
 // audio strictly before video into the port's (non-interleaving) interface.
 //
-// Input: receives segments off the wire (already re-labelled with this
-// box's stream numbers via the VCI), copies them into this box's buffer
-// pool — the "copy once into memory" — and hands references to the switch.
+// The sender is also where the ONE wire encode happens: the segment is
+// serialized into a refcounted WireBuffer from the port's pool, the box's
+// segment buffer is recycled, and multi-destination fanout shares the same
+// encoded bytes by Dup() — the VCI carries the stream id, so the image is
+// identical for every destination (DESIGN.md §9).
+//
+// Input: receives encoded segments off the wire, performs the ONE decode
+// (validating the self-describing header, fig 3.1), copies the result into
+// this box's buffer pool — the "copy once into memory" — and hands
+// references to the switch.  Malformed wire images (bit corruption,
+// truncation) are counted and reported, never forwarded; the sequence gap
+// they leave is absorbed downstream by the clawback buffer.
 #ifndef PANDORA_SRC_SERVER_NETIO_H_
 #define PANDORA_SRC_SERVER_NETIO_H_
 
 #include <string>
+#include <vector>
 
 #include "src/buffer/decoupling.h"
 #include "src/buffer/pool.h"
@@ -28,6 +38,15 @@
 
 namespace pandora {
 
+// Encodes `ref` exactly once into `port`'s wire pool and queues one NetTx
+// per VCI; every destination past the first shares the identical encoded
+// bytes via Dup() (the stream field is omitted — the VCI relabels it).
+// The box's segment buffer is released as soon as serialization completes,
+// and `*deep_copies` (when non-null) counts the single serialization pass.
+// `vcis` must be non-empty and outlive the await (callers pass a local).
+Task<void> SendEncodedSegment(AtmPort* port, SegmentRef ref, const std::vector<Vci>& vcis,
+                              uint64_t* deep_copies);
+
 struct NetworkOutputOptions {
   std::string name = "server.netout";
   size_t audio_buffer_capacity = 64;  // audio rarely queues long
@@ -39,7 +58,7 @@ struct NetworkOutputOptions {
 class NetworkOutput {
  public:
   NetworkOutput(Scheduler* sched, NetworkOutputOptions options, StreamTable* table, AtmPort* port,
-                ReportSink* report_sink = nullptr);
+                ReportSink* report_sink = nullptr, uint64_t* deep_copies = nullptr);
 
   void Start();
 
@@ -74,6 +93,10 @@ class NetworkOutput {
   ReadySender audio_sender_;
   ReadySender video_sender_;
   uint64_t sent_ = 0;
+  // Per-box deep-copy counter (shared with NetworkInput): each wire encode
+  // is one of the box's two sanctioned copies per delivered segment.
+  uint64_t* deep_copies_ = nullptr;
+  TraceSiteId trace_copies_ = 0;
   bool started_ = false;
 };
 
@@ -84,9 +107,15 @@ struct NetworkInputOptions {
 class NetworkInput {
  public:
   NetworkInput(Scheduler* sched, NetworkInputOptions options, AtmPort* port, BufferPool* pool,
-               Channel<SegmentRef>* to_switch)
-      : sched_(sched), options_(std::move(options)), port_(port), pool_(pool),
-        to_switch_(to_switch) {}
+               Channel<SegmentRef>* to_switch, ReportSink* report_sink = nullptr,
+               uint64_t* deep_copies = nullptr)
+      : sched_(sched),
+        options_(std::move(options)),
+        port_(port),
+        pool_(pool),
+        to_switch_(to_switch),
+        reporter_(sched, report_sink, options_.name),
+        deep_copies_(deep_copies) {}
 
   void Start(Priority priority = Priority::kLow) {
     PANDORA_CHECK(!started_);
@@ -95,26 +124,24 @@ class NetworkInput {
   }
 
   uint64_t received() const { return received_; }
+  // Wire images that failed DecodeSegment validation (counted, reported,
+  // and dropped; clawback recovery rides the sequence numbers past them).
+  uint64_t decode_failures() const { return decode_failures_; }
 
  private:
-  Process Run() {
-    for (;;) {
-      Segment segment = co_await port_->rx().Receive();
-      // Copy into this box's buffer memory; pool starvation applies back
-      // pressure all the way into the network delivery path.
-      SegmentRef ref = co_await pool_->Allocate();
-      *ref = std::move(segment);
-      ++received_;
-      co_await to_switch_->Send(std::move(ref));
-    }
-  }
+  Process Run();
 
   Scheduler* sched_;
   NetworkInputOptions options_;
   AtmPort* port_;
   BufferPool* pool_;
   Channel<SegmentRef>* to_switch_;
+  Reporter reporter_;
+  uint64_t* deep_copies_ = nullptr;
   uint64_t received_ = 0;
+  uint64_t decode_failures_ = 0;
+  TraceSiteId trace_copies_ = 0;
+  TraceSiteId trace_decode_fail_ = 0;
   bool started_ = false;
 };
 

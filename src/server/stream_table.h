@@ -45,6 +45,7 @@ class StreamTable {
       route.attrs.audio = audio;
       route.attrs.open_order = next_open_order_++;
       it = table_.emplace(stream, std::move(route)).first;
+      ++version_;
     }
     return it->second;
   }
@@ -69,6 +70,7 @@ class StreamTable {
       }
     }
     route->destinations.push_back(destination);
+    ++version_;
   }
 
   void RemoveDestination(StreamId stream, DestinationId destination) {
@@ -76,7 +78,9 @@ class StreamTable {
     if (route == nullptr) {
       return;
     }
-    std::erase(route->destinations, destination);
+    if (std::erase(route->destinations, destination) > 0) {
+      ++version_;
+    }
   }
 
   void RemoveVci(StreamId stream, Vci vci) {
@@ -87,7 +91,11 @@ class StreamTable {
     std::erase(route->out_vcis, vci);
   }
 
-  void Close(StreamId stream) { table_.erase(stream); }
+  void Close(StreamId stream) {
+    if (table_.erase(stream) > 0) {
+      ++version_;
+    }
+  }
 
   // Streams currently routed towards `destination` (for the degrader).
   std::vector<StreamAttrs> ActiveTowards(DestinationId destination) const {
@@ -106,9 +114,16 @@ class StreamTable {
   size_t size() const { return table_.size(); }
   const std::map<StreamId, StreamRoute>& entries() const { return table_; }
 
+  // Bumped on every mutation that can change some ActiveTowards() result
+  // (stream open/close, destination add/remove) — NOT on per-segment
+  // bookkeeping or VCI edits.  Starts at 1 so 0 works as a "never filled"
+  // sentinel for caches keyed on it.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<StreamId, StreamRoute> table_;
   uint64_t next_open_order_ = 1;
+  uint64_t version_ = 1;
 };
 
 }  // namespace pandora

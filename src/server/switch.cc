@@ -103,6 +103,12 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
 
     const bool last = (i == fanout - 1);
     bool drop = false;
+    // The degrader consults the destination's active-stream set; refresh the
+    // cached copy only when routing membership actually changed.
+    if (destination.active_cache_version != table_.version()) {
+      destination.active_cache = table_.ActiveTowards(route->destinations[i]);
+      destination.active_cache_version = table_.version();
+    }
     if (!destination.sender.can_send()) {
       // Principle 5: never block on a congested destination — the split-off
       // copies continue; this destination recovers via sequence numbers.
@@ -112,8 +118,7 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
                              options_.name + ".drop.backpressure", "stream",
                              static_cast<int64_t>(ref->stream), "age",
                              static_cast<int64_t>(route->attrs.open_order));
-    } else if (destination.degrader.ShouldDrop(
-                   route->attrs, table_.ActiveTowards(route->destinations[i]))) {
+    } else if (destination.degrader.ShouldDrop(route->attrs, destination.active_cache)) {
       // Principles 1-3: sustained overload sheds whole streams in
       // degradation order rather than shaving every stream equally.
       drop = true;

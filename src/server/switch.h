@@ -112,6 +112,10 @@ class Switch {
     AdaptiveDegrader degrader;
     uint64_t drops = 0;
     ShedStats sheds;
+    // ActiveTowards() result, rebuilt only when the stream table's routing
+    // membership changes (version mismatch), not per segment.
+    std::vector<StreamAttrs> active_cache;
+    uint64_t active_cache_version = 0;
   };
 
   Process Run();

@@ -141,8 +141,12 @@ Task<void> VideoDisplay::HandleSegment(SegmentRef ref) {
                      "missing video segments on stream " + std::to_string(segment.stream),
                      static_cast<int64_t>(observation.missing));
   } else if (observation.outcome == SequenceTracker::Outcome::kDuplicate ||
-             observation.outcome == SequenceTracker::Outcome::kStale) {
-    co_return;
+             observation.outcome == SequenceTracker::Outcome::kStale ||
+             observation.outcome == SequenceTracker::Outcome::kSuspect) {
+    co_return;  // suspect: a likely bit-flipped header; expectation kept
+  } else if (observation.outcome == SequenceTracker::Outcome::kResync) {
+    // Re-anchored to a new sequence space; interpolation state is stale.
+    line_cache_.Drop(segment.stream);
   }
 
   Assembly& assembly = assemblies_[segment.stream];

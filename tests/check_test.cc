@@ -104,7 +104,7 @@ TEST(BufferPoolDeathTest, OutOfRangeIndexAborts) {
 
 TEST(BufferPoolDeathTest, DereferencingEmptySegmentRefAborts) {
   SegmentRef empty;
-  EXPECT_DEATH((void)empty.get(), "empty SegmentRef");
+  EXPECT_DEATH((void)empty.get(), "empty buffer reference");
 }
 
 }  // namespace

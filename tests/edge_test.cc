@@ -10,6 +10,7 @@
 #include "src/net/atm.h"
 #include "src/repository/repository.h"
 #include "src/runtime/scheduler.h"
+#include "src/segment/wire.h"
 #include "src/video/capture.h"
 #include "src/video/framestore.h"
 
@@ -175,9 +176,12 @@ TEST(EdgeTest, CircuitClosedMidFlightDiscardsCleanly) {
     for (uint32_t i = 0; i < 20; ++i) {
       auto maybe = p->TryAllocate();
       **maybe = MakeAudioSegment(1, i, 0, std::vector<uint8_t>(16, 0));
+      WireRef wire = co_await a->wire_pool().Allocate();
+      EncodeSegmentInto(**maybe, StreamField::kOmitted, &wire->bytes);
+      maybe->Reset();
       NetTx out;
       out.vci = 42;
-      out.segment = std::move(*maybe);
+      out.wire = std::move(wire);
       co_await a->tx().Send(std::move(out));
       co_await s->WaitFor(Millis(1));
     }
@@ -194,6 +198,7 @@ TEST(EdgeTest, CircuitClosedMidFlightDiscardsCleanly) {
   EXPECT_LT(delivered, 15u);          // the rest hit the closed circuit
   EXPECT_GT(a->unrouted(), 5u);       // and were discarded, not leaked
   EXPECT_EQ(pool.free_count(), 32u);  // every buffer recycled
+  EXPECT_EQ(a->wire_pool().free_count(), a->wire_pool().capacity());  // wire images too
 }
 
 TEST(EdgeTest, ShutdownGuardIsIdempotent) {

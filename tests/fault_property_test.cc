@@ -15,7 +15,7 @@
 // replayed exactly with PANDORA_FAULT_PLAN="<text>" (see README).
 //
 // PANDORA_CHAOS_SEED_BASE offsets the seed range (the chaos_sweep CTest
-// target runs this suite under 8 distinct bases); PANDORA_CHAOS_PLANS
+// target runs this suite under 9 distinct bases); PANDORA_CHAOS_PLANS
 // overrides the plan count (default 200).
 #include <algorithm>
 #include <cstdlib>
@@ -235,6 +235,53 @@ TEST_P(ChaosProperty, InvariantsHoldUnderRandomFaultPlan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TwoHundredPlans, ChaosProperty, ::testing::Range(0, 200));
+
+TEST(ChaosCorruptionStorm, DecodeFailuresNeverCrashABoxOrStallAudio) {
+  // A pure wire-corruption storm: sustained overlapping bit-flip episodes on
+  // every unprotected call.  The property under test is the wire path's
+  // containment of in-flight damage — corrupted images are rejected at the
+  // destination decoder (counted + reported), absorbed downstream as
+  // ordinary loss, and must never crash a box or wedge its receive path.
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("seed=99;"
+                             " @900ms wire-corrupt call=0 value=0.4 for=600ms;"
+                             " @1s wire-corrupt call=1 value=0.5 for=800ms;"
+                             " @1200ms wire-corrupt call=3 value=0.3 for=500ms;"
+                             " @2s wire-corrupt call=0 value=0.25 for=400ms",
+                             &plan, &error))
+      << error;
+
+  ChaosWorld world;
+  BuildWorld(world);
+  FaultDriver driver(&world.sim, plan);
+  driver.Start();
+
+  world.sim.RunFor(Millis(3000));
+  ASSERT_TRUE(driver.quiescent());
+  EXPECT_GT(driver.applied(), 0u);
+  EXPECT_FALSE(world.a->crashed());
+  EXPECT_FALSE(world.b->crashed());
+  EXPECT_FALSE(world.c->crashed());
+  // The storm was real: b rejected corrupted wire images at its decoder.
+  EXPECT_GT(world.b->network_input().decode_failures(), 0u);
+
+  // Audio through the stormed call keeps flowing after the last episode is
+  // restored (P2 keeps audio ahead of video, P4 keeps control responsive —
+  // a decode failure consumes no pool buffer and blocks nothing).
+  const SequenceTracker* tracker = world.b->audio_receiver().TrackerFor(world.audio_at_b);
+  ASSERT_NE(tracker, nullptr);
+  const uint64_t before_settle = tracker->received();
+  world.sim.RunFor(Millis(1000));
+  EXPECT_GT(tracker->received(), before_settle + 40)
+      << "audio stalled after the corruption storm";
+  // Some of the bit flips landed in the sequence field: those segments are
+  // discarded as suspect, and — the regression this test exists for — the
+  // tracker's expectation survives them, so the flips cost one segment
+  // each, not the rest of the stream.
+  EXPECT_GT(tracker->suspects(), 0u);
+  CheckP2(world, "scripted corruption storm");
+}
 
 }  // namespace
 }  // namespace pandora

@@ -9,6 +9,7 @@
 #include "src/net/atm.h"
 #include "src/runtime/scheduler.h"
 #include "src/segment/segment.h"
+#include "src/segment/wire.h"
 
 namespace pandora {
 namespace {
@@ -34,22 +35,35 @@ struct NetRig {
   ShutdownGuard guard{&sched};
 };
 
+// Encodes `ref` into `port`'s wire pool and hands the wire image to the
+// interface — the source-side half of the wire path, done by hand so this
+// file stays at the net layer (the server-layer helper is SendEncodedSegment).
+Task<void> SendOneEncoded(AtmPort* port, SegmentRef ref, Vci vci) {
+  WireRef wire = co_await port->wire_pool().Allocate();
+  EncodeSegmentInto(*ref, StreamField::kOmitted, &wire->bytes);
+  ref.Reset();
+  // Built in a named local: GCC 12 mishandles move-only aggregate
+  // temporaries inside co_await argument expressions (see channel.h).
+  NetTx tx;
+  tx.vci = vci;
+  tx.wire = std::move(wire);
+  co_await port->tx().Send(std::move(tx));
+}
+
 Process SendSegments(Scheduler* sched, BufferPool* pool, AtmPort* port, Vci vci, int count,
                      Duration spacing, size_t bytes = 32) {
   for (int i = 0; i < count; ++i) {
-    // Built in a named local: GCC 12 mishandles move-only aggregate
-    // temporaries inside co_await argument expressions (see channel.h).
-    NetTx tx;
-    tx.vci = vci;
-    tx.segment = MakeAudioRef(pool, 99, static_cast<uint32_t>(i), bytes);
-    co_await port->tx().Send(std::move(tx));
+    co_await SendOneEncoded(port, MakeAudioRef(pool, 99, static_cast<uint32_t>(i), bytes), vci);
     co_await sched->WaitFor(spacing);
   }
 }
 
 Process CollectSegments(AtmPort* port, std::vector<Segment>* out) {
   for (;;) {
-    out->push_back(co_await port->rx().Receive());
+    NetRx in = co_await port->rx().Receive();
+    DecodeResult decoded = DecodeSegment(in.wire->bytes, StreamField::kOmitted, in.vci);
+    EXPECT_TRUE(decoded.ok) << decoded.error;
+    out->push_back(std::move(decoded.segment));
   }
 }
 
@@ -65,7 +79,8 @@ TEST(AtmTest, DeliversWithVciRelabelling) {
     EXPECT_EQ(got[i].stream, 42u);  // the VCI is the destination stream id
     EXPECT_EQ(got[i].header.sequence, i);
   }
-  EXPECT_EQ(rig.pool.free_count(), 256u);  // source buffers all recycled
+  EXPECT_EQ(rig.pool.free_count(), 256u);     // source buffers recycled at encode
+  EXPECT_EQ(rig.a->wire_pool().free_count(), 256u);  // wire buffers recycled at decode
 }
 
 TEST(AtmTest, UnroutedVciIsDiscarded) {
@@ -193,18 +208,8 @@ TEST(AtmTest, NonInterleavedInterfaceDelaysAudioBehindVideo) {
 
   auto mixed_tx = [](Scheduler* s, BufferPool* pool, AtmPort* a) -> Process {
     // Send the video first, then immediately the audio.
-    auto video = pool->TryAllocate();
-    **video = MakeAudioSegment(1, 0, 0, std::vector<uint8_t>(50'000, 1));
-    NetTx video_tx;
-    video_tx.vci = 43;
-    video_tx.segment = std::move(*video);
-    co_await a->tx().Send(std::move(video_tx));
-    auto audio = pool->TryAllocate();
-    **audio = MakeAudioSegment(2, 0, 0, std::vector<uint8_t>(32, 2));
-    NetTx audio_tx;
-    audio_tx.vci = 42;
-    audio_tx.segment = std::move(*audio);
-    co_await a->tx().Send(std::move(audio_tx));
+    co_await SendOneEncoded(a, MakeAudioRef(pool, 1, 0, 50'000), 43);
+    co_await SendOneEncoded(a, MakeAudioRef(pool, 2, 0, 32), 42);
     (void)s;
   };
   rig.sched.Spawn(mixed_tx(&rig.sched, &rig.pool, rig.a), "tx");

@@ -180,6 +180,57 @@ TEST(SequenceTest, WrapAround) {
   EXPECT_EQ(tracker.Observe(1u).outcome, SequenceTracker::Outcome::kInOrder);
 }
 
+TEST(SequenceTest, BitFlippedSequenceIsSuspectAndStreamSurvives) {
+  SequenceTracker tracker;
+  tracker.Observe(100);
+  tracker.Observe(101);
+  // A bit flip in the (checksum-less) sequence field: an implausible jump.
+  // The segment is discarded but the expectation must survive, else every
+  // genuine segment afterwards would read as stale forever.
+  EXPECT_EQ(tracker.Observe(101 | (1u << 30)).outcome, SequenceTracker::Outcome::kSuspect);
+  EXPECT_EQ(tracker.Observe(102).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.Observe(103).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.suspects(), 1u);
+  EXPECT_EQ(tracker.resyncs(), 0u);
+  EXPECT_EQ(tracker.missing_total(), 0u);
+}
+
+TEST(SequenceTest, GapWithinPlausibleJumpStillReportsGap) {
+  SequenceTracker tracker;
+  tracker.Observe(0);
+  auto obs = tracker.Observe(4096);  // exactly at the plausibility boundary
+  EXPECT_EQ(obs.outcome, SequenceTracker::Outcome::kGap);
+  EXPECT_EQ(obs.missing, 4095u);
+  EXPECT_EQ(tracker.suspects(), 0u);
+}
+
+TEST(SequenceTest, ConsecutiveSuspectsConfirmReorigination) {
+  SequenceTracker tracker;
+  tracker.Observe(5);
+  tracker.Observe(6);
+  // The sender re-originated far away (e.g. restart).  The first arrival in
+  // the new space is suspect; its direct successor confirms, re-anchoring at
+  // the cost of exactly one segment and no gap accounting.
+  EXPECT_EQ(tracker.Observe(900000).outcome, SequenceTracker::Outcome::kSuspect);
+  EXPECT_EQ(tracker.Observe(900001).outcome, SequenceTracker::Outcome::kResync);
+  EXPECT_EQ(tracker.Observe(900002).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.suspects(), 1u);
+  EXPECT_EQ(tracker.resyncs(), 1u);
+  EXPECT_EQ(tracker.missing_total(), 0u);
+}
+
+TEST(SequenceTest, NonConsecutiveSuspectsDoNotResync) {
+  SequenceTracker tracker;
+  tracker.Observe(5);
+  // Two independent bit flips land in different places: neither confirms
+  // the other, and the original expectation still stands.
+  EXPECT_EQ(tracker.Observe(1u << 29).outcome, SequenceTracker::Outcome::kSuspect);
+  EXPECT_EQ(tracker.Observe(1u << 27).outcome, SequenceTracker::Outcome::kSuspect);
+  EXPECT_EQ(tracker.Observe(6).outcome, SequenceTracker::Outcome::kInOrder);
+  EXPECT_EQ(tracker.suspects(), 2u);
+  EXPECT_EQ(tracker.resyncs(), 0u);
+}
+
 TEST(AudioBlockTest, SplitReconstructsTimes) {
   Segment segment = MakeAudioSegment(1, 0, Millis(64), Ramp(48));
   std::vector<AudioBlock> blocks = SplitIntoBlocks(segment);

@@ -9,6 +9,7 @@
 #include "src/control/report.h"
 #include "src/net/atm.h"
 #include "src/runtime/scheduler.h"
+#include "src/segment/wire.h"
 #include "src/server/degrade.h"
 #include "src/server/netio.h"
 #include "src/server/stream_table.h"
@@ -299,7 +300,10 @@ TEST(NetworkOutputTest, AudioDrainedBeforeVideo) {
   std::vector<Segment> got;
   auto rx = [](AtmPort* port, std::vector<Segment>* got) -> Process {
     for (;;) {
-      got->push_back(co_await port->rx().Receive());
+      NetRx in = co_await port->rx().Receive();
+      DecodeResult decoded = DecodeSegment(in.wire->bytes, StreamField::kOmitted, in.vci);
+      EXPECT_TRUE(decoded.ok) << decoded.error;
+      got->push_back(std::move(decoded.segment));
     }
   };
   auto feeder = [](Scheduler* s, BufferPool* pool, NetworkOutput* no) -> Process {

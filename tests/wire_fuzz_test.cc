@@ -12,11 +12,24 @@
 namespace pandora {
 namespace {
 
-void CheckDecodedInvariants(const DecodeResult& result) {
+void CheckDecodedInvariants(const std::vector<uint8_t>& bytes, StreamField stream_field,
+                            StreamId vci_stream, const DecodeResult& result) {
+  // PeekWireHeader never crashes either, and a successful full decode
+  // implies a successful peek reporting the same common-header values (the
+  // forwarding path relies on this: hops peek, only the destination
+  // decodes).  The converse is NOT asserted — a peek cannot see
+  // type-specific damage.
+  WireHeaderPeek peek;
+  const bool peeked = PeekWireHeader(bytes, stream_field, &peek, vci_stream);
   if (!result.ok) {
     return;
   }
   const Segment& segment = result.segment;
+  ASSERT_TRUE(peeked);
+  EXPECT_EQ(peek.stream, segment.stream);
+  EXPECT_EQ(peek.sequence, segment.header.sequence);
+  EXPECT_EQ(peek.type, segment.header.type);
+  EXPECT_EQ(peek.length, segment.header.length);
   EXPECT_EQ(segment.header.version_id, kSegmentVersionId);
   EXPECT_EQ(segment.EncodedSize(), segment.header.length);
   if (segment.is_audio()) {
@@ -35,8 +48,9 @@ TEST(WireFuzzTest, RandomBytesNeverCrashOrLie) {
     for (uint8_t& byte : bytes) {
       byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
     }
-    CheckDecodedInvariants(DecodeSegment(bytes));
-    CheckDecodedInvariants(DecodeSegment(bytes, StreamField::kOmitted, 9));
+    CheckDecodedInvariants(bytes, StreamField::kIncluded, kInvalidStream, DecodeSegment(bytes));
+    CheckDecodedInvariants(bytes, StreamField::kOmitted, 9,
+                           DecodeSegment(bytes, StreamField::kOmitted, 9));
   }
 }
 
@@ -58,7 +72,8 @@ TEST(WireFuzzTest, SingleByteMutationsOfValidSegments) {
     for (size_t position = 0; position < bytes.size(); ++position) {
       std::vector<uint8_t> mutated = bytes;
       mutated[position] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
-      CheckDecodedInvariants(DecodeSegment(mutated));
+      CheckDecodedInvariants(mutated, StreamField::kIncluded, kInvalidStream,
+                             DecodeSegment(mutated));
     }
   }
 }

@@ -60,6 +60,13 @@ expensive to debug:
       lifecycle (PandoraBox::Crash/Restart parking its own port), which
       carries per-line NOLINT exemptions.
 
+  segment-channels
+      The data plane moves refcounted handles, never segments by value: a
+      Channel<Segment> deep-copies header + payload at every rendezvous,
+      which is exactly the per-hop copying the wire refactor (DESIGN.md
+      section 9) removed.  Inside src/, plumb Channel<SegmentRef> (decoded,
+      pool-backed) or NetTx/NetRx wire handles (encoded bytes) instead.
+
 Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
 "// NOLINT") to the offending line, with a reason:
 
@@ -115,6 +122,11 @@ FAULT_HOOK_RE = re.compile(
     r"\b(?:SetPortUp|RestartPort|SetCircuitQuality|SetCircuitUp|SetHopQuality)\s*\("
 )
 FAULT_HOOK_ALLOWED = ("src/fault/", "src/net/")
+
+# By-value segment rendezvous (rule segment-channels).  SegmentRef/WireRef
+# channels are the sanctioned shapes; matching the bare value type keeps the
+# regex from firing on them (">" can't appear in "SegmentRef").
+SEGMENT_CHANNEL_RE = re.compile(r"\bChannel\s*<\s*Segment\s*>")
 
 THREAD_INCLUDES = [
     "<thread>",
@@ -386,6 +398,13 @@ def lint_file(relpath, text):
                 report(i, "bare-assert",
                        "include of <cassert> in src/; use "
                        "src/runtime/check.h instead")
+            # segment-channels
+            m = SEGMENT_CHANNEL_RE.search(line)
+            if m:
+                report(i, "segment-channels",
+                       "Channel<Segment> copies header+payload at every "
+                       "rendezvous; pass Channel<SegmentRef> (pool handles) "
+                       "or NetTx/NetRx wire handles instead (DESIGN.md §9)")
             # raw-new-delete (placement new included; the only exemption is
             # the buffer allocator itself)
             if not relpath.startswith("src/buffer/"):

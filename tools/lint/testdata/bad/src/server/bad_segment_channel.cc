@@ -1,0 +1,18 @@
+// Fixture: by-value segment rendezvous inside src/ — every Send deep-copies
+// header + payload, defeating the zero-copy wire path.
+#include "src/runtime/channel.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+
+struct BadMixerTap {
+  Channel<Segment>* input;  // EXPECT-LINT: segment-channels
+};
+
+inline void WireUp(Scheduler* sched) {
+  Channel<Segment> relay(sched, "relay");  // EXPECT-LINT: segment-channels
+  Channel< Segment >* alias = &relay;  // EXPECT-LINT: segment-channels
+  (void)alias;
+}
+
+}  // namespace pandora

@@ -1,0 +1,23 @@
+// Fixture: the sanctioned data-plane shapes — refcounted SegmentRef
+// rendezvous and encoded wire handles.  A tool-side by-value channel may be
+// NOLINT-exempted with a reason; tests/ and bench/ are outside the rule's
+// scope entirely.
+#include "src/net/atm.h"
+#include "src/runtime/channel.h"
+#include "src/segment/segment.h"
+
+namespace pandora {
+
+struct GoodTap {
+  Channel<SegmentRef>* decoded;  // pool handles: no payload copy per hop
+  Channel<NetTx>* encoded;       // wire handles: bytes stay immutable
+};
+
+inline void WireUp(Scheduler* sched) {
+  Channel<SegmentRef> relay(sched, "relay");
+  Channel<Segment> scratch(sched, "scratch");  // NOLINT(pandora-segment-channels): host-side capture tap, off the data plane
+  (void)scratch.waiting_senders();
+  (void)relay.waiting_senders();
+}
+
+}  // namespace pandora
