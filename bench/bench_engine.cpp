@@ -1,0 +1,266 @@
+// E17: engine throughput — wall-clock events/sec and heap allocations/event
+// for the discrete-event runtime itself.
+//
+// The paper's whole design leans on the transputer's "very cheap context
+// switches" and its one-microsecond timer (section 3.1); E5 shows a server
+// board shrugging off ~5 kHz switching.  For the reproduction to be the
+// cheap substrate the paper assumed, the engine hot path (timer arm/fire,
+// channel rendezvous, process spawn/exit, ALT selection) must not touch the
+// heap in steady state.  This bench drives four calibrated storms plus a
+// mixed storm over the workload's real horizons (2 ms block timers up to
+// 8 s clawback timers) and reports, per storm:
+//
+//   events/sec    wall-clock scheduler dispatches per second (simulated time
+//                 is free; this is the real cost of running an experiment)
+//   allocs/event  global operator-new calls per dispatch, measured AFTER a
+//                 warmup pass so steady-state recycling is what is scored
+//
+// The --json output is the perf trajectory point checked in as
+// BENCH_engine.json; CI fails if allocs/event leaves zero or events/sec
+// regresses more than 20 % against the checked-in numbers (plain build
+// only; sanitizers change both numbers by design).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/runtime/alt.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/random.h"
+#include "src/runtime/scheduler.h"
+
+// --- global counting allocator ----------------------------------------------
+// Counts every path into the heap; the storms below read the counter around
+// the measured region.  Single-threaded by repo contract (pandora-lint bans
+// threads in src/), so a plain counter is exact.
+namespace {
+uint64_t g_alloc_count = 0;
+
+void* CountedAlloc(std::size_t n) {
+  ++g_alloc_count;
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  ++g_alloc_count;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace pandora {
+namespace {
+
+struct StormScore {
+  double events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+// Runs `drive(sched, iters)` twice on one scheduler: a warmup pass (fills
+// every free list, pool and container capacity) and a measured pass.
+template <typename Drive>
+StormScore RunStorm(Drive drive, uint64_t warmup_iters, uint64_t iters) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  drive(sched, warmup_iters);
+
+  const uint64_t events_before = sched.context_switches();
+  const uint64_t allocs_before = g_alloc_count;
+  const auto wall_before = std::chrono::steady_clock::now();
+  drive(sched, iters);
+  const auto wall_after = std::chrono::steady_clock::now();
+  const uint64_t allocs = g_alloc_count - allocs_before;
+  const uint64_t events = sched.context_switches() - events_before;
+
+  StormScore score;
+  const double wall_s = std::chrono::duration<double>(wall_after - wall_before).count();
+  score.events_per_sec = wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  score.allocs_per_event =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+  return score;
+}
+
+// --- storm 1: timer churn ---------------------------------------------------
+// 64 processes sleeping jittered intervals across the paper's 2 ms segment
+// cadence, with a handful of long 8 s clawback-horizon timers armed in the
+// background so the far levels of the timer structure stay populated.
+void DriveTimerChurn(Scheduler& sched, uint64_t iters) {
+  const int kProcs = 64;
+  const uint64_t per_proc = iters / kProcs + 1;
+  auto sleeper = [](Scheduler* s, Rng rng, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await s->WaitFor(Micros(rng.UniformInt(200, 20'000)));
+    }
+  };
+  auto horizon = [](Scheduler* s, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await s->WaitFor(Seconds(8));
+    }
+  };
+  Rng rng(101);
+  for (int p = 0; p < kProcs; ++p) {
+    sched.Spawn(sleeper(&sched, rng.Fork(), per_proc), "t");
+  }
+  sched.Spawn(horizon(&sched, per_proc / 400 + 1), "h");
+  sched.RunUntilQuiescent();
+}
+
+// --- storm 2: channel rendezvous --------------------------------------------
+// 8 ping/pong pairs; every transfer parks one side, so both the parked-send
+// and the ticketed-delivery paths are on the measured loop.
+void DriveRendezvous(Scheduler& sched, uint64_t iters) {
+  const int kPairs = 8;
+  const uint64_t per_pair = iters / (4 * kPairs) + 1;
+  struct Pair {
+    Pair(Scheduler* s) : ping(s, "ping"), pong(s, "pong") {}
+    Channel<int> ping;
+    Channel<int> pong;
+  };
+  std::vector<std::unique_ptr<Pair>> pairs;
+  for (int p = 0; p < kPairs; ++p) {
+    pairs.push_back(std::make_unique<Pair>(&sched));
+  }
+  auto client = [](Pair* pair, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await pair->ping.Send(static_cast<int>(i));
+      (void)co_await pair->pong.Receive();
+    }
+  };
+  auto server = [](Pair* pair, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      int v = co_await pair->ping.Receive();
+      co_await pair->pong.Send(v + 1);
+    }
+  };
+  for (auto& pair : pairs) {
+    sched.Spawn(client(pair.get(), per_pair), "c");
+    sched.Spawn(server(pair.get(), per_pair), "s");
+  }
+  sched.RunUntilQuiescent();
+}
+
+// --- storm 3: spawn/exit churn ----------------------------------------------
+// Mimics the network's per-segment forwarders (src/net/atm.cc): a short
+// coroutine per delivered segment, thousands of times per simulated second.
+// Records recycle into the slab the moment each forwarder finishes — no
+// PruneCompleted housekeeping between batches (it is a no-op shim now).
+void DriveSpawnChurn(Scheduler& sched, uint64_t iters) {
+  const uint64_t batches = iters / (2 * 4096) + 1;
+  auto forwarder = [](Scheduler* s) -> Process { co_await s->WaitFor(Micros(100)); };
+  for (uint64_t b = 0; b < batches; ++b) {
+    for (int i = 0; i < 4096; ++i) {
+      sched.Spawn(forwarder(&sched), "f", Priority::kHigh);
+    }
+    sched.RunUntilQuiescent();
+  }
+}
+
+// --- storm 4: ALT storm -----------------------------------------------------
+// Consumers select over two data channels plus a timeout guard; producers
+// pace so a large fraction of selects arm-and-cancel the timeout (the
+// Alt-heavy shape every receiver-with-deadline in the system has).
+void DriveAltStorm(Scheduler& sched, uint64_t iters) {
+  const int kConsumers = 8;
+  const uint64_t per_consumer = iters / (4 * kConsumers) + 1;
+  struct Lane {
+    Lane(Scheduler* s) : a(s, "a"), b(s, "b") {}
+    Channel<int> a;
+    Channel<int> b;
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  for (int i = 0; i < kConsumers; ++i) {
+    lanes.push_back(std::make_unique<Lane>(&sched));
+  }
+  auto producer = [](Scheduler* s, Channel<int>* ch, Rng rng, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await ch->Send(static_cast<int>(i));
+      co_await s->WaitFor(Micros(rng.UniformInt(150, 600)));
+    }
+  };
+  auto consumer = [](Scheduler* s, Lane* lane, Rng rng, uint64_t n) -> Process {
+    for (uint64_t done = 0; done < n;) {
+      Alt alt(s);
+      alt.OnReceive(lane->a).OnReceive(lane->b).OnTimeoutAfter(Micros(rng.UniformInt(100, 400)));
+      int chosen = co_await alt.Select();
+      if (chosen == 0) {
+        (void)co_await lane->a.Receive();
+        ++done;
+      } else if (chosen == 1) {
+        (void)co_await lane->b.Receive();
+        ++done;
+      }
+    }
+  };
+  Rng rng(202);
+  for (auto& lane : lanes) {
+    sched.Spawn(producer(&sched, &lane->a, rng.Fork(), per_consumer / 2 + 1), "pa");
+    sched.Spawn(producer(&sched, &lane->b, rng.Fork(), per_consumer / 2 + 1), "pb");
+    sched.Spawn(consumer(&sched, lane.get(), rng.Fork(), per_consumer), "c");
+  }
+  sched.RunUntilQuiescent();
+}
+
+// --- storm 5: mixed ---------------------------------------------------------
+// All four shapes back-to-back on one scheduler; closest to the alloc mix a
+// real box mesh produces over a run.
+void DriveMixed(Scheduler& sched, uint64_t iters) {
+  DriveTimerChurn(sched, iters / 4);
+  DriveRendezvous(sched, iters / 4);
+  DriveSpawnChurn(sched, iters / 4);
+  DriveAltStorm(sched, iters / 4);
+}
+
+void Report(const std::string& name, const StormScore& score) {
+  BenchRow(name + " events/sec", score.events_per_sec, "ev/s");
+  BenchRow(name + " allocs/event", score.allocs_per_event, "alloc");
+}
+
+}  // namespace
+}  // namespace pandora
+
+int main(int argc, char** argv) {
+  using namespace pandora;
+  BenchParseArgs(argc, argv);
+  BenchHeader("E17", "engine throughput (events/sec, allocations/event)",
+              "section 3.1: 'very cheap' context switches and a 1 us timer are "
+              "the substrate every other experiment stands on");
+
+  const uint64_t kWarmup = 200'000;
+  const uint64_t kIters = 2'000'000;
+  Report("timer churn", RunStorm(DriveTimerChurn, kWarmup, kIters));
+  Report("rendezvous", RunStorm(DriveRendezvous, kWarmup, kIters));
+  Report("spawn churn", RunStorm(DriveSpawnChurn, kWarmup, kIters));
+  Report("alt storm", RunStorm(DriveAltStorm, kWarmup, kIters));
+  Report("mixed storm", RunStorm(DriveMixed, kWarmup, kIters));
+  BenchNote("events = scheduler dispatches; allocs counted by a global "
+            "counting operator new around the measured (post-warmup) pass");
+  return BenchFinish();
+}

@@ -1,0 +1,132 @@
+// RingQueue<T>: a FIFO over a power-of-two ring that never allocates in
+// steady state.
+//
+// std::deque allocates a fresh chunk roughly every eight elements as its
+// ends churn, which shows up as one malloc per rendezvous in the channel
+// hot path.  RingQueue keeps one contiguous buffer, doubles it only on
+// high-water growth (absorbed by warmup), and constructs/destroys elements
+// in place.  Element order is strict FIFO; remove_if compacts in order, so
+// the channels' kill sweeps preserve the queue discipline the paper's
+// rendezvous semantics require.
+#ifndef PANDORA_SRC_BUFFER_RING_QUEUE_H_
+#define PANDORA_SRC_BUFFER_RING_QUEUE_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "src/runtime/check.h"
+
+namespace pandora {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  ~RingQueue() {
+    clear();
+    Release();
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    ::new (static_cast<void*>(Slot(size_))) T(std::move(value));
+    ++size_;
+  }
+
+  T& front() {
+    PANDORA_DCHECK(size_ > 0);
+    return *Slot(0);
+  }
+  const T& front() const {
+    PANDORA_DCHECK(size_ > 0);
+    return *Slot(0);
+  }
+
+  void pop_front() {
+    PANDORA_DCHECK(size_ > 0);
+    Slot(0)->~T();
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) {
+      pop_front();
+    }
+  }
+
+  // Removes every element matching `pred`, preserving the relative order of
+  // survivors (in-order compaction towards the head).
+  template <typename Pred>
+  void remove_if(Pred pred) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      T* slot = Slot(i);
+      if (pred(*slot)) {
+        slot->~T();
+      } else {
+        if (kept != i) {
+          ::new (static_cast<void*>(Slot(kept))) T(std::move(*slot));
+          slot->~T();
+        }
+        ++kept;
+      }
+    }
+    size_ = kept;
+  }
+
+ private:
+  T* Slot(std::size_t i) { return storage_ + ((head_ + i) & (capacity_ - 1)); }
+  const T* Slot(std::size_t i) const { return storage_ + ((head_ + i) & (capacity_ - 1)); }
+
+  static T* AllocStorage(std::size_t count) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t(alignof(T))));
+    } else {
+      return static_cast<T*>(::operator new(count * sizeof(T)));
+    }
+  }
+
+  void Release() {
+    if (storage_ == nullptr) {
+      return;
+    }
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(static_cast<void*>(storage_), std::align_val_t(alignof(T)));
+    } else {
+      ::operator delete(static_cast<void*>(storage_));
+    }
+    storage_ = nullptr;
+  }
+
+  void Grow() {
+    const std::size_t next = capacity_ == 0 ? 8 : capacity_ * 2;
+    T* grown = AllocStorage(next);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(grown + i)) T(std::move(*Slot(i)));
+      Slot(i)->~T();
+    }
+    Release();
+    storage_ = grown;
+    capacity_ = next;
+    head_ = 0;
+  }
+
+  T* storage_ = nullptr;
+  std::size_t capacity_ = 0;  // always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_BUFFER_RING_QUEUE_H_

@@ -10,6 +10,7 @@ AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t eg
     : sched_(sched),
       net_(net),
       name_(std::move(name)),
+      fwd_name_(name_ + ".fwd"),
       tx_(sched, name_ + ".tx"),
       rx_(sched, name_ + ".rx"),
       wire_pool_(sched, name_ + ".wire", wire_buffers, report_sink),
@@ -40,8 +41,8 @@ Process AtmPort::TxProc() {
     // by the destination box in their VCIs."  The wire image omits the
     // stream field, so relabelling costs nothing: the refcounted handle
     // moves into the fabric untouched, no payload copy.
-    sched_->Spawn(net_->ForwardProc(this, out.vci, std::move(out.wire)),
-                  name_ + ".fwd", Priority::kHigh);
+    sched_->Spawn(net_->ForwardProc(this, out.vci, std::move(out.wire)), fwd_name_,
+                  Priority::kHigh);
   }
 }
 

@@ -122,6 +122,10 @@ class AtmPort {
   Scheduler* sched_;
   AtmNetwork* net_;
   std::string name_;
+  // Precomputed name for the per-segment forwarder spawn in TxProc: the
+  // spawn happens once per delivered segment, and building "name.fwd" there
+  // would put a string concatenation on the data-plane hot path.
+  std::string fwd_name_;
   Channel<NetTx> tx_;
   Channel<NetRx> rx_;
   WirePool wire_pool_;

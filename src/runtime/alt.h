@@ -22,8 +22,8 @@
 #define PANDORA_SRC_RUNTIME_ALT_H_
 
 #include <coroutine>
-#include <vector>
 
+#include "src/buffer/small_vec.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/scheduler.h"
 #include "src/runtime/task.h"
@@ -106,7 +106,10 @@ class Alt : public AltWaiter {
   };
 
   Scheduler* sched_;
-  std::vector<Guard> guards_;
+  // Guard lists are tiny and rebuilt per select; inline storage keeps them
+  // out of the heap (eight guards covers every Alt in the codebase except
+  // wide switch fan-outs, which spill and pay one allocation).
+  SmallVec<Guard, 8> guards_;
   ProcessCtx* waiting_ctx_ = nullptr;
   TimerHandle timeout_timer_;
   bool notified_ = false;

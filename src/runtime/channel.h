@@ -13,24 +13,28 @@
 //
 // Implementation note: no address of an awaiter subobject is ever retained
 // across a suspension.  A parked sender's value moves INTO the channel's
-// (heap-stable) deque before suspending, and a woken receiver claims its
+// (heap-stable) ring before suspending, and a woken receiver claims its
 // delivery from the channel by ticket.  GCC 12 materializes co_await
 // operand temporaries on the stack and copies them into the coroutine frame
 // around the suspension point, so pointers captured into an awaiter during
 // await_suspend may not survive to await_resume; values do.
+//
+// The hot path is allocation-free in steady state: parked parties queue in
+// RingQueues (one buffer, doubled only at high water) and deliveries fill
+// recycled slots in a ticket table, where a ticket is the slot's index.
 #ifndef PANDORA_SRC_RUNTIME_CHANNEL_H_
 #define PANDORA_SRC_RUNTIME_CHANNEL_H_
 
 #include <coroutine>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/buffer/ring_queue.h"
 #include "src/runtime/check.h"
 #include "src/runtime/process.h"
 #include "src/runtime/scheduler.h"
@@ -120,12 +124,20 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     senders_.clear();
     receivers_.clear();
     delivered_.clear();
+    delivered_free_ = kNoFreeSlot;
   }
 
   // Kill sweep, phase 1 (before the victims' frames die): forget parked
-  // receivers that belong to killed processes so nothing delivers to them.
+  // receivers that belong to killed processes so nothing delivers to them,
+  // and return their tickets.
   void OnProcessesKilled() override {
-    std::erase_if(receivers_, [](const ParkedReceiver& r) { return r.ctx->killed; });
+    receivers_.remove_if([this](const ParkedReceiver& r) {
+      if (r.ctx->killed) {
+        FreeTicket(r.ticket);
+        return true;
+      }
+      return false;
+    });
   }
 
   // Kill sweep, phase 2 (after the victims' frames died): drop the values
@@ -137,20 +149,18 @@ class Channel : public ChannelBase, public ShutdownParticipant {
         kill_drop_handler_(std::move(value));
       }
     };
-    for (auto it = senders_.begin(); it != senders_.end();) {
-      if (it->ctx->killed) {
-        drop(std::move(it->value));
-        it = senders_.erase(it);
-      } else {
-        ++it;
+    senders_.remove_if([&drop](ParkedSender& s) {
+      if (s.ctx->killed) {
+        drop(std::move(s.value));
+        return true;
       }
-    }
-    for (auto it = delivered_.begin(); it != delivered_.end();) {
-      if (it->second.ctx->killed) {
-        drop(std::move(it->second.value));
-        it = delivered_.erase(it);
-      } else {
-        ++it;
+      return false;
+    });
+    for (size_t ticket = 0; ticket < delivered_.size(); ++ticket) {
+      Delivery& d = delivered_[ticket];
+      if (d.in_use && d.value.has_value() && d.ctx->killed) {
+        drop(std::move(*d.value));
+        FreeTicket(ticket);
       }
     }
   }
@@ -159,6 +169,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
   // payload carries out-of-band ownership (the pool handoff channel passes
   // raw slot indices whose refcount was already transferred to the doomed
   // receiver) use this to reclaim it; RAII payloads need no handler.
+  // Cold-path state, sanctioned exception to the no-std::function rule.
   void set_kill_drop_handler(std::function<void(T&&)> handler) {
     kill_drop_handler_ = std::move(handler);
   }
@@ -180,7 +191,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
         // continues without suspending.
         ParkedReceiver receiver = channel->receivers_.front();
         channel->receivers_.pop_front();
-        channel->delivered_.emplace(receiver.ticket, Delivery{receiver.ctx, std::move(value)});
+        channel->delivered_[receiver.ticket].value.emplace(std::move(value));
         ++channel->transfers_;
         channel->sched_->Ready(receiver.ctx);
         PANDORA_TRACE_RENDEZVOUS_END(channel->sched_->trace(), channel->trace_site_,
@@ -193,7 +204,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       ProcessCtx* ctx = channel->sched_->current();
       PANDORA_DCHECK(ctx != nullptr, "channel Send awaited outside a process");
       ctx->resume_point = h;
-      // The wait span's async id parks in the channel's deque alongside the
+      // The wait span's async id parks in the channel's ring alongside the
       // value (heap-stable; awaiter subobjects may relocate).
       uint64_t trace_id = 0;
       PANDORA_TRACE_RENDEZVOUS_BEGIN(channel->sched_->trace(), channel->trace_site_,
@@ -234,7 +245,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       ProcessCtx* ctx = channel->sched_->current();
       PANDORA_DCHECK(ctx != nullptr, "channel Receive awaited outside a process");
       ctx->resume_point = h;
-      ticket = channel->next_ticket_++;
+      ticket = channel->AllocTicket(ctx);
       uint64_t trace_id = 0;
       PANDORA_TRACE_RENDEZVOUS_BEGIN(channel->sched_->trace(), channel->trace_site_,
                                      channel->name_, trace_id);
@@ -246,10 +257,10 @@ class Channel : public ChannelBase, public ShutdownParticipant {
       }
       // Parked path: claim the delivery by ticket (a value, so it survives
       // any frame relocation of this awaiter).
-      auto it = channel->delivered_.find(ticket);
-      PANDORA_CHECK(it != channel->delivered_.end());
-      T value = std::move(it->second.value);
-      channel->delivered_.erase(it);
+      Delivery& d = channel->delivered_[ticket];
+      PANDORA_CHECK(d.in_use && d.value.has_value());
+      T value = std::move(*d.value);
+      channel->FreeTicket(ticket);
       return value;
     }
   };
@@ -267,7 +278,7 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     }
     ParkedReceiver receiver = receivers_.front();
     receivers_.pop_front();
-    delivered_.emplace(receiver.ticket, Delivery{receiver.ctx, std::move(value)});
+    delivered_[receiver.ticket].value.emplace(std::move(value));
     ++transfers_;
     sched_->Ready(receiver.ctx);
     PANDORA_TRACE_RENDEZVOUS_END(sched_->trace(), trace_site_, receiver.trace_id);
@@ -299,21 +310,51 @@ class Channel : public ChannelBase, public ShutdownParticipant {
     uint64_t ticket;
     uint64_t trace_id = 0;
   };
-  // A value handed to a woken-but-not-yet-resumed receiver; the ctx lets a
-  // kill sweep reclaim deliveries the receiver will never pick up.
+  // One slot of the ticket table: the receiver it belongs to, and the value
+  // once a sender delivered.  Slots recycle through a free list; a ticket
+  // is simply the slot's index, allocated when the receiver parks.
   struct Delivery {
-    ProcessCtx* ctx;
-    T value;
+    ProcessCtx* ctx = nullptr;
+    std::optional<T> value;
+    uint32_t next_free = 0;
+    bool in_use = false;
   };
+
+  static constexpr uint32_t kNoFreeSlot = 0xffffffffu;
+
+  uint64_t AllocTicket(ProcessCtx* ctx) {
+    uint32_t index;
+    if (delivered_free_ != kNoFreeSlot) {
+      index = delivered_free_;
+      delivered_free_ = delivered_[index].next_free;
+    } else {
+      index = static_cast<uint32_t>(delivered_.size());
+      delivered_.emplace_back();
+    }
+    Delivery& d = delivered_[index];
+    d.ctx = ctx;
+    d.in_use = true;
+    PANDORA_DCHECK(!d.value.has_value());
+    return index;
+  }
+
+  void FreeTicket(uint64_t ticket) {
+    Delivery& d = delivered_[ticket];
+    d.ctx = nullptr;
+    d.value.reset();
+    d.in_use = false;
+    d.next_free = delivered_free_;
+    delivered_free_ = static_cast<uint32_t>(ticket);
+  }
 
   Scheduler* sched_;
   std::string name_;
-  std::deque<ParkedSender> senders_;
-  std::deque<ParkedReceiver> receivers_;
-  // Values handed to woken-but-not-yet-resumed receivers, keyed by ticket.
-  std::map<uint64_t, Delivery> delivered_;
-  std::function<void(T&&)> kill_drop_handler_;
-  uint64_t next_ticket_ = 0;
+  RingQueue<ParkedSender> senders_;
+  RingQueue<ParkedReceiver> receivers_;
+  // Ticket table: values handed to woken-but-not-yet-resumed receivers.
+  std::vector<Delivery> delivered_;
+  uint32_t delivered_free_ = kNoFreeSlot;
+  std::function<void(T&&)> kill_drop_handler_;  // NOLINT(pandora-std-function-member): cold path
   uint64_t transfers_ = 0;
   // Cached trace site for this channel's rendezvous-wait track.
   TraceSiteId trace_site_ = 0;

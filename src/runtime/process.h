@@ -10,11 +10,13 @@
 #define PANDORA_SRC_RUNTIME_PROCESS_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <string>
 #include <utility>
 
+#include "src/buffer/frame_pool.h"
 #include "src/runtime/time.h"
 #include "src/trace/trace.h"
 
@@ -35,6 +37,10 @@ inline constexpr int kNumPriorities = 2;
 
 // Per-process bookkeeping owned by the Scheduler.  Channel and timer
 // awaitables park and ready processes through this record.
+//
+// Records live in a slab and are recycled the moment a process finishes
+// (see Scheduler); `generation` ticks on every recycle so a ProcessHandle
+// over a reused slot reads as done rather than aliasing the new occupant.
 struct ProcessCtx {
   Scheduler* sched = nullptr;
   std::string name;
@@ -50,15 +56,25 @@ struct ProcessCtx {
   // Set by Scheduler::KillProcesses before the frame is destroyed; channels
   // and pools consult it to sweep parked state the victim will never claim.
   bool killed = false;
+  bool in_use = false;  // slab slot currently owns a spawned process
   // Timers created by WaitUntil that have not fired yet.  Their fire
-  // closures hold this ProcessCtx by raw pointer, so PruneCompleted must
-  // not release the record while any are outstanding (a killed process can
-  // leave its wakeup timer pending).
+  // closures hold this ProcessCtx by raw pointer, so the slot must not be
+  // recycled while any are outstanding (a killed process can leave its
+  // wakeup timer pending).
   int pending_timers = 0;
   std::exception_ptr error;
   uint64_t resumptions = 0;  // context switches into this process
+  uint64_t generation = 0;   // bumped when the slot is recycled
   // Cached trace site for this process's run-slice track (0 = uninterned).
   TraceSiteId trace_site = 0;
+
+  // Intrusive links, owned by the Scheduler: the ready queues, the slab
+  // free list, and the active list (kept in spawn order so kill/shutdown
+  // sweeps walk processes in the same order the old registry vector did).
+  ProcessCtx* next_ready = nullptr;
+  ProcessCtx* next_free = nullptr;
+  ProcessCtx* prev_active = nullptr;
+  ProcessCtx* next_active = nullptr;
 };
 
 // Coroutine return type for top-level processes.  A Process is inert until
@@ -67,6 +83,16 @@ class Process {
  public:
   struct promise_type {
     ProcessCtx* ctx = nullptr;
+
+    // Coroutine frames come from the frame pool: per-segment forwarder
+    // churn (src/net/atm.cc, src/server/switch.cc) spawns one short-lived
+    // frame per delivered segment, and recycling keeps that off malloc.
+    static void* operator new(std::size_t n) {   // NOLINT(pandora-raw-new-delete)
+      return FramePool::Allocate(n);
+    }
+    static void operator delete(void* p) noexcept {  // NOLINT(pandora-raw-new-delete)
+      FramePool::Deallocate(p);
+    }
 
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -118,27 +144,39 @@ class Process {
 };
 
 // Lightweight observer of a spawned process, returned by Scheduler::Spawn.
+// Carries the slot's generation at spawn time: once the process finishes
+// and the scheduler recycles its ProcessCtx, the handle reads as done and
+// every other accessor degrades gracefully instead of aliasing whatever
+// process reuses the slot.
 class ProcessHandle {
  public:
   ProcessHandle() = default;
 
   bool valid() const { return ctx_ != nullptr; }
-  bool done() const { return ctx_ != nullptr && ctx_->done; }
-  const std::string& name() const { return ctx_->name; }
-  uint64_t resumptions() const { return ctx_->resumptions; }
+  bool done() const { return ctx_ != nullptr && (stale() || ctx_->done); }
+  const std::string& name() const {
+    static const std::string kRecycled = "<done>";
+    return stale() ? kRecycled : ctx_->name;
+  }
+  uint64_t resumptions() const { return stale() ? 0 : ctx_->resumptions; }
 
-  // Rethrows the process's unhandled exception, if any.
+  // Rethrows the process's unhandled exception, if any.  Errored processes
+  // are never recycled while the error is unclaimed, so this survives
+  // completion.
   void CheckError() const {
-    if (ctx_ != nullptr && ctx_->error) {
+    if (ctx_ != nullptr && !stale() && ctx_->error) {
       std::rethrow_exception(ctx_->error);
     }
   }
 
  private:
   friend class Scheduler;
-  explicit ProcessHandle(ProcessCtx* ctx) : ctx_(ctx) {}
+  ProcessHandle(ProcessCtx* ctx, uint64_t generation) : ctx_(ctx), generation_(generation) {}
+
+  bool stale() const { return ctx_ == nullptr || ctx_->generation != generation_; }
 
   ProcessCtx* ctx_ = nullptr;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace pandora

@@ -39,21 +39,30 @@ void Scheduler::Shutdown() {
   shutting_down_ = true;
   // Destroying a frame runs destructors of objects held inside it (e.g.
   // SegmentRefs, which return buffers to their pool); Ready() is a no-op
-  // during shutdown so nothing gets queued.
-  for (auto& ctx : processes_) {
+  // during shutdown so nothing gets queued.  Walk the active list in spawn
+  // order, the order the old registry vector used.
+  ProcessCtx* ctx = active_head_;
+  while (ctx != nullptr) {
+    ProcessCtx* next = ctx->next_active;
     if (!ctx->done && ctx->top) {
       ctx->top.destroy();
       ctx->top = nullptr;
       ctx->done = true;
       --live_processes_;
     }
+    ctx = next;
   }
-  for (auto& queue : ready_) {
-    queue.clear();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    ProcessCtx* queued = ready_head_[p];
+    while (queued != nullptr) {
+      ProcessCtx* next = queued->next_ready;
+      queued->queued = false;
+      queued->next_ready = nullptr;
+      queued = next;
+    }
+    ready_head_[p] = ready_tail_[p] = nullptr;
   }
-  while (!timers_.empty()) {
-    timers_.pop();
-  }
+  wheel_.Clear();
   // Frames are gone, but rendezvous values parked inside channels are not:
   // they live in the channel object, not the coroutine frame, and may hold
   // SegmentRefs into pools that die before the channel does.  Drain them now,
@@ -81,21 +90,74 @@ void Scheduler::UnregisterShutdownParticipant(ShutdownParticipant* participant) 
   }
 }
 
-ProcessHandle Scheduler::Spawn(Process process, std::string name, Priority priority) {
+ProcessCtx* Scheduler::AllocCtx() {
+  ProcessCtx* ctx;
+  if (free_ctx_ != nullptr) {
+    ctx = free_ctx_;
+    free_ctx_ = ctx->next_free;
+    ctx->next_free = nullptr;
+  } else {
+    process_slab_.emplace_back();
+    ctx = &process_slab_.back();
+  }
+  PANDORA_DCHECK(!ctx->in_use && ctx->pending_timers == 0);
+  ctx->in_use = true;
+  // Append to the active list: spawn order, which kill/shutdown sweeps walk.
+  ctx->prev_active = active_tail_;
+  ctx->next_active = nullptr;
+  if (active_tail_ != nullptr) {
+    active_tail_->next_active = ctx;
+  } else {
+    active_head_ = ctx;
+  }
+  active_tail_ = ctx;
+  ++in_use_processes_;
+  return ctx;
+}
+
+void Scheduler::RecycleCtx(ProcessCtx* ctx) {
+  PANDORA_DCHECK(ctx->in_use && ctx->done && ctx->pending_timers == 0);
+  if (ctx->prev_active != nullptr) {
+    ctx->prev_active->next_active = ctx->next_active;
+  } else {
+    active_head_ = ctx->next_active;
+  }
+  if (ctx->next_active != nullptr) {
+    ctx->next_active->prev_active = ctx->prev_active;
+  } else {
+    active_tail_ = ctx->prev_active;
+  }
+  ctx->prev_active = ctx->next_active = nullptr;
+  // Outstanding ProcessHandles see the bump and report done.
+  ++ctx->generation;
+  ctx->in_use = false;
+  ctx->done = false;
+  ctx->queued = false;
+  ctx->killed = false;
+  ctx->error = nullptr;
+  ctx->top = nullptr;
+  ctx->resume_point = nullptr;
+  ctx->resumptions = 0;
+  ctx->trace_site = 0;
+  // ctx->name keeps its capacity for the next occupant's assign().
+  ctx->next_free = free_ctx_;
+  free_ctx_ = ctx;
+  --in_use_processes_;
+}
+
+ProcessHandle Scheduler::Spawn(Process process, std::string_view name, Priority priority) {
   auto handle = process.Release();
-  auto ctx = std::make_unique<ProcessCtx>();
+  ProcessCtx* ctx = AllocCtx();
   ctx->sched = this;
-  ctx->name = std::move(name);
+  ctx->name.assign(name.data(), name.size());
   ctx->priority = priority;
   ctx->top = handle;
   ctx->resume_point = handle;
-  handle.promise().ctx = ctx.get();
+  handle.promise().ctx = ctx;
 
-  ProcessCtx* raw = ctx.get();
-  processes_.push_back(std::move(ctx));
   ++live_processes_;
-  Ready(raw);
-  return ProcessHandle(raw);
+  Ready(ctx);
+  return ProcessHandle(ctx, ctx->generation);
 }
 
 void Scheduler::Ready(ProcessCtx* ctx) {
@@ -104,37 +166,26 @@ void Scheduler::Ready(ProcessCtx* ctx) {
     return;
   }
   ctx->queued = true;
-  ready_[static_cast<int>(ctx->priority)].push_back(ctx);
-}
-
-TimerHandle Scheduler::AddTimer(Time when, std::function<void()> fire) {
-  auto record = std::make_shared<TimerHandle::Record>();
-  record->when = when;
-  record->seq = timer_seq_++;
-  record->fire = std::move(fire);
-  timers_.push(record);
-  return TimerHandle(record);
-}
-
-size_t Scheduler::PruneCompleted() {
-  size_t before = processes_.size();
-  std::erase_if(processes_, [](const std::unique_ptr<ProcessCtx>& ctx) {
-    // A killed process can leave its WaitUntil wakeup timer pending; the
-    // timer closure holds the ctx raw, so the record stays until it fires.
-    return ctx->done && !ctx->error && ctx->pending_timers == 0;
-  });
-  return before - processes_.size();
+  ctx->next_ready = nullptr;
+  const int p = static_cast<int>(ctx->priority);
+  if (ready_tail_[p] != nullptr) {
+    ready_tail_[p]->next_ready = ctx;
+  } else {
+    ready_head_[p] = ctx;
+  }
+  ready_tail_[p] = ctx;
 }
 
 size_t Scheduler::KillProcesses(const std::function<bool(const ProcessCtx&)>& predicate) {
   // Mark every victim first: the sweep hooks and the destructors that run
-  // during frame teardown identify doomed processes by ctx->killed.
+  // during frame teardown identify doomed processes by ctx->killed.  The
+  // active list is in spawn order, matching the old registry order.
   std::vector<ProcessCtx*> victims;
-  for (auto& ctx : processes_) {
+  for (ProcessCtx* ctx = active_head_; ctx != nullptr; ctx = ctx->next_active) {
     if (!ctx->done && ctx->top && predicate(*ctx)) {
-      PANDORA_CHECK(ctx.get() != current_, "a process cannot kill itself");
+      PANDORA_CHECK(ctx != current_, "a process cannot kill itself");
       ctx->killed = true;
-      victims.push_back(ctx.get());
+      victims.push_back(ctx);
     }
   }
   if (victims.empty()) {
@@ -160,11 +211,25 @@ size_t Scheduler::KillProcesses(const std::function<bool(const ProcessCtx&)>& pr
     ctx->done = true;
     --live_processes_;
   }
-  for (auto& queue : ready_) {
-    std::erase_if(queue, [](const ProcessCtx* ctx) { return ctx->killed; });
-  }
-  for (ProcessCtx* ctx : victims) {
-    ctx->queued = false;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    ProcessCtx* kept_head = nullptr;
+    ProcessCtx* kept_tail = nullptr;
+    ProcessCtx* queued = ready_head_[p];
+    while (queued != nullptr) {
+      ProcessCtx* next = queued->next_ready;
+      queued->next_ready = nullptr;
+      if (queued->killed) {
+        queued->queued = false;
+      } else if (kept_tail != nullptr) {
+        kept_tail->next_ready = queued;
+        kept_tail = queued;
+      } else {
+        kept_head = kept_tail = queued;
+      }
+      queued = next;
+    }
+    ready_head_[p] = kept_head;
+    ready_tail_[p] = kept_tail;
   }
   // Phase 2: drop the values the victims parked (sender payloads, unclaimed
   // deliveries).  Pools are still alive, so dropping a SegmentRef here is a
@@ -177,7 +242,15 @@ size_t Scheduler::KillProcesses(const std::function<bool(const ProcessCtx&)>& pr
       participant->OnKilledFramesDestroyed();
     }
   }
-  return victims.size();
+  // Victims with a pending wakeup timer stay pinned until it fires (the
+  // timer closure holds the ctx raw); the rest recycle now.
+  const size_t killed = victims.size();
+  for (ProcessCtx* ctx : victims) {
+    if (ctx->pending_timers == 0 && !ctx->error) {
+      RecycleCtx(ctx);
+    }
+  }
+  return killed;
 }
 
 void Scheduler::OnProcessDone(ProcessCtx* ctx) {
@@ -185,11 +258,28 @@ void Scheduler::OnProcessDone(ProcessCtx* ctx) {
   --live_processes_;
 }
 
+void Scheduler::OnWaitTimerFired(ProcessCtx* ctx) {
+  --ctx->pending_timers;
+  if (ctx->done) {
+    // Killed while its wakeup was pending: the last outstanding timer
+    // releases the slab slot.
+    if (ctx->in_use && ctx->pending_timers == 0 && !ctx->error) {
+      RecycleCtx(ctx);
+    }
+    return;
+  }
+  Ready(ctx);
+}
+
 ProcessCtx* Scheduler::PopReady() {
-  for (auto& queue : ready_) {
-    if (!queue.empty()) {
-      ProcessCtx* ctx = queue.front();
-      queue.pop_front();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    ProcessCtx* ctx = ready_head_[p];
+    if (ctx != nullptr) {
+      ready_head_[p] = ctx->next_ready;
+      if (ready_head_[p] == nullptr) {
+        ready_tail_[p] = nullptr;
+      }
+      ctx->next_ready = nullptr;
       ctx->queued = false;
       return ctx;
     }
@@ -222,33 +312,34 @@ bool Scheduler::DispatchOne() {
   if (ctx->done && ctx->top) {
     ctx->top.destroy();
     ctx->top = nullptr;
-    MaybeRethrow(ctx);
+    if (ctx->error) {
+      if (rethrow_process_errors_) {
+        std::exception_ptr error = std::exchange(ctx->error, nullptr);
+        if (ctx->pending_timers == 0) {
+          RecycleCtx(ctx);
+        }
+        std::rethrow_exception(error);
+      }
+      // Error kept for ProcessHandle::CheckError; the slot stays in use.
+    } else if (ctx->pending_timers == 0) {
+      // The common exit: the record returns to the slab immediately, no
+      // manual PruneCompleted required.
+      RecycleCtx(ctx);
+    }
   }
   return true;
 }
 
 bool Scheduler::AdvanceToNextTimer(Time limit) {
-  while (!timers_.empty() && timers_.top()->cancelled) {
-    timers_.pop();
-  }
-  if (timers_.empty() || timers_.top()->when > limit) {
+  TimerWheel::Due due = wheel_.PopDue(limit);
+  if (!due.found) {
     return false;
   }
-  auto record = timers_.top();
-  timers_.pop();
-  if (record->when > now_) {
-    now_ = record->when;
+  if (due.when > now_) {
+    now_ = due.when;
   }
-  record->fired = true;
-  record->fire();
+  due.fire();
   return true;
-}
-
-void Scheduler::MaybeRethrow(ProcessCtx* ctx) {
-  if (rethrow_process_errors_ && ctx->error) {
-    std::exception_ptr error = std::exchange(ctx->error, nullptr);
-    std::rethrow_exception(error);
-  }
 }
 
 void Scheduler::RunUntilQuiescent() {

@@ -6,6 +6,12 @@
 // microsecond resolution.  The clock only advances when no process is
 // runnable, so an 8-second clawback experiment simulates in milliseconds of
 // wall time, deterministically.
+//
+// The hot path is allocation-free in the steady state: timers are intrusive
+// nodes in a hierarchical wheel (timer_wheel.h), timer callbacks are inline
+// callables (callback.h), process records recycle through a slab the moment
+// a process finishes, and ready queues are intrusive lists threaded through
+// the records themselves.  See DESIGN.md section 10.
 #ifndef PANDORA_SRC_RUNTIME_SCHEDULER_H_
 #define PANDORA_SRC_RUNTIME_SCHEDULER_H_
 
@@ -14,41 +20,41 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/runtime/callback.h"
 #include "src/runtime/process.h"
 #include "src/runtime/time.h"
+#include "src/runtime/timer_wheel.h"
 #include "src/trace/trace.h"
 
 namespace pandora {
 
 // Handle to a pending timer; allows cancellation (used by Alt timeouts).
+// Holds the wheel node plus its generation at arm time, so cancelling after
+// the timer fired (and the node was recycled into a new timer) is a no-op.
 class TimerHandle {
  public:
   TimerHandle() = default;
 
   void Cancel() {
-    if (record_) {
-      record_->cancelled = true;
-      record_.reset();
+    if (wheel_ != nullptr) {
+      wheel_->Cancel(node_, generation_);
+      wheel_ = nullptr;
+      node_ = nullptr;
     }
   }
-  bool active() const { return record_ != nullptr && !record_->cancelled && !record_->fired; }
+  bool active() const { return wheel_ != nullptr && wheel_->IsActive(node_, generation_); }
 
  private:
   friend class Scheduler;
-  struct Record {
-    Time when = 0;
-    uint64_t seq = 0;
-    std::function<void()> fire;
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit TimerHandle(std::shared_ptr<Record> r) : record_(std::move(r)) {}
+  TimerHandle(TimerWheel* wheel, TimerNode* node)
+      : wheel_(wheel), node_(node), generation_(node->generation) {}
 
-  std::shared_ptr<Record> record_;
+  TimerWheel* wheel_ = nullptr;
+  TimerNode* node_ = nullptr;
+  uint64_t generation_ = 0;
 };
 
 // Something (a channel) holding parked values that must be dropped when the
@@ -91,8 +97,10 @@ class Scheduler {
 
   // --- Process management -------------------------------------------------
 
-  // Takes ownership of the coroutine and queues it for execution.
-  ProcessHandle Spawn(Process process, std::string name, Priority priority = Priority::kLow);
+  // Takes ownership of the coroutine and queues it for execution.  The name
+  // is copied into the (recycled) process record, so per-event spawn sites
+  // should pass a precomputed string rather than concatenating one.
+  ProcessHandle Spawn(Process process, std::string_view name, Priority priority = Priority::kLow);
 
   // The process currently being executed (valid only from inside awaitables
   // running on this scheduler).
@@ -106,8 +114,15 @@ class Scheduler {
   Time now() const { return now_; }
 
   // Schedules `fire` to run (in scheduler context, not process context) when
-  // the clock reaches `when`.
-  TimerHandle AddTimer(Time when, std::function<void()> fire);
+  // the clock reaches `when`.  The callback must fit TimerCallback's inline
+  // budget (enforced at compile time).
+  TimerHandle AddTimer(Time when, TimerCallback fire) {
+    return TimerHandle(&wheel_, wheel_.Add(when, fire));
+  }
+
+  // Timers armed but not yet fired or cancelled (regression surface for the
+  // cancel-unlink guarantee: cancelled timers leave immediately).
+  size_t pending_timer_count() const { return wheel_.pending_count(); }
 
   // --- Running -------------------------------------------------------------
 
@@ -156,13 +171,11 @@ class Scheduler {
       void await_suspend(std::coroutine_handle<> h) {
         ProcessCtx* ctx = sched->current_;
         ctx->resume_point = h;
-        // The closure holds ctx raw; pending_timers keeps the record alive
-        // past a kill (see ProcessCtx::pending_timers).
+        // The closure holds ctx raw; pending_timers keeps the slab slot
+        // from being recycled past a kill (see ProcessCtx::pending_timers).
         ++ctx->pending_timers;
-        sched->AddTimer(when, [sched = sched, ctx] {
-          --ctx->pending_timers;
-          sched->Ready(ctx);
-        });
+        Scheduler* s = sched;
+        sched->AddTimer(when, TimerCallback([s, ctx] { s->OnWaitTimerFired(ctx); }));
       }
       void await_resume() const {}
     };
@@ -188,11 +201,11 @@ class Scheduler {
 
   // --- Housekeeping ---------------------------------------------------------
 
-  // Releases bookkeeping for completed processes (their frames are already
-  // destroyed).  Long simulations that spawn short-lived processes per
-  // message (e.g. the network's per-segment forwarders) call this to bound
-  // memory.  Invalidates ProcessHandles of completed processes.
-  size_t PruneCompleted();
+  // Completed processes are recycled automatically the moment they finish
+  // (their slab slot returns to the free list), so there is nothing left to
+  // prune.  Kept as a no-op shim for callers written against the manual
+  // sweep; always returns 0.
+  size_t PruneCompleted() { return 0; }
 
   // --- Telemetry -----------------------------------------------------------
 
@@ -206,12 +219,20 @@ class Scheduler {
 
   uint64_t context_switches() const { return context_switches_; }
   size_t live_process_count() const { return live_processes_; }
-  size_t tracked_process_count() const { return processes_.size(); }
+  // Process records currently held (live, or completed-with-error awaiting
+  // CheckError, or killed-with-pending-timers).  Recycling keeps this near
+  // the live count instead of growing with every spawn.
+  size_t tracked_process_count() const { return in_use_processes_; }
 
  private:
   friend struct Process::promise_type::FinalAwaiter;
 
   void OnProcessDone(ProcessCtx* ctx);
+  // Fired by WaitUntil's timer: releases the timer's pin on the slab slot
+  // and either resumes the process or recycles a finished one.
+  void OnWaitTimerFired(ProcessCtx* ctx);
+  ProcessCtx* AllocCtx();
+  void RecycleCtx(ProcessCtx* ctx);
   ProcessCtx* PopReady();
   // Runs one process slice; false if nothing is runnable.
   bool DispatchOne();
@@ -219,26 +240,22 @@ class Scheduler {
   // earliest pending timer.  Returns false if no timer is pending within
   // `limit`.
   bool AdvanceToNextTimer(Time limit);
-  void MaybeRethrow(ProcessCtx* ctx);
-
-  struct TimerCompare {
-    bool operator()(const std::shared_ptr<TimerHandle::Record>& a,
-                    const std::shared_ptr<TimerHandle::Record>& b) const {
-      if (a->when != b->when) {
-        return a->when > b->when;  // min-heap on time
-      }
-      return a->seq > b->seq;  // FIFO among equal times
-    }
-  };
 
   Time now_ = 0;
   ProcessCtx* current_ = nullptr;
-  std::deque<ProcessCtx*> ready_[kNumPriorities];
-  std::priority_queue<std::shared_ptr<TimerHandle::Record>,
-                      std::vector<std::shared_ptr<TimerHandle::Record>>, TimerCompare>
-      timers_;
-  uint64_t timer_seq_ = 0;
-  std::vector<std::unique_ptr<ProcessCtx>> processes_;
+  // Intrusive FIFO ready queues, one per priority, linked via
+  // ProcessCtx::next_ready.
+  ProcessCtx* ready_head_[kNumPriorities] = {};
+  ProcessCtx* ready_tail_[kNumPriorities] = {};
+  TimerWheel wheel_;
+  // Process slab: records are deque-backed (stable addresses), recycled
+  // through an intrusive free list, and threaded onto an active list in
+  // spawn order (kill/shutdown sweeps depend on that order).
+  std::deque<ProcessCtx> process_slab_;
+  ProcessCtx* free_ctx_ = nullptr;
+  ProcessCtx* active_head_ = nullptr;
+  ProcessCtx* active_tail_ = nullptr;
+  size_t in_use_processes_ = 0;
   size_t live_processes_ = 0;
   uint64_t context_switches_ = 0;
   bool rethrow_process_errors_ = true;

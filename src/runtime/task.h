@@ -10,9 +10,12 @@
 #define PANDORA_SRC_RUNTIME_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "src/buffer/frame_pool.h"
 
 namespace pandora {
 
@@ -35,6 +38,16 @@ struct FinalAwaiter {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  // Task frames recycle through the frame pool (inherited by every derived
+  // promise): Alt::Select and other per-event tasks spawn one frame per
+  // call, which must stay off malloc in the steady state.
+  static void* operator new(std::size_t n) {   // NOLINT(pandora-raw-new-delete)
+    return FramePool::Allocate(n);
+  }
+  static void operator delete(void* p) noexcept {  // NOLINT(pandora-raw-new-delete)
+    FramePool::Deallocate(p);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }

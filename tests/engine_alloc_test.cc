@@ -1,0 +1,213 @@
+// Allocation gate for the event engine (ISSUE 5 tentpole).
+//
+// bench_engine (E17) reports allocs/event as a ratio; this test is the strict
+// CI tripwire behind it: after one warmup pass fills every free list (timer
+// wheel arena, process slab, coroutine frame pool, channel rings, delivery
+// tables), a measured pass over the same storm shapes must perform EXACTLY
+// ZERO calls into the global heap.  Any regression — a std::function sneaking
+// back onto the timer path, a container growing in steady state, a coroutine
+// frame missing the pool — fails deterministically instead of nudging a ratio.
+//
+// The global operator new/delete replacement below mirrors bench_engine.cpp.
+// gtest itself allocates freely; all assertions read the counter first and
+// only then run EXPECT machinery, so the measured window stays clean.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/runtime/alt.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/random.h"
+#include "src/runtime/scheduler.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PANDORA_ALLOC_GATE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PANDORA_ALLOC_GATE_DISABLED 1
+#endif
+#endif
+
+namespace {
+uint64_t g_alloc_count = 0;
+
+void* CountedAlloc(std::size_t n) {
+  ++g_alloc_count;
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  ++g_alloc_count;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace pandora {
+namespace {
+
+constexpr uint64_t kWarmupIters = 40'000;
+constexpr uint64_t kMeasuredIters = 40'000;
+
+class EngineAllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef PANDORA_ALLOC_GATE_DISABLED
+    GTEST_SKIP() << "frame pool runs in passthrough mode under ASan; "
+                    "allocs/event is gated on the plain build only";
+#endif
+  }
+};
+
+// Runs drive(iters) twice — warmup then measured — and returns the number of
+// global-heap calls inside the measured pass.
+template <typename Drive>
+uint64_t MeasuredAllocs(Drive drive) {
+  drive(kWarmupIters);
+  const uint64_t before = g_alloc_count;
+  drive(kMeasuredIters);
+  return g_alloc_count - before;
+}
+
+TEST_F(EngineAllocTest, TimerChurnIsAllocationFree) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  auto sleeper = [](Scheduler* s, Rng rng, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await s->WaitFor(Micros(rng.UniformInt(200, 20'000)));
+    }
+  };
+  auto horizon = [](Scheduler* s, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await s->WaitFor(Seconds(8));
+    }
+  };
+  const uint64_t allocs = MeasuredAllocs([&](uint64_t iters) {
+    // Fresh seed per pass: the measured pass replays the warmup workload
+    // exactly, so peak concurrency (ring/slab/arena capacity) cannot exceed
+    // what the warmup provisioned.
+    Rng rng(11);
+    const uint64_t per_proc = iters / 32 + 1;
+    for (int p = 0; p < 32; ++p) {
+      sched.Spawn(sleeper(&sched, rng.Fork(), per_proc), "t");
+    }
+    sched.Spawn(horizon(&sched, per_proc / 400 + 1), "h");
+    sched.RunUntilQuiescent();
+  });
+  EXPECT_EQ(allocs, 0u) << "timer arm/fire touched the heap in steady state";
+}
+
+TEST_F(EngineAllocTest, RendezvousIsAllocationFree) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  // Channels outlive both passes so ring and ticket-table capacity from the
+  // warmup carries into the measured window.
+  Channel<int> ping(&sched, "ping");
+  Channel<int> pong(&sched, "pong");
+  auto client = [](Channel<int>* a, Channel<int>* b, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await a->Send(static_cast<int>(i));
+      (void)co_await b->Receive();
+    }
+  };
+  auto server = [](Channel<int>* a, Channel<int>* b, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      int v = co_await a->Receive();
+      co_await b->Send(v + 1);
+    }
+  };
+  const uint64_t allocs = MeasuredAllocs([&](uint64_t iters) {
+    const uint64_t per_side = iters / 4 + 1;
+    sched.Spawn(client(&ping, &pong, per_side), "c");
+    sched.Spawn(server(&ping, &pong, per_side), "s");
+    sched.RunUntilQuiescent();
+  });
+  EXPECT_EQ(allocs, 0u) << "channel rendezvous touched the heap in steady state";
+}
+
+TEST_F(EngineAllocTest, SpawnChurnIsAllocationFree) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  auto forwarder = [](Scheduler* s) -> Process { co_await s->WaitFor(Micros(100)); };
+  const uint64_t allocs = MeasuredAllocs([&](uint64_t iters) {
+    const uint64_t batches = iters / (2 * 1024) + 1;
+    for (uint64_t b = 0; b < batches; ++b) {
+      for (int i = 0; i < 1024; ++i) {
+        sched.Spawn(forwarder(&sched), "f", Priority::kHigh);
+      }
+      sched.RunUntilQuiescent();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "spawn/exit churn touched the heap in steady state";
+}
+
+TEST_F(EngineAllocTest, AltSelectIsAllocationFree) {
+  Scheduler sched;
+  ShutdownGuard guard(&sched);
+  Channel<int> a(&sched, "a");
+  Channel<int> b(&sched, "b");
+  auto producer = [](Scheduler* s, Channel<int>* ch, Rng rng, uint64_t n) -> Process {
+    for (uint64_t i = 0; i < n; ++i) {
+      co_await ch->Send(static_cast<int>(i));
+      co_await s->WaitFor(Micros(rng.UniformInt(150, 600)));
+    }
+  };
+  auto consumer = [](Scheduler* s, Channel<int>* ca, Channel<int>* cb, Rng rng,
+                     uint64_t n) -> Process {
+    for (uint64_t done = 0; done < n;) {
+      Alt alt(s);
+      alt.OnReceive(*ca).OnReceive(*cb).OnTimeoutAfter(Micros(rng.UniformInt(100, 400)));
+      int chosen = co_await alt.Select();
+      if (chosen == 0) {
+        (void)co_await ca->Receive();
+        ++done;
+      } else if (chosen == 1) {
+        (void)co_await cb->Receive();
+        ++done;
+      }
+    }
+  };
+  const uint64_t allocs = MeasuredAllocs([&](uint64_t iters) {
+    Rng rng(23);  // identical workload both passes; see TimerChurn note
+    // Production and consumption balance exactly: a surplus value would
+    // strand a parked producer past quiescence, and the stragglers piling up
+    // across passes would grow the process slab mid-measurement.
+    const uint64_t half = iters / 8 + 1;
+    sched.Spawn(producer(&sched, &a, rng.Fork(), half), "pa");
+    sched.Spawn(producer(&sched, &b, rng.Fork(), half), "pb");
+    sched.Spawn(consumer(&sched, &a, &b, rng.Fork(), 2 * half), "c");
+    sched.RunUntilQuiescent();
+  });
+  EXPECT_EQ(allocs, 0u) << "ALT selection touched the heap in steady state";
+}
+
+}  // namespace
+}  // namespace pandora

@@ -4,7 +4,9 @@
 // suspend (see runtime/channel.h).  These tests drive every channel path —
 // parked sends, parked receives, alt races, ticket deliveries — with a
 // leak-counting payload so a single double-release or lost value fails.
+#include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +18,29 @@
 
 namespace pandora {
 namespace {
+
+// Ordered log of engine-visible events; appends happen in dispatch order
+// (single-threaded scheduler), so its hash pins the exact interleaving.
+struct EventLog {
+  std::string text;
+  void Note(const char* who, Time now, int64_t x) {
+    text += who;
+    text += ':';
+    text += std::to_string(now);
+    text += ':';
+    text += std::to_string(x);
+    text += ';';
+  }
+};
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 // Move-only payload with global live-count accounting.
 class Counted {
@@ -234,6 +259,229 @@ TEST_F(CountedChannelTest, RandomizedChurn) {
     EXPECT_EQ(produced, 900);
     EXPECT_EQ(consumed, produced);
   }
+}
+
+// --- engine determinism golden ----------------------------------------------
+// A seeded storm exercising every hot engine path at once: channel
+// rendezvous, Alt with timeouts (arm-and-cancel churn), spawn/exit churn at
+// both priorities, direct AddTimer with interleaved cancellation.  The
+// dispatch interleaving is folded into a hash and pinned to a golden
+// constant captured from the pre-timer-wheel engine, so any engine change
+// that reorders dispatch — however slightly — fails loudly.
+
+Process GoldenChild(Scheduler* s, int id, EventLog* log) {
+  co_await s->WaitFor(Micros(50 + (id % 7) * 13));
+  log->Note("c", s->now(), id);
+}
+
+Process GoldenSpawner(Scheduler* s, EventLog* log) {
+  for (int i = 0; i < 500; ++i) {
+    s->Spawn(GoldenChild(s, i, log), "child",
+             i % 3 == 0 ? Priority::kHigh : Priority::kLow);
+    co_await s->WaitFor(Micros(777));
+  }
+}
+
+Process GoldenProducer(Scheduler* s, Channel<int>* ch, Rng rng, int base, EventLog* log) {
+  for (int i = 0; i < 400; ++i) {
+    co_await ch->Send(base + i);
+    log->Note("p", s->now(), base + i);
+    co_await s->WaitFor(Micros(rng.UniformInt(40, 900)));
+  }
+}
+
+Process GoldenConsumer(Scheduler* s, Channel<int>* a, Channel<int>* b, Rng rng, int id,
+                       EventLog* log) {
+  for (;;) {
+    Alt alt(s);
+    alt.OnReceive(*a).OnReceive(*b).OnTimeoutAfter(Micros(rng.UniformInt(80, 600)));
+    int chosen = co_await alt.Select();
+    if (chosen == 2) {
+      log->Note("t", s->now(), id);
+      continue;
+    }
+    int v = 0;
+    if (chosen == 0) {
+      v = co_await a->Receive();
+    } else {
+      v = co_await b->Receive();
+    }
+    log->Note("r", s->now(), static_cast<int64_t>(id) * 1'000'000 + v);
+  }
+}
+
+uint64_t RunGoldenStorm() {
+  EventLog log;
+  Scheduler sched;
+  Channel<int> a(&sched, "a");
+  Channel<int> b(&sched, "b");
+  ShutdownGuard guard(&sched);
+  Rng rng(424242);
+  sched.Spawn(GoldenProducer(&sched, &a, rng.Fork(), 100000, &log), "p1");
+  sched.Spawn(GoldenProducer(&sched, &a, rng.Fork(), 200000, &log), "p2");
+  sched.Spawn(GoldenProducer(&sched, &b, rng.Fork(), 300000, &log), "p3");
+  sched.Spawn(GoldenConsumer(&sched, &a, &b, rng.Fork(), 1, &log), "c1");
+  sched.Spawn(GoldenConsumer(&sched, &a, &b, rng.Fork(), 2, &log), "c2");
+  sched.Spawn(GoldenSpawner(&sched, &log), "spawner");
+  // Direct timers with interleaved cancellation: equal-ish deadlines spread
+  // over several wheel levels, odd ones cancelled before they can fire.
+  EventLog* log_ptr = &log;
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    const int id = i;
+    handles.push_back(sched.AddTimer(Millis(5) + Micros((i / 2) * 37),
+                                     [log_ptr, id] { log_ptr->Note("d", 0, id); }));
+  }
+  for (size_t i = 1; i < handles.size(); i += 2) {
+    handles[i].Cancel();
+  }
+  sched.RunFor(Seconds(2));
+  return Fnv1a64(log.text);
+}
+
+TEST(EngineDeterminismTest, SeededStormDispatchOrderMatchesGolden) {
+  // Captured from the engine before the timer-wheel/slab overhaul; the
+  // rewritten engine must reproduce the interleaving bit for bit.
+  const uint64_t kGolden = 7539579063732843280ull;
+  const uint64_t first = RunGoldenStorm();
+  const uint64_t second = RunGoldenStorm();
+  EXPECT_EQ(first, second) << "engine is not run-to-run deterministic";
+  EXPECT_EQ(first, kGolden) << "dispatch order diverged from the golden trace";
+}
+
+// --- timer wheel edge cases --------------------------------------------------
+
+TEST(TimerWheelEdgeTest, EqualDeadlineFifoAcrossCascadeBoundary) {
+  // Half the timers are armed from t=0 (the 5 ms deadline lands on an upper
+  // wheel level); a dummy wakeup at 4.9 ms drags the cursor into the
+  // deadline's own level-0 window, cascading them down; the other half is
+  // then armed straight into level 0.  Arm order must survive the cascade.
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<int>* fired_ptr = &fired;
+  const Time deadline = sched.now() + Millis(5);
+  for (int i = 0; i < 8; ++i) {
+    sched.AddTimer(deadline, [fired_ptr, i] { fired_ptr->push_back(i); });
+  }
+  sched.AddTimer(sched.now() + Micros(4'900), [fired_ptr] { fired_ptr->push_back(-1); });
+  sched.RunFor(Micros(4'950));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], -1);
+  for (int i = 8; i < 16; ++i) {
+    sched.AddTimer(deadline, [fired_ptr, i] { fired_ptr->push_back(i); });
+  }
+  sched.RunFor(Millis(1));
+  ASSERT_EQ(fired.size(), 17u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fired[i + 1], i) << "equal-deadline FIFO broken at position " << i;
+  }
+}
+
+TEST(TimerWheelEdgeTest, FarFutureTimersFallBackToHeapAndKeepSeqOrder) {
+  // Two hours is beyond the wheel's 2^32-microsecond span, so the first
+  // timer parks on the overflow heap.  A second timer armed much later for
+  // the SAME absolute deadline fits the wheel; the heap node was armed first
+  // (smaller seq) and must win the tie.
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<int>* fired_ptr = &fired;
+  const Time deadline = sched.now() + Seconds(7'200);
+  sched.AddTimer(deadline, [fired_ptr] { fired_ptr->push_back(1); });
+  EXPECT_EQ(sched.pending_timer_count(), 1u);
+  sched.AddTimer(sched.now() + Seconds(7'000), [fired_ptr] { fired_ptr->push_back(0); });
+  sched.RunFor(Seconds(7'000));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0);
+  // Now inside wheel range of the heap timer's deadline: a later-armed twin.
+  sched.AddTimer(deadline, [fired_ptr] { fired_ptr->push_back(2); });
+  sched.RunFor(Seconds(300));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[1], 1) << "heap-parked timer (armed first) lost the equal-deadline tie";
+  EXPECT_EQ(fired[2], 2);
+  EXPECT_EQ(sched.pending_timer_count(), 0u);
+}
+
+TEST(TimerWheelEdgeTest, CancelThenRefireViaRecycledNode) {
+  // Cancelling A frees its intrusive node; arming B immediately reuses it.
+  // The generation counter must keep A's stale handle from touching B.
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<int>* fired_ptr = &fired;
+  TimerHandle a = sched.AddTimer(sched.now() + Millis(2), [fired_ptr] { fired_ptr->push_back(1); });
+  a.Cancel();
+  EXPECT_EQ(sched.pending_timer_count(), 0u);
+  TimerHandle b = sched.AddTimer(sched.now() + Millis(2), [fired_ptr] { fired_ptr->push_back(2); });
+  a.Cancel();  // stale: must NOT cancel b, which recycled a's node
+  EXPECT_EQ(sched.pending_timer_count(), 1u);
+  sched.RunFor(Millis(3));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2);
+  b.Cancel();  // fired already: safe no-op
+  EXPECT_EQ(sched.pending_timer_count(), 0u);
+}
+
+TEST(TimerWheelEdgeTest, CancellationFloodKeepsPendingCountBounded) {
+  // Regression for the old engine, where Cancel only flagged the record and
+  // the heap kept every corpse until its deadline: a hundred thousand
+  // arm/cancel cycles must leave nothing pending, on both the wheel (near
+  // deadlines, O(1) unlink) and the overflow heap (far deadlines, lazy
+  // prune + compaction).
+  Scheduler sched;
+  int fired = 0;
+  int* fired_ptr = &fired;
+  for (int i = 0; i < 100'000; ++i) {
+    TimerHandle h =
+        sched.AddTimer(sched.now() + Millis(1 + i % 50), [fired_ptr] { ++*fired_ptr; });
+    h.Cancel();
+    ASSERT_EQ(sched.pending_timer_count(), 0u) << "wheel cancel leaked at iteration " << i;
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    TimerHandle h =
+        sched.AddTimer(sched.now() + Seconds(10'000 + i % 50), [fired_ptr] { ++*fired_ptr; });
+    h.Cancel();
+    ASSERT_EQ(sched.pending_timer_count(), 0u) << "heap cancel leaked at iteration " << i;
+  }
+  sched.RunFor(Seconds(20'000));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelEdgeTest, KillProcessesMidStormWithPendingWheelTimers) {
+  // Victims parked on WaitFor keep their slab slot pinned until the wheel
+  // fires their wakeup; the fire must notice the corpse, release the slot,
+  // and never resume the destroyed frame.
+  Scheduler sched;
+  int victim_wakeups = 0;
+  int* wakeups_ptr = &victim_wakeups;
+  auto victim = [](Scheduler* s, int* wakeups) -> Process {
+    for (;;) {
+      co_await s->WaitFor(Millis(20));
+      ++*wakeups;
+    }
+  };
+  auto survivor = [](Scheduler* s, int n, int* count) -> Process {
+    for (int i = 0; i < n; ++i) {
+      co_await s->WaitFor(Millis(1));
+      ++*count;
+    }
+  };
+  int survivor_wakeups = 0;
+  for (int i = 0; i < 200; ++i) {
+    sched.Spawn(victim(&sched, wakeups_ptr), "victim");
+  }
+  sched.Spawn(survivor(&sched, 60, &survivor_wakeups), "survivor");
+  sched.RunFor(Millis(10));  // all victims parked mid-interval on wheel timers
+  const size_t timers_before = sched.pending_timer_count();
+  EXPECT_GE(timers_before, 200u);
+  const size_t killed =
+      sched.KillProcesses([](const ProcessCtx& ctx) { return ctx.name == "victim"; });
+  EXPECT_EQ(killed, 200u);
+  // Slots stay pinned by the in-flight wakeups, then drain as they fire.
+  sched.RunFor(Millis(50));
+  EXPECT_EQ(victim_wakeups, 0) << "a killed process was resumed by its pending timer";
+  EXPECT_EQ(survivor_wakeups, 60);
+  sched.RunUntilQuiescent();
+  EXPECT_EQ(sched.pending_timer_count(), 0u);
+  EXPECT_EQ(sched.tracked_process_count(), 0u) << "killed ctxs never returned to the slab";
 }
 
 }  // namespace

@@ -607,26 +607,38 @@ TEST(RandomTest, BoundsRespected) {
   EXPECT_TRUE(Rng(1).Bernoulli(1.0));
 }
 
-TEST(SchedulerTest, PruneCompletedReleasesBookkeeping) {
+TEST(SchedulerTest, CompletedProcessesRecycleAutomatically) {
   Scheduler sched;
   auto quick = []() -> Process { co_return; };
+  std::vector<ProcessHandle> handles;
   for (int i = 0; i < 100; ++i) {
-    sched.Spawn(quick(), "q" + std::to_string(i));
+    handles.push_back(sched.Spawn(quick(), "q" + std::to_string(i)));
   }
   sched.RunUntilQuiescent();
+  // Slab recycling releases bookkeeping the moment a process finishes: no
+  // manual sweep, nothing left tracked, and the shim has nothing to do.
   EXPECT_EQ(sched.live_process_count(), 0u);
-  EXPECT_EQ(sched.tracked_process_count(), 100u);
-  EXPECT_EQ(sched.PruneCompleted(), 100u);
   EXPECT_EQ(sched.tracked_process_count(), 0u);
-  // The scheduler keeps working after a prune.
+  EXPECT_EQ(sched.PruneCompleted(), 0u);
+  // Handles over recycled slots stay safe: they read done, not the slot's
+  // next occupant.
+  for (const ProcessHandle& h : handles) {
+    EXPECT_TRUE(h.done());
+    EXPECT_NO_THROW(h.CheckError());
+  }
+  // The scheduler keeps working, reusing the recycled records.
   int ran = 0;
   auto proc = [](int* flag) -> Process {
     *flag = 1;
     co_return;
   };
-  sched.Spawn(proc(&ran), "after");
+  ProcessHandle after = sched.Spawn(proc(&ran), "after");
+  // A fresh spawn in a recycled slot must not look done through old handles.
+  EXPECT_FALSE(after.done());
   sched.RunUntilQuiescent();
   EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(after.done());
+  EXPECT_EQ(sched.tracked_process_count(), 0u);
 }
 
 TEST(SchedulerTest, ContextSwitchCounting) {

@@ -36,6 +36,17 @@ expensive to debug:
       Raw new/delete outside src/buffer/ is almost always a leak or a
       double-free waiting to happen.
 
+  std-function-member
+      The engine hot path (src/runtime/) is allocation-free in steady state:
+      timers, channels and process records all recycle through intrusive
+      free lists, and the timer path carries its callable in a fixed-size
+      InlineCallback (src/runtime/callback.h).  A std::function member
+      re-introduces a type-erased heap allocation per stored callable and
+      silently undoes that work.  Flagged: std::function variable/member
+      declarations in src/runtime/.  Function parameters (cold-path
+      predicates like Scheduler::KillProcesses) are fine and do not match;
+      a deliberate cold-path member carries a NOLINT with a reason.
+
   bare-assert
       assert() vanishes under -DNDEBUG; invariants in src/ must use
       PANDORA_CHECK/PANDORA_DCHECK from src/runtime/check.h, which are
@@ -106,6 +117,12 @@ THREAD_PRIMITIVES = [
     r"\bpthread_\w+",
     r"(?<![\w.:])(?:sleep|usleep|nanosleep)\s*\(",
 ]
+
+# std::function declaration that ends its statement (rule
+# std-function-member).  A parameter list has ')' between the name and the
+# ';', so cold-path predicate parameters do not match.
+STD_FUNCTION_MEMBER_RE = re.compile(
+    r"std::function\s*<.*>\s*&?\s*[A-Za-z_]\w*\s*(=[^;]*)?;")
 
 # Direct TraceRecorder::Record* call (member access syntax only, so the
 # recorder's own definitions and e.g. Simulation::RecordStream stay clean).
@@ -398,6 +415,15 @@ def lint_file(relpath, text):
                 report(i, "bare-assert",
                        "include of <cassert> in src/; use "
                        "src/runtime/check.h instead")
+            # std-function-member (engine hot path only)
+            if relpath.startswith("src/runtime/"):
+                m = STD_FUNCTION_MEMBER_RE.search(line)
+                if m:
+                    report(i, "std-function-member",
+                           "std::function stored in src/runtime/ heap-"
+                           "allocates its callable; use InlineCallback "
+                           "(src/runtime/callback.h) or an intrusive hook, "
+                           "or NOLINT a documented cold path")
             # segment-channels
             m = SEGMENT_CHANNEL_RE.search(line)
             if m:

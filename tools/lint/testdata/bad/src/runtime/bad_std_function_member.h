@@ -1,0 +1,28 @@
+// Fixture: std::function stored inside the engine hot path — every shape
+// the std-function-member rule must catch (plain member, initialised
+// member, reference member, local variable in a runtime TU).
+#ifndef PANDORA_SRC_RUNTIME_BAD_STD_FUNCTION_MEMBER_H_
+#define PANDORA_SRC_RUNTIME_BAD_STD_FUNCTION_MEMBER_H_
+
+#include <functional>
+
+namespace pandora {
+
+class BadTimerRecord {
+ public:
+  void Arm();
+
+ private:
+  std::function<void()> fire_;  // EXPECT-LINT: std-function-member
+  std::function<int(int)> score_ = nullptr;  // EXPECT-LINT: std-function-member
+  std::function<void()>& shared_hook_;  // EXPECT-LINT: std-function-member
+};
+
+inline void BadLocalCallable() {
+  std::function<void()> deferred;  // EXPECT-LINT: std-function-member
+  (void)deferred;
+}
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_BAD_STD_FUNCTION_MEMBER_H_

@@ -1,0 +1,29 @@
+// Fixture: the sanctioned shapes around the std-function-member rule — an
+// InlineCallback member (the hot-path replacement), std::function taken as
+// a cold-path parameter (does not end the statement, must not match), and a
+// documented NOLINT exemption for a cold-path member.
+#ifndef PANDORA_SRC_RUNTIME_GOOD_INLINE_CALLBACK_H_
+#define PANDORA_SRC_RUNTIME_GOOD_INLINE_CALLBACK_H_
+
+#include <functional>
+
+#include "src/runtime/callback.h"
+
+namespace pandora {
+
+class GoodTimerRecord {
+ public:
+  // Parameters are fine: the predicate is called once on a cold path and
+  // never stored.
+  int CountMatching(const std::function<bool(int)>& predicate) const;
+  void SetDropHook(std::function<void(int)> hook);
+
+ private:
+  TimerCallback fire_;  // inline, fixed-size, allocation-free
+  // Deliberate cold-path storage, documented and suppressed:
+  std::function<void(int)> drop_hook_;  // NOLINT(pandora-std-function-member): fixture
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_GOOD_INLINE_CALLBACK_H_
