@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <new>
 
+#include "src/runtime/shard.h"
+
 #if defined(__SANITIZE_ADDRESS__)
 #define PANDORA_FRAME_POOL_PASSTHROUGH 1
 #elif defined(__has_feature)
@@ -102,7 +104,10 @@ class FramePool {
   static_assert(sizeof(FreeNode) <= sizeof(Header) + kGranule);
 
   static FreeNode*& FreeListHead(std::size_t cls) {
-    static FreeNode* heads[kNumClasses] = {};
+    // Frame recycling is an allocator fast path; under the sharded scheduler
+    // each shard gets its own free lists (no cross-shard frees: a frame dies
+    // on the shard that spawned it).
+    PANDORA_SHARD_LOCAL static FreeNode* heads[kNumClasses] = {};
     return heads[cls];
   }
 };

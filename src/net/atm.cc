@@ -266,6 +266,10 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
         ++total_lost_;  // closed (or re-opened for a new call) while in flight
         co_return;
       }
+      // Re-borrow the hop from the re-fetched circuit: the bridged path is
+      // immutable after OpenCircuit, so this is the same pointer today, but
+      // it keeps every pointer read downstream of a suspension fresh.
+      hop = circuit->path[i];
       Duration jitter = hop->quality.jitter_max > 0
                             ? static_cast<Duration>(hop->rng.Uniform(
                                   0.0, static_cast<double>(hop->quality.jitter_max)))

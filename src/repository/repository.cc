@@ -68,16 +68,26 @@ const Repository::Recording* Repository::Find(StreamId stream) const {
 Process Repository::RecordProc() {
   for (;;) {
     SegmentRef ref = co_await input_.Receive();
-    auto it = recordings_.find(ref->stream);
+    const StreamId stream = ref->stream;
+    auto it = recordings_.find(stream);
+    if (it == recordings_.end() || !it->second.armed) {
+      ++segments_discarded_;
+      co_await ready_.Send(true);
+      continue;
+    }
+    // Accurate recording: every segment is written; the only cost is disk
+    // time, reserved at recorder priority.
+    co_await disk_.Transmit(ref->EncodedSize());
+    // Re-fetch after the disk wait: Finish() may have disarmed — and
+    // repacked — this recording while the write was in flight, and a live
+    // 2ms block appended to a repacked stream would corrupt its timeline.
+    it = recordings_.find(stream);
     if (it == recordings_.end() || !it->second.armed) {
       ++segments_discarded_;
       co_await ready_.Send(true);
       continue;
     }
     Recording& recording = it->second;
-    // Accurate recording: every segment is written; the only cost is disk
-    // time, reserved at recorder priority.
-    co_await disk_.Transmit(ref->EncodedSize());
     if (recording.segments.empty()) {
       recording.first_timestamp = ref->header.timestamp;
     }
@@ -106,7 +116,11 @@ Process Repository::PlayProc(Recording* recording, StreamId as_stream, Channel<S
 
   uint32_t sequence = 0;
   AudioUnpacker unpacker(as_stream, blocks_per_segment);
-  for (const Segment& segment : recording->segments) {
+  // Indexed with a per-step copy, not a range-for: RecordProc may append to
+  // (and Finish() repack) this recording between the waits below, which
+  // invalidates iterators; the copy is the disk read made explicit.
+  for (size_t i = 0; i < recording->segments.size(); ++i) {
+    const Segment segment = recording->segments[i];
     // Real-time pacing from the recorded timestamps.
     Time due = start + (FromTimestampTicks(segment.header.timestamp) - base);
     if (due > sched_->now()) {

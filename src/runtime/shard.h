@@ -1,0 +1,41 @@
+// Shard-readiness annotations for mutable static state.
+//
+// ROADMAP item 1 turns the single-threaded simulator into a sharded M:N
+// scheduler: each Pandora box / switch domain becomes a shard with its own
+// timer wheel, slab and run queue, executed by a pool of OS threads.  At
+// that point every mutable namespace-scope or function-local static in src/
+// is either a data race or a source of cross-shard nondeterminism — the two
+// failure modes the golden-hash and chaos-replay gates exist to catch.
+//
+// tools/lint/shard_audit.py therefore requires every non-const static in
+// src/ to either be constexpr/const or to carry exactly one of these
+// annotations, which make the sharding intent explicit and grep-able:
+//
+//   PANDORA_SHARD_LOCAL
+//       This state must be replicated per shard when threads land (thread-
+//       local, or keyed off the owning shard).  The annotation is the
+//       work-list entry for the sharding PR: `shard_audit --json` inventories
+//       every occurrence so the refactor can be diffed against it.
+//
+//         PANDORA_SHARD_LOCAL static FreeNode* heads[kNumClasses] = {};
+//
+//   PANDORA_SHARD_SHARED(reason)
+//       This state is deliberately cross-shard (a true global).  The reason
+//       string must say how it will be made safe — a lock is NOT an answer
+//       inside src/ (pandora-thread-primitives); sharded designs want
+//       per-shard accumulation with a quiescent merge, or immutable-after-
+//       startup data.
+//
+//         PANDORA_SHARD_SHARED("written only before Scheduler::Run")
+//         static Config g_config;
+//
+// Both annotations compile to nothing: they exist for the auditor and the
+// reader, never for the optimizer (tests/shard_annotation_test.cc pins the
+// zero-overhead guarantee).
+#ifndef PANDORA_SRC_RUNTIME_SHARD_H_
+#define PANDORA_SRC_RUNTIME_SHARD_H_
+
+#define PANDORA_SHARD_LOCAL
+#define PANDORA_SHARD_SHARED(reason)
+
+#endif  // PANDORA_SRC_RUNTIME_SHARD_H_

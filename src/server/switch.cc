@@ -84,12 +84,13 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
   if (cpu_ != nullptr) {
     co_await cpu_->Consume(options_.segment_cost);
   }
-  StreamRoute* route = table_.Find(ref->stream);
+  const StreamId stream = ref->stream;
+  StreamRoute* route = table_.Find(stream);
   if (route == nullptr) {
     // Unrouted stream: discarded (and reported — it usually means a race
     // with teardown or a plumbing mistake).
     reporter_.Report("switch.unrouted", ReportSeverity::kWarning,
-                     "segment for unknown stream " + std::to_string(ref->stream));
+                     "segment for unknown stream " + std::to_string(stream));
     co_return;
   }
   ++route->segments;
@@ -167,6 +168,15 @@ Task<void> Switch::HandleSegment(SegmentRef ref) {
     // temporaries inside co_await expressions that suspend.
     SegmentRef to_send = last ? std::move(ref) : ref.Dup();
     co_await destination.sender.Send(std::move(to_send));
+    // Re-fetch after the suspension: route points into the table, and a
+    // rendezvous wait is exactly when a kCloseRoute command (or, once
+    // shards run in parallel, another thread) can rewrite it.  Today Run
+    // serializes commands behind this handler, so the re-fetch returns the
+    // same route; under ROADMAP item 1 it is load-bearing.
+    route = table_.Find(stream);
+    if (route == nullptr) {
+      co_return;  // stream closed mid-fanout; remaining copies are moot
+    }
   }
 }
 

@@ -1,0 +1,52 @@
+// The shard annotations (src/runtime/shard.h) are vocabulary for
+// tools/lint/shard_audit.py: they must expand to nothing at all, so
+// annotating a declaration can never change codegen, layout or
+// initialization.  Stringification proves the zero-overhead claim at
+// compile time: an empty expansion stringifies to "".
+
+#include "src/runtime/shard.h"
+
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pandora {
+namespace {
+
+#define PANDORA_TEST_STR_IMPL(x) #x
+#define PANDORA_TEST_STR(x) PANDORA_TEST_STR_IMPL(x)
+
+// An empty macro expansion stringifies to the empty string literal, whose
+// sizeof is exactly the terminating NUL.
+static_assert(sizeof(PANDORA_TEST_STR(PANDORA_SHARD_LOCAL)) == 1,
+              "PANDORA_SHARD_LOCAL must expand to nothing");
+static_assert(sizeof(PANDORA_TEST_STR(PANDORA_SHARD_SHARED("any reason"))) == 1,
+              "PANDORA_SHARD_SHARED must swallow its reason entirely");
+
+// Annotated declarations are plain declarations: same type, same size,
+// same constant-initializability as their unannotated spelling.
+PANDORA_SHARD_LOCAL int g_annotated_counter = 41;
+PANDORA_SHARD_SHARED("test-only: single-threaded gtest process")
+constinit int g_annotated_shared = 7;
+
+static_assert(sizeof(g_annotated_counter) == sizeof(int));
+
+TEST(ShardAnnotationTest, ExpandsToNothing) {
+  EXPECT_STREQ(PANDORA_TEST_STR(PANDORA_SHARD_LOCAL), "");
+  EXPECT_STREQ(PANDORA_TEST_STR(PANDORA_SHARD_SHARED("why")), "");
+}
+
+TEST(ShardAnnotationTest, AnnotatedVariablesBehaveNormally) {
+  EXPECT_EQ(g_annotated_counter, 41);
+  ++g_annotated_counter;
+  EXPECT_EQ(g_annotated_counter, 42);
+  EXPECT_EQ(g_annotated_shared, 7);
+
+  PANDORA_SHARD_LOCAL static std::string scratch = "pandora";
+  scratch += ".shard";
+  EXPECT_EQ(scratch, "pandora.shard");
+}
+
+}  // namespace
+}  // namespace pandora

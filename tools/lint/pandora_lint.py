@@ -14,6 +14,32 @@ expensive to debug:
       Flagged: taking the address of an awaiter data member inside
       await_suspend.
 
+  suspension-borrow
+      The generalization of awaiter-retained-address to whole coroutine
+      bodies, and the static form of the PR 3 Circuit* use-after-free: a raw
+      pointer, reference or iterator borrowed from scheduler-, pool- or
+      map-owned state (FindCircuit(), table_.Find(), it->second.get(),
+      container.find()/begin(), container[i], WireRef::get(), ...) must not
+      be used after a co_await unless it was re-fetched since the
+      suspension.  Today a stale borrow is a logic bug only when the owner
+      mutates during the wait; under the sharded M:N scheduler (ROADMAP
+      item 1) every one of these is a cross-thread use-after-free.  Flagged:
+      a use of a borrowed pointer/reference/iterator with a suspension point
+      between it and its latest (re)binding, including uses reached through
+      a loop back edge; and range-for loops over owned containers whose body
+      suspends.  Fix by re-fetching after each co_await (atm.cc ForwardProc
+      is the model) or copying the data out before suspending; a borrow
+      whose owner is provably immortal carries a NOLINT with the reason.
+
+  unordered-iteration
+      Iteration order of std::unordered_{map,set} depends on hash seeding,
+      insertion history and libstdc++ version.  Any loop over an unordered
+      container whose order can reach dispatch, trace output or golden
+      hashes makes runs irreproducible — and under sharding, per-shard
+      nondeterminism.  src/ currently has no unordered containers; this
+      rule keeps it that way unless iteration is provably order-independent
+      (NOLINT with the reason) or runs over a sorted snapshot.
+
   thread-primitives
       src/ runs on a single-threaded discrete-event scheduler; determinism
       is part of the design (reproducible experiments, exact-seed replay).
@@ -78,6 +104,10 @@ expensive to debug:
       section 9) removed.  Inside src/, plumb Channel<SegmentRef> (decoded,
       pool-backed) or NetTx/NetRx wire handles (encoded bytes) instead.
 
+The mutable-global audit (every non-const static in src/ must carry a
+PANDORA_SHARD_LOCAL / PANDORA_SHARD_SHARED annotation) is the cross-file
+sibling of this tool: tools/lint/shard_audit.py.
+
 Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
 "// NOLINT") to the offending line, with a reason:
 
@@ -85,6 +115,7 @@ Suppress a finding by appending "// NOLINT(pandora-<rule>)" (or a bare
 
 Usage:
     pandora_lint.py [--root DIR]      # lint src/ tests/ bench/ examples/
+    pandora_lint.py --timing ...      # also print per-rule wall time
     pandora_lint.py --self-test       # run against tools/lint/testdata/
 """
 
@@ -92,31 +123,21 @@ import argparse
 import os
 import re
 import sys
+import time
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 SOURCE_EXTS = (".h", ".cc", ".cpp")
 
 ALLOWED_INCLUDE_PREFIXES = ("src/", "tests/", "bench/", "examples/", "tools/")
 
-THREAD_PRIMITIVES = [
-    r"std::thread\b",
-    r"std::jthread\b",
-    r"std::mutex\b",
-    r"std::timed_mutex\b",
-    r"std::recursive_mutex\b",
-    r"std::shared_mutex\b",
-    r"std::condition_variable\b",
-    r"std::counting_semaphore\b",
-    r"std::binary_semaphore\b",
-    r"std::latch\b",
-    r"std::barrier\b",
-    r"std::future\b",
-    r"std::promise\b",
-    r"std::async\b",
-    r"std::this_thread\b",
-    r"\bpthread_\w+",
-    r"(?<![\w.:])(?:sleep|usleep|nanosleep)\s*\(",
-]
+# One alternation so the per-line scan is a single regex pass.
+THREAD_PRIMITIVES_RE = re.compile(
+    r"std::(?:j?thread|timed_mutex|recursive_mutex|shared_mutex|mutex|"
+    r"condition_variable|counting_semaphore|binary_semaphore|latch|barrier|"
+    r"future|promise|async|this_thread)\b"
+    r"|\bpthread_\w+"
+    r"|(?<![\w.:])(?:sleep|usleep|nanosleep)\s*\("
+)
 
 # std::function declaration that ends its statement (rule
 # std-function-member).  A parameter list has ')' between the name and the
@@ -155,6 +176,12 @@ THREAD_INCLUDES = [
     "<barrier>",
     "<future>",
 ]
+THREAD_INCLUDE_RE = re.compile(
+    r"\s*#\s*include\s+(" + "|".join(re.escape(i) for i in THREAD_INCLUDES) + ")")
+
+BARE_ASSERT_RE = re.compile(r"(?<!static_)\bassert\s*\(")
+ASSERT_INCLUDE_RE = re.compile(r"\s*#\s*include\s+<(cassert|assert\.h)>")
+INCLUDE_RE = re.compile(r'\s*#\s*include\s+"([^"]+)"')
 
 
 class Finding:
@@ -206,9 +233,14 @@ def strip_comments_and_strings(text):
                 out.append(" ")
                 i += 1
             elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
+                if i > 0 and text[i - 1].isdigit() and nxt.isdigit():
+                    # C++14 digit separator (64'000), not a char literal.
+                    out.append("'")
+                    i += 1
+                else:
+                    state = "char"
+                    out.append(" ")
+                    i += 1
             else:
                 out.append(c)
                 i += 1
@@ -282,6 +314,81 @@ def line_of(text, idx):
     return text.count("\n", 0, idx) + 1
 
 
+# --- shared per-file context -------------------------------------------------
+#
+# Every rule works off one FileContext: the file is read once, comment/string-
+# stripped once and split once, and the more expensive derived structures
+# (function bodies, loop extents) are computed lazily and shared.  Rules must
+# not re-read or re-strip the file.
+
+FN_HEAD_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "co_await", "co_yield",
+    "co_return", "sizeof", "alignof", "decltype", "noexcept", "assert",
+))
+
+FN_BODY_RE = re.compile(r"\)[^;{}()]*\{")
+# A lambda with no parameter list ("[&] { ... }") has no ')' before its body;
+# its brace follows the capture list directly.
+LAMBDA_NOPAREN_RE = re.compile(r"\]\s*(?:mutable\s*)?(?:noexcept\s*)?\{")
+LOOP_HEAD_RE = re.compile(r"\b(for|while)\s*\(")
+DO_LOOP_RE = re.compile(r"\bdo\s*\{")
+CO_AWAIT_RE = re.compile(r"\bco_(?:await|yield)\b")
+
+
+class FileContext:
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.text = text
+        self.raw_lines = text.split("\n")
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.split("\n")
+        self.in_src = relpath.startswith("src/")
+        self.is_header = relpath.endswith(".h")
+        self._fn_bodies = None
+
+    def function_bodies(self):
+        """Spans (open_brace_idx, close_brace_idx) of function-like bodies:
+        free/member functions and lambdas, excluding control-flow blocks."""
+        if self._fn_bodies is None:
+            self._fn_bodies = self._find_function_bodies()
+        return self._fn_bodies
+
+    def _find_function_bodies(self):
+        code = self.code
+        bodies = []
+        for m in FN_BODY_RE.finditer(code):
+            open_brace = m.end() - 1
+            # Walk back to the '(' matching the ')' that opened this match.
+            depth = 0
+            i = m.start()
+            while i >= 0:
+                if code[i] == ")":
+                    depth += 1
+                elif code[i] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i -= 1
+            if i < 0:
+                continue
+            head = code[:i].rstrip()
+            kw = re.search(r"([A-Za-z_]\w*)\s*$", head)
+            if kw and kw.group(1) in FN_HEAD_KEYWORDS:
+                continue  # if (...) { / while (...) { / ... are not functions
+            close = find_matching_brace(code, open_brace)
+            if close < 0:
+                continue
+            bodies.append((open_brace, close))
+        for m in LAMBDA_NOPAREN_RE.finditer(code):
+            open_brace = m.end() - 1
+            close = find_matching_brace(code, open_brace)
+            if close >= 0:
+                bodies.append((open_brace, close))
+        return bodies
+
+
+# --- rule: awaiter-retained-address -----------------------------------------
+
 MEMBER_RE = re.compile(
     r"^\s*(?!return\b|if\b|for\b|while\b|switch\b|else\b|using\b|typedef\b|"
     r"static_assert\b|public\b|private\b|protected\b|friend\b|template\b|"
@@ -310,8 +417,11 @@ def awaiter_members(struct_body):
     return {m.group(1) for m in MEMBER_RE.finditer(flat)}
 
 
-def check_awaiter_addresses(relpath, code, raw_lines, report):
-    """Rule awaiter-retained-address (see module docstring)."""
+def rule_awaiter_retained_address(ctx, report):
+    """Rule awaiter-retained-address (see module docstring).
+
+    Runs everywhere: tests define awaiters too."""
+    code = ctx.code
     # Find struct/class bodies that define await_suspend.
     for m in re.finditer(r"\b(?:struct|class)\s+([A-Za-z_]\w*)[^;{]*\{", code):
         open_idx = m.end() - 1
@@ -353,21 +463,267 @@ def check_awaiter_addresses(relpath, code, raw_lines, report):
             )
 
 
-def lint_file(relpath, text):
-    """Lints one file; returns a list of Findings (before NOLINT filtering)."""
-    findings = []
-    raw_lines = text.split("\n")
-    code = strip_comments_and_strings(text)
-    code_lines = code.split("\n")
-    in_src = relpath.startswith("src/")
-    is_header = relpath.endswith(".h")
+# --- rule: suspension-borrow -------------------------------------------------
+#
+# A per-coroutine dataflow approximation.  Within each function body that
+# contains a suspension point:
+#
+#   1. Collect "borrow" variables: pointer/reference/iterator locals whose
+#      initializer reaches into owned state (BORROW_SOURCE_RE below).
+#   2. Collect every (re)binding position of each borrow (declaration plus
+#      plain assignments — the ForwardProc re-fetch idiom).
+#   3. Flag a use when a suspension point lies between the textually latest
+#      binding and the use (straight-line staleness), or when the use sits in
+#      a loop that suspends and neither the loop tail after its last
+#      suspension nor the loop head before the use re-binds the borrow (the
+#      back-edge case: iteration N+1 reads a pointer fetched before
+#      iteration N's co_await).
+#   4. Flag range-for statements whose range expression is a plain member /
+#      deref chain (borrowing the container in place, not a returned
+#      temporary) and whose body suspends: the hidden begin/end iterators
+#      live across every suspension in the body.
+#
+# One finding per variable per function (the first stale use) keeps the
+# output actionable.
 
-    def report(line, rule, message):
-        findings.append(Finding(relpath, line, rule, message))
+BORROW_SOURCE_RE = re.compile(
+    r"(?:\.|->)get\s*\(\s*\)"                        # WireRef::get(), unique_ptr::get()
+    r"|\bFind\w*\s*\("                               # FindCircuit(), table_.Find()
+    r"|->\s*second\b"                                # map-iterator payload
+    r"|(?:\.|->)(?:find|begin|cbegin|end|cend|lower_bound|upper_bound)\s*\("
+    r"|(?:\.|->)(?:front|back|data)\s*\(\s*\)"
+    r"|\]\s*$"                                       # container element: path[i]
+)
 
-    # --- include-path ------------------------------------------------------
-    for i, line in enumerate(code_lines, 1):
-        m = re.match(r'\s*#\s*include\s+"([^"]+)"', raw_lines[i - 1])
+PTR_REF_DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*"
+    r"(?:const\s+)?(?:[A-Za-z_][\w:]*(?:<[^<>;]*>)?|auto)\s*[*&]+\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*=\s*(?P<init>[^;]*);"
+)
+
+AUTO_DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:const\s+)?auto\s+(?P<name>[A-Za-z_]\w*)\s*=\s*(?P<init>[^;]*);"
+)
+
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>\[\]]+(?:\s*[*&]+\s*|\s+[*&]?\s*)"
+    r"[A-Za-z_]\w*\s*:\s*(?P<range>[^)]*)\)\s*\{"
+)
+
+# A range expression that borrows the container in place: a member / deref /
+# index chain with no function call (a call's return value is a temporary the
+# range-for itself owns).
+RANGE_BORROW_RE = re.compile(r"^[\w.\->\[\]_\s*&]+$")
+RANGE_OWNED_RE = re.compile(r"->|\.|\w_\b|\w_\.")
+
+
+JUMP_TAIL_RE = re.compile(r"(?:\bcontinue|\bbreak|\bco_return\b[^;{}]*|\breturn\b[^;{}]*)\s*;\s*$")
+
+
+def _jump_terminated_blocks(body):
+    """(open, close) spans of brace blocks whose last statement jumps."""
+    blocks = []
+    stack = []
+    for i, c in enumerate(body):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            bs = stack.pop()
+            if JUMP_TAIL_RE.search(body[bs + 1:i].rstrip()):
+                blocks.append((bs, i))
+    return blocks
+
+
+def _loop_spans(body):
+    """(start, end) spans of loop bodies within `body` (local offsets)."""
+    spans = []
+    for m in LOOP_HEAD_RE.finditer(body):
+        # Skip the loop head's parenthesised clause, then expect '{'.
+        depth = 0
+        i = m.end() - 1
+        n = len(body)
+        while i < n:
+            if body[i] == "(":
+                depth += 1
+            elif body[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        j = i + 1
+        while j < n and body[j].isspace():
+            j += 1
+        if j >= n or body[j] != "{":
+            continue  # single-statement loop body: nothing suspends in one stmt
+        close = find_matching_brace(body, j)
+        if close < 0:
+            continue
+        spans.append((j, close))
+    for m in DO_LOOP_RE.finditer(body):
+        open_idx = m.end() - 1
+        close = find_matching_brace(body, open_idx)
+        if close >= 0:
+            spans.append((open_idx, close))
+    return spans
+
+
+def rule_suspension_borrow(ctx, report):
+    if not ctx.in_src:
+        return
+    code = ctx.code
+    bodies = ctx.function_bodies()
+    for (open_brace, close_brace) in bodies:
+        body = code[open_brace + 1:close_brace]
+        if not CO_AWAIT_RE.search(body):
+            continue
+        # Mask nested function-like bodies (lambdas, local structs): they are
+        # separate coroutine scopes and are analyzed on their own.
+        masked = body
+        for (o2, c2) in bodies:
+            if open_brace < o2 and c2 < close_brace:
+                s = o2 - (open_brace + 1)
+                e = c2 - (open_brace + 1) + 1
+                masked = masked[:s] + re.sub(r"[^\n]", " ", masked[s:e]) + masked[e:]
+        # A suspension "takes effect" at the end of its statement: the
+        # co_await operand expression is evaluated before suspending, so a
+        # borrow used inside the operand is not stale yet.
+        suspensions = []
+        for m in CO_AWAIT_RE.finditer(masked):
+            stmt_end = masked.find(";", m.end())
+            suspensions.append(stmt_end if stmt_end >= 0 else m.start())
+        if not suspensions:
+            continue
+        loops = [(ls, le) for (ls, le) in _loop_spans(masked)
+                 if any(ls < s < le for s in suspensions)]
+        # Blocks whose last statement jumps (continue/break/return/co_return)
+        # never fall through: a suspension inside one cannot precede a use
+        # beyond its closing brace on any straight-line path.
+        jump_blocks = _jump_terminated_blocks(masked)
+        base = open_brace + 1  # offset of body within code
+
+        # ---- borrowed locals --------------------------------------------
+        borrows = {}  # name -> decl position (local offset)
+        for decl_re in (PTR_REF_DECL_RE, AUTO_DECL_RE):
+            for m in decl_re.finditer(masked):
+                init = m.group("init").rstrip()
+                if BORROW_SOURCE_RE.search(init):
+                    name = m.group("name")
+                    if name not in borrows or m.start("name") < borrows[name]:
+                        borrows[name] = m.start("name")
+
+        for name, decl_pos in sorted(borrows.items(), key=lambda kv: kv[1]):
+            bind_re = re.compile(r"(?<![\w.])" + re.escape(name) + r"\s*=(?![=])")
+            bindings = sorted({decl_pos} |
+                              {m.start() for m in bind_re.finditer(masked)})
+            use_re = re.compile(r"\b" + re.escape(name) + r"\b")
+            flagged = False
+            for um in use_re.finditer(masked):
+                u = um.start()
+                if u <= decl_pos:
+                    continue
+                if any(b <= u < b + len(name) + 4 for b in bindings):
+                    continue  # this occurrence is a (re)binding, not a use
+                latest = max((b for b in bindings if b < u), default=decl_pos)
+                stale = any(
+                    latest < s < u and not any(
+                        bs < s < be < u for (bs, be) in jump_blocks)
+                    for s in suspensions)
+                if not stale:
+                    for (ls, le) in loops:
+                        if not (ls < u < le):
+                            continue
+                        s_last = max(s for s in suspensions if ls < s < le)
+                        rebinds_tail = any(s_last < b < le for b in bindings)
+                        rebinds_head = any(ls < b < u for b in bindings)
+                        if not rebinds_tail and not rebinds_head:
+                            stale = True
+                            break
+                if stale:
+                    report(
+                        line_of(code, base + u),
+                        "suspension-borrow",
+                        f"'{name}' borrows owned state (declared at line "
+                        f"{line_of(code, base + decl_pos)}) and is used after "
+                        "a co_await without being re-fetched; the owner can "
+                        "mutate during the suspension — and will, once shards "
+                        "run in parallel (ROADMAP item 1).  Re-fetch after "
+                        "every suspension (see AtmNetwork::ForwardProc), copy "
+                        "the data out first, or NOLINT with the reason the "
+                        "owner is stable",
+                    )
+                    flagged = True
+                    break  # one finding per borrow per function
+            del flagged
+
+        # ---- range-for over owned containers ----------------------------
+        for m in RANGE_FOR_RE.finditer(masked):
+            range_expr = m.group("range").strip()
+            if not RANGE_BORROW_RE.match(range_expr):
+                continue  # call result: a temporary owned by the loop itself
+            if not RANGE_OWNED_RE.search(range_expr):
+                continue  # plain local: frame-owned, safe across suspension
+            fopen = m.end() - 1
+            fclose = find_matching_brace(masked, fopen)
+            if fclose < 0:
+                continue
+            if not CO_AWAIT_RE.search(masked[fopen:fclose]):
+                continue
+            report(
+                line_of(code, base + m.start()),
+                "suspension-borrow",
+                f"range-for over '{range_expr}' holds iterators into owned "
+                "state across the suspension points in its body; growth, "
+                "repack or teardown during a wait invalidates them.  Iterate "
+                "by index with a per-step bounds check, copy the element out "
+                "before suspending, or NOLINT with the reason the container "
+                "cannot change",
+            )
+
+
+# --- rule: unordered-iteration ----------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;{=(]"
+)
+ANY_RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?P<range>[^)]*)\)")
+
+
+def rule_unordered_iteration(ctx, report):
+    if not ctx.in_src:
+        return
+    code = ctx.code
+    names = {m.group("name") for m in UNORDERED_DECL_RE.finditer(code)}
+    if not names:
+        return
+    name_alt = "|".join(re.escape(n) for n in sorted(names))
+    begin_re = re.compile(r"\b(" + name_alt + r")\s*(?:\.|->)\s*c?begin\s*\(")
+    member_re = re.compile(r"\b(" + name_alt + r")\b")
+    msg = (
+        "iterates an unordered container ('{}'); the visit order depends on "
+        "hash seed and insertion history, so anything it feeds — dispatch, "
+        "trace output, golden hashes — goes nondeterministic (and per-shard "
+        "divergent under ROADMAP item 1).  Iterate a sorted snapshot, use "
+        "std::map, or NOLINT with the reason order cannot escape"
+    )
+    for m in ANY_RANGE_FOR_RE.finditer(code):
+        hit = member_re.search(m.group("range"))
+        if hit:
+            report(line_of(code, m.start()), "unordered-iteration",
+                   msg.format(hit.group(1)))
+    for m in begin_re.finditer(code):
+        report(line_of(code, m.start()), "unordered-iteration",
+               msg.format(m.group(1)))
+
+
+# --- line-scan rules ---------------------------------------------------------
+
+
+def rule_include_path(ctx, report):
+    for i, raw in enumerate(ctx.raw_lines, 1):
+        m = INCLUDE_RE.match(raw)
         if m and not m.group(1).startswith(ALLOWED_INCLUDE_PREFIXES):
             report(
                 i, "include-path",
@@ -375,109 +731,170 @@ def lint_file(relpath, text):
                 "(expected a src/, tests/, bench/, examples/ or tools/ prefix)",
             )
 
-    # --- include-guard (src headers only) ----------------------------------
-    if in_src and is_header:
-        expected = (
-            "PANDORA_" + relpath[:-len(".h")].upper().replace("/", "_").replace(".", "_")
-            + "_H_"
-        )
-        gm = re.search(r"#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)", code)
-        if not gm:
-            report(1, "include-guard",
-                   f"missing include guard (expected {expected})")
-        elif gm.group(1) != expected or gm.group(2) != expected:
-            report(line_of(code, gm.start()), "include-guard",
-                   f"include guard {gm.group(1)} does not match path "
-                   f"(expected {expected})")
 
-    # --- src-only rules -----------------------------------------------------
-    if in_src:
-        for i, line in enumerate(code_lines, 1):
-            raw = raw_lines[i - 1]
-            # thread-primitives
-            for pat in THREAD_PRIMITIVES:
-                m = re.search(pat, line)
-                if m:
-                    report(i, "thread-primitives",
-                           f"'{m.group(0).strip()}' breaks the deterministic "
-                           "single-threaded scheduler contract of src/")
-            for inc in THREAD_INCLUDES:
-                if re.match(r"\s*#\s*include\s+" + re.escape(inc), raw):
-                    report(i, "thread-primitives",
-                           f"include of {inc} in src/ (threading primitives "
-                           "are banned inside the simulator)")
-            # bare-assert
-            if re.search(r"(?<!static_)\bassert\s*\(", line):
-                report(i, "bare-assert",
-                       "assert() is compiled out under -DNDEBUG; use "
-                       "PANDORA_CHECK/PANDORA_DCHECK (src/runtime/check.h)")
-            if re.match(r"\s*#\s*include\s+<(cassert|assert\.h)>", raw):
-                report(i, "bare-assert",
-                       "include of <cassert> in src/; use "
-                       "src/runtime/check.h instead")
-            # std-function-member (engine hot path only)
-            if relpath.startswith("src/runtime/"):
-                m = STD_FUNCTION_MEMBER_RE.search(line)
-                if m:
-                    report(i, "std-function-member",
-                           "std::function stored in src/runtime/ heap-"
-                           "allocates its callable; use InlineCallback "
-                           "(src/runtime/callback.h) or an intrusive hook, "
-                           "or NOLINT a documented cold path")
-            # segment-channels
-            m = SEGMENT_CHANNEL_RE.search(line)
-            if m:
-                report(i, "segment-channels",
-                       "Channel<Segment> copies header+payload at every "
-                       "rendezvous; pass Channel<SegmentRef> (pool handles) "
-                       "or NetTx/NetRx wire handles instead (DESIGN.md §9)")
-            # raw-new-delete (placement new included; the only exemption is
-            # the buffer allocator itself)
-            if not relpath.startswith("src/buffer/"):
-                if re.search(r"\bnew\b", line):
-                    report(i, "raw-new-delete",
-                           "raw 'new' outside src/buffer/ — memory comes "
-                           "from BufferPool or standard containers")
-                dm = re.search(r"\bdelete\b(?!\s*;)", line)
-                if dm:
-                    report(i, "raw-new-delete",
-                           "raw 'delete' outside src/buffer/ — memory comes "
-                           "from BufferPool or standard containers")
+def rule_include_guard(ctx, report):
+    if not (ctx.in_src and ctx.is_header):
+        return
+    relpath = ctx.relpath
+    expected = (
+        "PANDORA_" + relpath[:-len(".h")].upper().replace("/", "_").replace(".", "_")
+        + "_H_"
+    )
+    gm = re.search(r"#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)", ctx.code)
+    if not gm:
+        report(1, "include-guard",
+               f"missing include guard (expected {expected})")
+    elif gm.group(1) != expected or gm.group(2) != expected:
+        report(line_of(ctx.code, gm.start()), "include-guard",
+               f"include guard {gm.group(1)} does not match path "
+               f"(expected {expected})")
 
-    # --- trace-macros (everywhere except the recorder itself) ---------------
-    if not relpath.startswith("src/trace/"):
-        for i, line in enumerate(code_lines, 1):
-            m = TRACE_RECORD_RE.search(line)
-            if m:
-                report(i, "trace-macros",
-                       "direct TraceRecorder::Record* call; use the "
-                       "PANDORA_TRACE_* macros (src/trace/trace.h), which "
-                       "own the enabled-guard and compile-out path")
 
-    # --- fault-hooks (everywhere except the fault layer and the network) ----
-    if not relpath.startswith(FAULT_HOOK_ALLOWED):
-        for i, line in enumerate(code_lines, 1):
-            m = FAULT_HOOK_RE.search(line)
-            if m:
-                name = m.group(0).rstrip("( \t")
-                report(i, "fault-hooks",
-                       f"direct impairment call '{name}' outside src/fault/ "
-                       "and src/net/ bypasses the FaultDriver's restore "
-                       "bookkeeping; script it in a FaultPlan "
-                       "(src/fault/plan.h) so the run stays reproducible")
+def rule_thread_primitives(ctx, report):
+    if not ctx.in_src:
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        for m in THREAD_PRIMITIVES_RE.finditer(line):
+            report(i, "thread-primitives",
+                   f"'{m.group(0).strip()}' breaks the deterministic "
+                   "single-threaded scheduler contract of src/")
+        im = THREAD_INCLUDE_RE.match(ctx.raw_lines[i - 1])
+        if im:
+            report(i, "thread-primitives",
+                   f"include of {im.group(1)} in src/ (threading primitives "
+                   "are banned inside the simulator)")
 
-    # --- awaiter-retained-address (everywhere: tests define awaiters too) ---
-    check_awaiter_addresses(relpath, code, raw_lines, report)
 
-    # --- NOLINT filtering ---------------------------------------------------
+def rule_bare_assert(ctx, report):
+    if not ctx.in_src:
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        if BARE_ASSERT_RE.search(line):
+            report(i, "bare-assert",
+                   "assert() is compiled out under -DNDEBUG; use "
+                   "PANDORA_CHECK/PANDORA_DCHECK (src/runtime/check.h)")
+        if ASSERT_INCLUDE_RE.match(ctx.raw_lines[i - 1]):
+            report(i, "bare-assert",
+                   "include of <cassert> in src/; use "
+                   "src/runtime/check.h instead")
+
+
+def rule_std_function_member(ctx, report):
+    if not ctx.relpath.startswith("src/runtime/"):
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        if STD_FUNCTION_MEMBER_RE.search(line):
+            report(i, "std-function-member",
+                   "std::function stored in src/runtime/ heap-"
+                   "allocates its callable; use InlineCallback "
+                   "(src/runtime/callback.h) or an intrusive hook, "
+                   "or NOLINT a documented cold path")
+
+
+def rule_segment_channels(ctx, report):
+    if not ctx.in_src:
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        if SEGMENT_CHANNEL_RE.search(line):
+            report(i, "segment-channels",
+                   "Channel<Segment> copies header+payload at every "
+                   "rendezvous; pass Channel<SegmentRef> (pool handles) "
+                   "or NetTx/NetRx wire handles instead (DESIGN.md §9)")
+
+
+def rule_raw_new_delete(ctx, report):
+    # Placement new included; the only exemption is the buffer allocator.
+    if not ctx.in_src or ctx.relpath.startswith("src/buffer/"):
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        if re.search(r"\bnew\b", line):
+            report(i, "raw-new-delete",
+                   "raw 'new' outside src/buffer/ — memory comes "
+                   "from BufferPool or standard containers")
+        if re.search(r"\bdelete\b(?!\s*;)", line):
+            report(i, "raw-new-delete",
+                   "raw 'delete' outside src/buffer/ — memory comes "
+                   "from BufferPool or standard containers")
+
+
+def rule_trace_macros(ctx, report):
+    if ctx.relpath.startswith("src/trace/"):
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        if TRACE_RECORD_RE.search(line):
+            report(i, "trace-macros",
+                   "direct TraceRecorder::Record* call; use the "
+                   "PANDORA_TRACE_* macros (src/trace/trace.h), which "
+                   "own the enabled-guard and compile-out path")
+
+
+def rule_fault_hooks(ctx, report):
+    if ctx.relpath.startswith(FAULT_HOOK_ALLOWED):
+        return
+    for i, line in enumerate(ctx.code_lines, 1):
+        m = FAULT_HOOK_RE.search(line)
+        if m:
+            name = m.group(0).rstrip("( \t")
+            report(i, "fault-hooks",
+                   f"direct impairment call '{name}' outside src/fault/ "
+                   "and src/net/ bypasses the FaultDriver's restore "
+                   "bookkeeping; script it in a FaultPlan "
+                   "(src/fault/plan.h) so the run stays reproducible")
+
+
+# Registry: (rule id used for timing, function).  A function may report
+# findings under more than one closely-related message but always under the
+# id it is registered with.
+RULES = [
+    ("include-path", rule_include_path),
+    ("include-guard", rule_include_guard),
+    ("thread-primitives", rule_thread_primitives),
+    ("bare-assert", rule_bare_assert),
+    ("std-function-member", rule_std_function_member),
+    ("segment-channels", rule_segment_channels),
+    ("raw-new-delete", rule_raw_new_delete),
+    ("trace-macros", rule_trace_macros),
+    ("fault-hooks", rule_fault_hooks),
+    ("awaiter-retained-address", rule_awaiter_retained_address),
+    ("suspension-borrow", rule_suspension_borrow),
+    ("unordered-iteration", rule_unordered_iteration),
+]
+
+# rule id -> accumulated seconds across all linted files this run.
+RULE_TIMES = {}
+
+
+def lint_file(relpath, text):
+    """Lints one file; returns a list of Findings (after NOLINT filtering)."""
+    ctx = FileContext(relpath, text)
+    findings = []
+
+    def report(line, rule, message):
+        findings.append(Finding(relpath, line, rule, message))
+
+    for rule_id, fn in RULES:
+        started = time.perf_counter()
+        fn(ctx, report)
+        RULE_TIMES[rule_id] = RULE_TIMES.get(rule_id, 0.0) + (
+            time.perf_counter() - started)
+
     kept = []
     for f in findings:
-        raw = raw_lines[f.line - 1] if 0 < f.line <= len(raw_lines) else ""
+        raw = ctx.raw_lines[f.line - 1] if 0 < f.line <= len(ctx.raw_lines) else ""
         suppressed = nolint_rules(raw)
         if suppressed == "all" or (suppressed and f.rule in suppressed):
             continue
         kept.append(f)
     return kept
+
+
+def print_rule_times(out=sys.stdout):
+    total = sum(RULE_TIMES.values())
+    print("pandora-lint per-rule timing:", file=out)
+    for rule_id, secs in sorted(RULE_TIMES.items(), key=lambda kv: -kv[1]):
+        share = (100.0 * secs / total) if total > 0 else 0.0
+        print(f"  {rule_id:<26} {secs * 1000:8.2f} ms  {share:5.1f}%", file=out)
+    print(f"  {'total':<26} {total * 1000:8.2f} ms", file=out)
 
 
 def iter_source_files(root, dirs):
@@ -546,6 +963,8 @@ def main(argv=None):
                         help="repository root (default: two levels up from this script)")
     parser.add_argument("--self-test", action="store_true",
                         help="lint the known-good/known-bad fixtures in testdata/")
+    parser.add_argument("--timing", action="store_true",
+                        help="print per-rule wall time after the run")
     parser.add_argument("paths", nargs="*",
                         help="specific files to lint (relative to --root)")
     args = parser.parse_args(argv)
@@ -555,6 +974,8 @@ def main(argv=None):
 
     if args.self_test:
         failures, checked = run_self_test(os.path.join(script_dir, "testdata"))
+        if args.timing:
+            print_rule_times()
         if failures:
             print("\n".join(failures))
             print(f"pandora-lint self-test: FAILED ({len(failures)} mismatches "
@@ -581,6 +1002,8 @@ def main(argv=None):
 
     for f in findings:
         print(f)
+    if args.timing:
+        print_rule_times()
     if findings:
         print(f"pandora-lint: {len(findings)} finding(s) in {count} files")
         return 1

@@ -1,0 +1,471 @@
+#!/usr/bin/env python3
+"""pandora shard_audit -- whole-repo mutable-static inventory for sharding.
+
+The per-file linter (pandora_lint.py) checks local idioms; this pass walks
+all of src/ at once and builds the work-list for ROADMAP item 1 (the sharded
+M:N scheduler): every piece of static mutable state that will become a data
+race -- or a cross-shard determinism leak -- the day scheduler shards run on
+real threads.
+
+Two kinds of declaration are inventoried:
+
+  * `static` declarations, wherever they appear: function-local statics,
+    namespace-scope statics, and class-static data members.
+  * plain namespace-scope variable definitions (globals without `static`).
+
+Each entry is classified const/constexpr (immutable: fine) or mutable.  A
+mutable entry must carry exactly one annotation from src/runtime/shard.h,
+immediately before the declaration:
+
+  PANDORA_SHARD_LOCAL            -- to be replicated per shard
+  PANDORA_SHARD_SHARED("why")    -- deliberately cross-shard; reason required
+
+Anything mutable and unannotated is an error (rule `mutable-global`), as is
+a PANDORA_SHARD_SHARED with an empty reason (`shard-shared-reason`) or use
+of the macros without including src/runtime/shard.h (`missing-include`).
+
+`--json FILE` dumps the full inventory (annotated entries included) so CI
+can archive it per commit; the sharding PR is reviewed against that diff.
+
+Known heuristic limit: a variable defined with constructor-paren syntax and
+no `=` (e.g. `static Foo f(1);`) is indistinguishable from a function
+prototype and is skipped -- use `= Foo(...)` or brace-init, which the rest
+of src/ already does.
+
+Usage:
+  tools/lint/shard_audit.py [--root DIR] [--json FILE] [--self-test]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from pandora_lint import (  # noqa: E402
+    FileContext,
+    find_matching_brace,
+    iter_source_files,
+    line_of,
+)
+
+STATIC_RE = re.compile(r"\bstatic\b")
+NAMESPACE_RE = re.compile(r"\bnamespace(?:\s+[\w:]+)?\s*(?:\[\[[^\]]*\]\]\s*)?\{")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct|union|enum(?:\s+(?:class|struct))?)\s+"
+    r"(?:\[\[[^\]]*\]\]\s*)*"
+    r"[A-Za-z_][^;{}()]*\{")
+ANNOT_LOCAL_TAIL_RE = re.compile(r"\bPANDORA_SHARD_LOCAL\s*$")
+ANNOT_SHARED_TAIL_RE = re.compile(r"\bPANDORA_SHARD_SHARED\s*\(([^)]*)\)\s*$")
+ANNOT_LOCAL_HEAD_RE = re.compile(r"\s*PANDORA_SHARD_LOCAL\b")
+ANNOT_SHARED_HEAD_RE = re.compile(r"\s*PANDORA_SHARD_SHARED\s*\(([^)]*)\)")
+ACCESS_LABEL_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
+SHARD_INCLUDE_RE = re.compile(r'#\s*include\s+"src/runtime/shard\.h"')
+
+# First token of a masked namespace-scope statement that makes it not a
+# variable definition.  `inline`, `constinit` and cv-qualifiers are NOT here:
+# `inline int g = 0;` is a global.
+SKIP_HEAD_KEYWORDS = frozenset((
+    "using", "typedef", "namespace", "template", "class", "struct", "enum",
+    "union", "extern", "friend", "static_assert", "public", "private",
+    "protected", "return", "if", "for", "while", "do", "switch", "case",
+    "goto", "asm", "requires", "concept", "export",
+))
+
+
+class AuditFinding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [shard-audit-{self.rule}] {self.message}"
+
+
+def _preproc_lines(code_lines):
+    """1-based line numbers of preprocessor directives and their `\\`
+    continuations."""
+    out = set()
+    cont = False
+    for i, line in enumerate(code_lines, 1):
+        if cont or line.lstrip().startswith("#"):
+            out.add(i)
+            cont = line.rstrip().endswith("\\")
+        else:
+            cont = False
+    return out
+
+
+def _class_spans(code):
+    spans = []
+    for m in CLASS_HEAD_RE.finditer(code):
+        close = find_matching_brace(code, m.end() - 1)
+        if close >= 0:
+            spans.append((m.end() - 1, close))
+    return spans
+
+
+def _innermost_kind(idx, fn_spans, cls_spans):
+    """Scope of a static at idx: smallest enclosing span wins (a static in a
+    member-function body is function-local, not class-static)."""
+    best = None
+    for spans, kind in ((fn_spans, "local_static"), (cls_spans, "class_static")):
+        for a, b in spans:
+            if a < idx < b and (best is None or b - a < best[0]):
+                best = (b - a, kind)
+    return best[1] if best else "namespace_static"
+
+
+def _head_is_mutable(head):
+    """Mutability of the declared object given everything left of the
+    initializer.  For pointers the pointer itself must be const (the text
+    after the last `*`); `const char* p` is a mutable global."""
+    if re.search(r"\bconstexpr\b", head):
+        return False
+    if "*" in head:
+        return not re.search(r"\bconst\b", head[head.rfind("*") + 1:])
+    return not re.search(r"\bconst\b", head)
+
+
+def _declared_name(head):
+    cleaned = re.sub(r"\[[^\]]*\]", " ", head)
+    names = re.findall(r"[A-Za-z_]\w*", cleaned)
+    for name in reversed(names):
+        if name not in ("const", "constexpr", "constinit", "volatile",
+                        "static", "inline", "thread_local", "mutable"):
+            return name
+    return "<unknown>"
+
+
+def _statement_annotation(ctx, prefix_start, decl_start):
+    """Annotation immediately preceding the declaration, plus the shared
+    reason recovered from the raw text (string literals are stripped from
+    ctx.code, but stripping preserves layout)."""
+    prefix = ctx.code[prefix_start:decl_start]
+    if ANNOT_LOCAL_TAIL_RE.search(prefix):
+        return "shard-local", None
+    m = ANNOT_SHARED_TAIL_RE.search(prefix)
+    if m:
+        a, b = m.span(1)
+        reason = ctx.text[prefix_start + a:prefix_start + b].strip().strip('"')
+        return "shard-shared", reason
+    return None, None
+
+
+def _audit_statics(ctx, fn_spans, cls_spans, preproc, entries, report):
+    code = ctx.code
+    n = len(code)
+    for m in STATIC_RE.finditer(code):
+        line = line_of(code, m.start())
+        if line in preproc:
+            continue  # a `static` inside a macro definition
+        # Statement start: past the previous ; { or } (then drop any access
+        # label -- `public:` -- that rides along).
+        stmt_start = max(code.rfind(";", 0, m.start()),
+                         code.rfind("{", 0, m.start()),
+                         code.rfind("}", 0, m.start())) + 1
+        label = ACCESS_LABEL_RE.match(code[stmt_start:m.start()])
+        prefix_start = stmt_start + (label.end() if label else 0)
+
+        # Forward scan: find the statement end, spotting function shapes.
+        i = m.end()
+        saw_paren_group = False
+        eq_idx = -1
+        end = -1
+        is_func_def = False
+        while i < n:
+            c = code[i]
+            if c == "(":
+                if eq_idx < 0:
+                    saw_paren_group = True
+                depth = 1
+                i += 1
+                while i < n and depth:
+                    if code[i] == "(":
+                        depth += 1
+                    elif code[i] == ")":
+                        depth -= 1
+                    i += 1
+                continue
+            if c == "=" and eq_idx < 0 and (i + 1 >= n or code[i + 1] != "="):
+                eq_idx = i
+            elif c == "{":
+                if eq_idx < 0 and saw_paren_group:
+                    is_func_def = True
+                    end = i
+                    break
+                close = find_matching_brace(code, i)  # brace initializer
+                if close < 0:
+                    break
+                i = close + 1
+                continue
+            elif c in ";}":
+                end = i
+                break
+            i += 1
+        if end < 0 or is_func_def or code[end] == "}":
+            continue  # function definition or unterminated
+        if saw_paren_group and eq_idx < 0:
+            continue  # prototype / member-function declaration (or the
+            #           documented ctor-paren limitation)
+
+        head = code[m.start():eq_idx if eq_idx >= 0 else end]
+        if re.search(r"\boperator\b", head):
+            continue  # `static X operator==(...) = default;` and friends
+        name = _declared_name(head)
+        kind = _innermost_kind(m.start(), fn_spans, cls_spans)
+        mutable = _head_is_mutable(head)
+        annotation, reason = _statement_annotation(ctx, prefix_start, m.start())
+        _record(ctx, entries, report, line, name, kind, mutable, annotation,
+                reason, code[prefix_start:end + 1])
+
+
+def _masked_namespace_scope(ctx, fn_spans, cls_spans, preproc):
+    """ctx.code with function bodies, class bodies and preprocessor lines
+    blanked, so what remains -- split on ';' -- are the namespace-scope
+    statements.  Function-body close braces become ';' so a definition's
+    signature terminates instead of fusing with the next statement."""
+    code = ctx.code
+    buf = list(code)
+
+    def blank(a, b):
+        for i in range(a, b + 1):
+            if buf[i] != "\n":
+                buf[i] = " "
+
+    for a, b in fn_spans:
+        blank(a, b)
+        buf[b] = ";"
+    for a, b in cls_spans:
+        blank(a, b)  # the `;` after the class body survives in the source
+    for m in NAMESPACE_RE.finditer(code):
+        close = find_matching_brace(code, m.end() - 1)
+        buf[m.end() - 1] = ";"
+        if close >= 0:
+            buf[close] = ";"
+    masked = "".join(buf)
+    lines = masked.split("\n")
+    for ln in preproc:
+        lines[ln - 1] = " " * len(lines[ln - 1])
+    return "\n".join(lines)
+
+
+def _audit_namespace_vars(ctx, fn_spans, cls_spans, preproc, entries, report):
+    masked = _masked_namespace_scope(ctx, fn_spans, cls_spans, preproc)
+    pos = 0
+    for sem in re.finditer(";", masked):
+        raw_stmt = masked[pos:sem.start()]
+        stmt_begin = pos + (len(raw_stmt) - len(raw_stmt.lstrip()))
+        pos = sem.end()
+        stmt = raw_stmt.strip()
+        if not stmt:
+            continue
+        if re.search(r"\bstatic\b", stmt):
+            continue  # inventoried by the static pass
+        annotation, reason = None, None
+        body_begin = stmt_begin
+        am = ANNOT_LOCAL_HEAD_RE.match(masked, stmt_begin)
+        if am:
+            annotation, body_begin = "shard-local", am.end()
+        else:
+            am = ANNOT_SHARED_HEAD_RE.match(masked, stmt_begin)
+            if am:
+                a, b = am.span(1)
+                annotation = "shard-shared"
+                reason = ctx.text[a:b].strip().strip('"')
+                body_begin = am.end()
+        body = masked[body_begin:sem.start()].strip()
+        if not body:
+            continue
+        tokens = re.findall(r"[A-Za-z_]\w*", body)
+        if not tokens or tokens[0] in SKIP_HEAD_KEYWORDS:
+            continue
+        eq = re.search(r"=(?!=)", body)
+        head = body[:eq.start()] if eq else body
+        if "(" in head:
+            continue  # free-function declaration or definition signature
+        if "." in head or "->" in head or re.search(r"\boperator\b", head):
+            continue  # expression statement / operator declaration, not a var
+        # A definition needs at least a type and a name.
+        if len(re.findall(r"[A-Za-z_]\w*", head)) < 2:
+            continue
+        line = line_of(masked, stmt_begin)
+        name = _declared_name(head)
+        mutable = _head_is_mutable(head)
+        _record(ctx, entries, report, line, name, "namespace_var", mutable,
+                annotation, reason, body)
+
+
+def _record(ctx, entries, report, line, name, kind, mutable, annotation,
+            reason, declaration):
+    entries.append({
+        "file": ctx.relpath,
+        "line": line,
+        "name": name,
+        "kind": kind,
+        "mutable": mutable,
+        "annotation": annotation,
+        "reason": reason,
+        "declaration": " ".join(declaration.split())[:160],
+    })
+    if not mutable:
+        return
+    if annotation is None:
+        report(line, "mutable-global",
+               f"mutable {kind.replace('_', ' ')} `{name}` is a data race "
+               "under the sharded scheduler (ROADMAP item 1); make it "
+               "const/constexpr or annotate PANDORA_SHARD_LOCAL / "
+               "PANDORA_SHARD_SHARED(reason)")
+    elif annotation == "shard-shared" and not reason:
+        report(line, "shard-shared-reason",
+               f"PANDORA_SHARD_SHARED on `{name}` needs a reason string "
+               "saying how cross-shard access stays safe")
+
+
+def audit_file(relpath, text):
+    """Audits one file; returns (findings, inventory entries)."""
+    if not relpath.startswith("src/"):
+        return [], []
+    ctx = FileContext(relpath, text)
+    findings = []
+
+    def report(line, rule, message):
+        findings.append(AuditFinding(relpath, line, rule, message))
+
+    macro_use = re.search(r"\bPANDORA_SHARD_(?:LOCAL|SHARED)\b", ctx.code)
+    if (macro_use and relpath != "src/runtime/shard.h"
+            and not SHARD_INCLUDE_RE.search(text)):
+        report(line_of(ctx.code, macro_use.start()), "missing-include",
+               'shard annotations require #include "src/runtime/shard.h"')
+
+    fn_spans = ctx.function_bodies()
+    cls_spans = _class_spans(ctx.code)
+    preproc = _preproc_lines(ctx.code_lines)
+    entries = []
+    _audit_statics(ctx, fn_spans, cls_spans, preproc, entries, report)
+    _audit_namespace_vars(ctx, fn_spans, cls_spans, preproc, entries, report)
+    entries.sort(key=lambda e: e["line"])
+    return findings, entries
+
+
+def run_audit(root):
+    findings = []
+    entries = []
+    count = 0
+    for relpath, full in iter_source_files(root, ["src"]):
+        count += 1
+        with open(full, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        f, e = audit_file(relpath, text)
+        findings.extend(f)
+        entries.extend(e)
+    return findings, entries, count
+
+
+def print_summary(entries, out=sys.stdout):
+    by_dir = {}
+    for e in entries:
+        parts = e["file"].split("/")
+        key = "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+        by_dir.setdefault(key, []).append(e)
+    total_mut = sum(1 for e in entries if e["mutable"])
+    unannotated = sum(1 for e in entries if e["mutable"] and not e["annotation"])
+    print(f"shard_audit inventory: {len(entries)} static/global declaration(s), "
+          f"{total_mut} mutable ({unannotated} unannotated)", file=out)
+    for key in sorted(by_dir):
+        es = by_dir[key]
+        mut = [e for e in es if e["mutable"]]
+        print(f"  {key:<18} {len(es):3d} total, {len(mut):2d} mutable"
+              + ("" if not mut else ": "
+                 + ", ".join(f"{e['name']} [{e['annotation'] or 'UNANNOTATED'}]"
+                             for e in mut)),
+              file=out)
+
+
+EXPECT_AUDIT_RE = re.compile(r"//\s*EXPECT-AUDIT:\s*([\w-]+)")
+
+
+def run_self_test(testdata):
+    """Fixtures under testdata/shard/: bad/ must produce exactly the
+    EXPECT-AUDIT findings; good/ must be clean."""
+    failures = []
+    checked = 0
+    for relpath, full in iter_source_files(testdata, ["good", "bad"]):
+        checked += 1
+        with open(full, encoding="utf-8") as fh:
+            text = fh.read()
+        kind, _, virtual = relpath.partition("/")
+        findings, _ = audit_file(virtual, text)
+        expected = {}
+        for i, line in enumerate(text.split("\n"), 1):
+            for m in EXPECT_AUDIT_RE.finditer(line):
+                expected.setdefault(i, set()).add(m.group(1))
+        got = {}
+        for f in findings:
+            got.setdefault(f.line, set()).add(f.rule)
+        if kind == "good":
+            if findings:
+                for f in findings:
+                    failures.append(f"{relpath}: unexpected finding: {f}")
+        elif got != expected:
+            for line in sorted(set(expected) | set(got)):
+                want = expected.get(line, set())
+                have = got.get(line, set())
+                if want != have:
+                    failures.append(
+                        f"{relpath}:{line}: expected {sorted(want) or 'none'}, "
+                        f"got {sorted(have) or 'none'}")
+    return failures, checked
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up from this script)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full inventory (entries + findings) as JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="audit the fixtures in testdata/shard/")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(script_dir))
+
+    if args.self_test:
+        failures, checked = run_self_test(
+            os.path.join(script_dir, "testdata", "shard"))
+        if failures:
+            print("\n".join(failures))
+            print(f"shard_audit self-test: FAILED ({len(failures)} mismatches "
+                  f"across {checked} fixtures)")
+            return 1
+        print(f"shard_audit self-test: OK ({checked} fixtures)")
+        return 0
+
+    findings, entries, count = run_audit(root)
+    for f in findings:
+        print(f)
+    print_summary(entries)
+    if args.json:
+        payload = {
+            "files_scanned": count,
+            "entries": entries,
+            "findings": [vars(f) for f in findings],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"shard_audit: inventory written to {args.json}")
+    if findings:
+        print(f"shard_audit: {len(findings)} finding(s) in {count} files")
+        return 1
+    print(f"shard_audit: OK ({count} files, every mutable static annotated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+// Known-bad fixture: iteration order of unordered containers leaking into
+// behavior.  The visit order depends on hash seed and insertion history,
+// so dispatch, trace output and golden hashes all go nondeterministic.
+
+namespace pandora {
+
+void RouteDump::Emit() {
+  std::unordered_map<int, int> routes;
+  routes[3] = 4;
+  for (const auto& entry : routes) {  // EXPECT-LINT: unordered-iteration
+    Print(entry.first);
+  }
+}
+
+void RouteDump::Sweep() {
+  std::unordered_set<int> live;
+  live.insert(7);
+  auto it = live.begin();  // EXPECT-LINT: unordered-iteration
+  Use(*it);
+}
+
+}  // namespace pandora

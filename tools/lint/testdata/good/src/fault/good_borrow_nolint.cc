@@ -1,0 +1,32 @@
+// Known-good fixture: a deliberate borrow across a suspension carries a
+// NOLINT stating why the owner is stable, and a borrow whose every use
+// precedes the first co_await needs nothing at all.
+
+namespace pandora {
+
+Process FaultDriver::Pulse(AtmNetwork* net, Vci vci, Time until) {
+  // The fixture's premise: this driver owns the network exclusively for the
+  // duration (no OpenCircuit/Teardown can run), so the borrow cannot die.
+  Circuit* circuit = net->FindCircuit(vci);
+  if (circuit == nullptr) {
+    co_return;
+  }
+  co_await sched_->WaitUntil(until);
+  circuit->up = true;  // NOLINT(pandora-suspension-borrow): driver holds exclusive ownership of net for this window
+  co_return;
+}
+
+Process FaultDriver::Stamp(AtmNetwork* net, Vci vci) {
+  Circuit* circuit = net->FindCircuit(vci);
+  if (circuit == nullptr) {
+    co_return;
+  }
+  // All uses happen before the first suspension: nothing is stale.
+  const bool was_up = circuit->up;
+  circuit->up = false;
+  co_await sched_->WaitUntil(sched_->now() + 1);
+  Report(was_up);
+  co_return;
+}
+
+}  // namespace pandora

@@ -1,0 +1,46 @@
+// Known-good fixture: the sanctioned ways to touch owned state around a
+// suspension -- re-fetch the borrow after every co_await (the
+// AtmNetwork::ForwardProc idiom, generation-checked), re-borrow inside the
+// loop, or copy the element out before waiting.
+#include "src/net/atm.h"
+
+namespace pandora {
+
+Process AtmFault::DropLater(AtmNetwork* net, Vci vci, Time when) {
+  Circuit* circuit = net->FindCircuit(vci);
+  if (circuit == nullptr) {
+    co_return;
+  }
+  const uint64_t generation = circuit->generation;
+  co_await sched_->WaitUntil(when);
+  // Re-fetch: the map may have been rewritten during the wait.
+  circuit = net->FindCircuit(vci);
+  if (circuit == nullptr || circuit->generation != generation) {
+    co_return;
+  }
+  circuit->up = false;
+  co_return;
+}
+
+Process AtmFault::Meter(AtmNetwork* net, Vci vci) {
+  for (;;) {
+    // Borrowed fresh on every pass, so the wait below never goes stale.
+    Circuit* circuit = net->FindCircuit(vci);
+    if (circuit == nullptr) {
+      co_return;
+    }
+    ++circuit->polls;
+    co_await sched_->WaitUntil(sched_->now() + 1);
+  }
+}
+
+Process FaultLog::Flush(Channel<SegmentRef>* out) {
+  // Indexed with a per-step copy instead of a range-for: the copy is taken
+  // before the rendezvous, so growth or repack during it is harmless.
+  for (size_t i = 0; i < log_->segments.size(); ++i) {
+    const Segment segment = log_->segments[i];
+    co_await out->Send(Wrap(segment));
+  }
+}
+
+}  // namespace pandora

@@ -1,0 +1,22 @@
+// Known-good fixture: unordered containers are fine for lookup; anything
+// order-sensitive iterates a sorted snapshot, and a deliberate unordered
+// walk that cannot leak order carries a NOLINT with the reason.
+
+namespace pandora {
+
+void RouteDump::EmitSorted() {
+  std::unordered_map<int, int> routes;
+  routes[3] = 4;
+  routes[1] = 2;
+  std::vector<int> keys;
+  keys.reserve(routes.size());
+  for (const auto& entry : routes) {  // NOLINT(pandora-unordered-iteration): feeds a sorted snapshot; order cannot escape
+    keys.push_back(entry.first);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int key : keys) {
+    Print(key, routes[key]);
+  }
+}
+
+}  // namespace pandora

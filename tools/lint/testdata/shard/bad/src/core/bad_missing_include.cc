@@ -1,0 +1,8 @@
+// Known-bad fixture for shard_audit: a shard annotation used without
+// including the header that defines it.
+
+namespace pandora {
+
+PANDORA_SHARD_LOCAL static int g_scratch = 0;  // EXPECT-AUDIT: missing-include
+
+}  // namespace pandora

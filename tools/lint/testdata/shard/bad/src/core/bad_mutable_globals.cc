@@ -1,0 +1,17 @@
+// Known-bad fixture for shard_audit: mutable static state with no shard
+// annotation, plus a PANDORA_SHARD_SHARED missing its reason.
+#include "src/runtime/shard.h"
+
+namespace pandora {
+
+int g_segments_dropped = 0;            // EXPECT-AUDIT: mutable-global
+const char* g_last_box_name = nullptr;  // EXPECT-AUDIT: mutable-global
+
+int NextSequence() {
+  static int sequence = 0;  // EXPECT-AUDIT: mutable-global
+  return ++sequence;
+}
+
+PANDORA_SHARD_SHARED() static int g_total_boxes = 0;  // EXPECT-AUDIT: shard-shared-reason
+
+}  // namespace pandora

@@ -1,0 +1,19 @@
+// Known-bad fixture for shard_audit: pointer-constness edge cases.  A
+// pointer *to* const is still a mutable global (the pointer itself can be
+// reseated); only a const pointer is immutable.  Class-static data members
+// are audited like any other static.
+
+namespace pandora {
+
+const char* g_current_phase = "boot";  // EXPECT-AUDIT: mutable-global
+
+// Pointer itself const: immutable, no annotation needed, no finding.
+char* const g_arena_base = nullptr;
+
+class StatsRegistry {
+ public:
+  static int flush_count_;  // EXPECT-AUDIT: mutable-global
+  static constexpr int kMaxEntries = 128;
+};
+
+}  // namespace pandora

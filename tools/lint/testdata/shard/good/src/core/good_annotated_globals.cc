@@ -1,0 +1,33 @@
+// Known-good fixture for shard_audit: immutables need nothing; every
+// mutable static carries an annotation; class-statics and prototypes are
+// classified without noise.
+#include "src/runtime/shard.h"
+
+namespace pandora {
+namespace {
+
+constexpr int kMaxBoxes = 64;
+const char* const kDefaultName = "box";
+
+PANDORA_SHARD_LOCAL int g_spawn_count = 0;
+
+PANDORA_SHARD_SHARED("written once before Scheduler::Run, read-only after")
+BoxConfig* g_config = nullptr;
+
+}  // namespace
+
+int NextTicket() {
+  PANDORA_SHARD_LOCAL static int ticket = 0;
+  return ++ticket;
+}
+
+class BoxRegistry {
+ public:
+  static constexpr int kShards = 8;
+  static BoxRegistry& Instance();
+
+ private:
+  int count_ = 0;
+};
+
+}  // namespace pandora
