@@ -14,12 +14,14 @@
 #include "bench/bench_common.h"
 #include "src/core/simulation.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pandora;
+  BenchParseArgs(argc, argv);
   BenchHeader("E10", "split streams: one bad destination, live reconfiguration",
               "P5: other copies unaffected by a bottleneck; P6: joins/leaves are seamless");
 
   Simulation sim;
+  BenchEnableTrace(sim.scheduler());
   PandoraBox::Options options;
   options.with_video = false;
   options.name = "announcer";
@@ -79,5 +81,6 @@ int main() {
            "", "(paper: 0 — P5/P6 hold)");
   BenchRow("choked copy's loss", ch ? ch->LossFraction() * 100.0 : 0.0, "%",
            "(shed at the source's interface, detected by sequence numbers)");
-  return 0;
+  BenchExportTrace(sim.scheduler());
+  return BenchFinish();
 }

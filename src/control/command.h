@@ -32,6 +32,8 @@ enum class CommandVerb {
   // Switch / stream tables:
   kOpenRoute,     // arg0 = destination port id; adds a destination (P6)
   kCloseRoute,    // arg0 = destination port id; removes a destination (P6)
+  kMoveRoute,     // arg0 = old destination, arg1 = new; atomic re-parent
+                  // (overlay tree repair: no route-less window, P6)
   kSetStreamAge,  // arg0 = open order stamp (for principle 3 accounting)
 
   // Sources:

@@ -91,6 +91,15 @@ void FaultDriver::Apply(const FaultEvent& event) {
   AtmNetwork& net = sim_->network();
   const std::string kind_name = FormatFaultKind(event.kind);
 
+  if (TargetOf(event.kind) == FaultTarget::kReceiver) {
+    // Receiver-targeted kinds (churn) belong to the overlay's churn driver;
+    // a Simulation has no receiver registry to apply them to.  A mixed plan
+    // replayed here still applies its call/box events at the same instants.
+    ++skipped_;
+    TraceFault(kind_name + ".skip", event.target, 0);
+    return;
+  }
+
   if (TargetOf(event.kind) == FaultTarget::kCall) {
     if (event.target < 0 || static_cast<size_t>(event.target) >= sim_->calls().size()) {
       ++skipped_;
@@ -269,6 +278,10 @@ void FaultDriver::ApplyRestore(const Restore& restore) {
       }
       break;
     }
+    case FaultKind::kChurn:
+      // Never reached: Apply skips receiver-targeted events before any
+      // episode (and hence any restore) can be opened.
+      break;
   }
   TraceFault(kind_name + ".restore", restore.target, 0);
 }

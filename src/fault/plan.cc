@@ -25,7 +25,20 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kClockStep, "clock-step"},
     {FaultKind::kPoolPressure, "pool-pressure"},
     {FaultKind::kWireCorrupt, "wire-corrupt"},
+    {FaultKind::kChurn, "churn"},
 };
+
+const char* TargetToken(FaultKind kind) {
+  switch (TargetOf(kind)) {
+    case FaultTarget::kCall:
+      return " call=";
+    case FaultTarget::kBox:
+      return " box=";
+    case FaultTarget::kReceiver:
+      return " recv=";
+  }
+  return " box=";
+}
 
 // Durations are emitted in plain microseconds so Format -> Parse is an
 // identity on the integer; the human-friendly ms/s suffixes are for
@@ -113,7 +126,7 @@ std::string FormatFaultPlan(const FaultPlan& plan) {
   char buf[64];
   for (const FaultEvent& event : plan.events) {
     out += "; @" + std::to_string(event.at) + "us " + FormatFaultKind(event.kind);
-    out += TargetOf(event.kind) == FaultTarget::kCall ? " call=" : " box=";
+    out += TargetToken(event.kind);
     out += std::to_string(event.target);
     if (event.value != 0.0) {
       std::snprintf(buf, sizeof(buf), " value=%.17g", event.value);
@@ -155,7 +168,8 @@ bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error) 
           return Fail(error, "bad onset time: " + std::string(token));
         }
         have_at = true;
-      } else if (token.rfind("call=", 0) == 0 || token.rfind("box=", 0) == 0) {
+      } else if (token.rfind("call=", 0) == 0 || token.rfind("box=", 0) == 0 ||
+                 token.rfind("recv=", 0) == 0) {
         std::string_view num = token.substr(token.find('=') + 1);
         event.target = static_cast<int>(std::strtol(std::string(num).c_str(), nullptr, 10));
         have_target = true;
@@ -172,7 +186,7 @@ bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error) 
       }
     }
     if (!have_at || !have_kind || !have_target) {
-      return Fail(error, "event needs @time, a kind and a call=/box= target: \"" +
+      return Fail(error, "event needs @time, a kind and a call=/box=/recv= target: \"" +
                              std::string(clause) + "\"");
     }
     parsed.events.push_back(event);
@@ -213,6 +227,12 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
       boxes.push_back(i);
     }
   }
+  std::vector<int> receivers;
+  for (int i = 0; i < options.receiver_count; ++i) {
+    if (allowed(i, options.protected_receivers)) {
+      receivers.push_back(i);
+    }
+  }
 
   std::vector<FaultKind> kinds;
   if (!calls.empty()) {
@@ -233,6 +253,9 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
       kinds.push_back(FaultKind::kPoolPressure);
     }
   }
+  if (!receivers.empty() && options.allow_churn) {
+    kinds.push_back(FaultKind::kChurn);
+  }
   if (kinds.empty()) {
     return plan;
   }
@@ -248,6 +271,9 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
         rng.UniformInt(options.min_episode, std::max(options.min_episode, options.max_episode));
     if (TargetOf(event.kind) == FaultTarget::kCall) {
       event.target = calls[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(calls.size()) - 1))];
+    } else if (TargetOf(event.kind) == FaultTarget::kReceiver) {
+      event.target =
+          receivers[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(receivers.size()) - 1))];
     } else {
       event.target = boxes[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(boxes.size()) - 1))];
     }
@@ -274,7 +300,44 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options) {
         break;
       case FaultKind::kCircuitDown:
       case FaultKind::kBoxCrash:
+      case FaultKind::kChurn:
         break;
+    }
+    plan.events.push_back(event);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan RandomChurnPlan(uint64_t seed, const ChurnStormOptions& options) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  std::vector<int> receivers;
+  for (int i = 0; i < options.receiver_count; ++i) {
+    if (std::find(options.protected_receivers.begin(), options.protected_receivers.end(), i) ==
+        options.protected_receivers.end()) {
+      receivers.push_back(i);
+    }
+  }
+  if (receivers.empty()) {
+    return plan;
+  }
+
+  const int count = static_cast<int>(
+      rng.UniformInt(options.min_events, std::max(options.min_events, options.max_events)));
+  for (int i = 0; i < count; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kChurn;
+    event.at = static_cast<Time>(
+        rng.UniformInt(options.start, std::max(options.start, options.horizon - 1)));
+    event.target =
+        receivers[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(receivers.size()) - 1))];
+    event.duration =
+        rng.UniformInt(options.min_away, std::max(options.min_away, options.max_away));
+    if (rng.Bernoulli(options.permanent_fraction)) {
+      event.duration = 0;  // leaves for good
     }
     plan.events.push_back(event);
   }

@@ -33,10 +33,16 @@ enum class FaultKind {
   kClockStep,           // box's audio quartz steps to drift `value`
   kPoolPressure,        // `value` buffers of the box's pool seized
   kWireCorrupt,         // call's direct path flips bits in `value` of segments
+  kChurn,               // receiver leaves at onset, rejoins after `duration`
+                        // (0: gone for good) — consumed by the overlay's
+                        // churn driver (src/overlay/churn.h)
 };
 
-// Which kind of entity an event's `target` indexes.
-enum class FaultTarget { kCall, kBox };
+// Which kind of entity an event's `target` indexes.  Receivers are overlay
+// distribution-tree members (src/overlay/), indexed by the topology
+// generator's receiver ids; the Simulation-level FaultDriver has no
+// receiver registry and counts receiver-targeted events as skipped.
+enum class FaultTarget { kCall, kBox, kReceiver };
 
 inline FaultTarget TargetOf(FaultKind kind) {
   switch (kind) {
@@ -50,6 +56,8 @@ inline FaultTarget TargetOf(FaultKind kind) {
     case FaultKind::kClockStep:
     case FaultKind::kPoolPressure:
       return FaultTarget::kBox;
+    case FaultKind::kChurn:
+      return FaultTarget::kReceiver;
   }
   return FaultTarget::kBox;
 }
@@ -89,12 +97,42 @@ struct RandomPlanOptions {
   bool allow_pool_pressure = true;
   // Corruption storms (bit flips the destination decoder must reject).
   bool allow_wire_corrupt = true;
+  // Overlay receiver churn (join/leave storms).  Zero receivers — the
+  // default, and what every pre-overlay caller passes — keeps churn events
+  // out of the kind pool, so existing seeds draw exactly the plans they
+  // always drew.
+  int receiver_count = 0;
+  std::vector<int> protected_receivers;  // never churned (pinned observers)
+  bool allow_churn = true;
   Duration min_episode = Millis(100);
   Duration max_episode = Millis(800);
 };
 
 // Draws a plan from `seed`.  Same (seed, options) -> same plan, always.
 FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options);
+
+// Options for RandomChurnPlan: a join/leave storm against an overlay
+// receiver population.  Unlike RandomPlanOptions' one-kind-at-a-time draws,
+// a churn storm is dense by design — tens to hundreds of receivers drop out
+// inside the window and (usually) rejoin, which is what makes join-to-first-
+// segment latency a distribution worth measuring rather than an anecdote.
+struct ChurnStormOptions {
+  Time start = Seconds(1);       // first departure no earlier than this
+  Time horizon = Seconds(3);     // onsets drawn in [start, horizon)
+  int receiver_count = 0;        // receivers eligible for churn
+  std::vector<int> protected_receivers;  // pinned observers, never churned
+  int min_events = 32;
+  int max_events = 128;
+  Duration min_away = Millis(50);   // time off the trees before rejoining
+  Duration max_away = Millis(600);
+  double permanent_fraction = 0.0;  // probability a departure never rejoins
+};
+
+// Draws a pure-churn plan from `seed`.  Same (seed, options) -> same storm.
+// The same receiver may be struck more than once; the churn driver treats a
+// departure of an already-absent receiver as skipped, exactly like the
+// FaultDriver treats faults against closed circuits.
+FaultPlan RandomChurnPlan(uint64_t seed, const ChurnStormOptions& options);
 
 // --- Text format -------------------------------------------------------------
 //
@@ -103,10 +141,12 @@ FaultPlan RandomFaultPlan(uint64_t seed, const RandomPlanOptions& options);
 //   value=2e-05
 //
 // Events are ';'-separated; within an event, whitespace-separated tokens:
-// `@<duration>` (onset), a kind name, then `call=`/`box=` (target),
+// `@<duration>` (onset), a kind name, then `call=`/`box=`/`recv=` (target),
 // `value=`, `for=` (episode length).  Durations take us/ms/s suffixes; a
 // bare number is microseconds.  Format output round-trips through Parse
-// bit-exactly (times in us, values via %.17g).
+// bit-exactly (times in us, values via %.17g).  Churn events target
+// receivers: `@2s churn recv=117 for=400ms` takes overlay receiver 117 out
+// of its distribution trees at 2s and rejoins it 400ms later.
 
 std::string FormatFaultKind(FaultKind kind);
 bool ParseFaultKind(std::string_view text, FaultKind* kind);

@@ -1,0 +1,32 @@
+#include "src/overlay/churn.h"
+
+#include <algorithm>
+
+namespace pandora {
+
+OverlayChurnDriver::OverlayChurnDriver(Scheduler* sched, OverlayMulticast* multicast,
+                                       FaultPlan plan)
+    : sched_(sched), multicast_(multicast), plan_(std::move(plan)) {
+  plan_.Normalize();
+}
+
+void OverlayChurnDriver::Start() {
+  const Time now = sched_->now();
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind != FaultKind::kChurn) {
+      ++ignored_;
+      continue;
+    }
+    OverlayMulticast* mc = multicast_;
+    const int target = event.target;
+    sched_->AddTimer(std::max(now, event.at), TimerCallback([mc, target] { mc->Leave(target); }));
+    ++departures_;
+    if (event.duration > 0) {
+      sched_->AddTimer(std::max(now, event.at + event.duration),
+                       TimerCallback([mc, target] { mc->Join(target); }));
+      ++rejoins_;
+    }
+  }
+}
+
+}  // namespace pandora

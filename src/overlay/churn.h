@@ -1,0 +1,45 @@
+// OverlayChurnDriver: applies FaultPlan churn events to a live multicast.
+//
+// The fault subsystem owns the storm's SHAPE (seeded draw, text round-trip,
+// replay via PANDORA_FAULT_PLAN); this driver owns its EFFECT.  A kChurn
+// event `@t churn recv=r for=d` becomes Leave(r) at t and — unless d is 0,
+// the gone-for-good case — Join(r) at t+d.  Timers are armed in plan order
+// at Start, so coincident departures and rejoins replay in exactly the
+// order the plan lists them (the wheel fires equal deadlines in arming
+// order), which is what makes a churn-storm run a pure function of
+// (topology, params, seed, plan).
+#ifndef PANDORA_SRC_OVERLAY_CHURN_H_
+#define PANDORA_SRC_OVERLAY_CHURN_H_
+
+#include <cstdint>
+
+#include "src/fault/plan.h"
+#include "src/overlay/multicast.h"
+
+namespace pandora {
+
+class OverlayChurnDriver {
+ public:
+  OverlayChurnDriver(Scheduler* sched, OverlayMulticast* multicast, FaultPlan plan);
+
+  // Arms one leave timer (and one rejoin timer for non-permanent events)
+  // per churn event.  Non-churn events in a mixed plan are counted ignored
+  // — they belong to a Simulation's FaultDriver, which in turn skips ours.
+  void Start();
+
+  int64_t departures() const { return departures_; }
+  int64_t rejoins() const { return rejoins_; }
+  int64_t ignored() const { return ignored_; }
+
+ private:
+  Scheduler* sched_;
+  OverlayMulticast* multicast_;
+  FaultPlan plan_;
+  int64_t departures_ = 0;
+  int64_t rejoins_ = 0;
+  int64_t ignored_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_OVERLAY_CHURN_H_

@@ -1,0 +1,147 @@
+// OverlayMulticast: the striped distribution data plane.
+//
+// City-scale means 10^3..10^5 receivers, far past what full PandoraBox /
+// AtmPort instances (each owning a wire pool) can populate.  The data plane
+// is therefore a lightweight timer layer directly on the Scheduler: the
+// source emits one audio segment per cadence tick onto tree seq % k, and
+// every delivery is a timer whose callback relays to the receiver's
+// children in that tree — recursive split-at-the-switch, exactly the
+// paper's P5/P6 fan-out but composed to arbitrary depth.
+//
+// P5 at every hop, by construction: a relay never waits for a slow child.
+// Each (receiver, tree) uplink lane serializes copies at the lane's service
+// rate (the access uplink dimensioned 1/k per stripe, which is what
+// striping buys); when a lane's backlog exceeds the queue budget the copy
+// is DROPPED and counted at the child, and the sibling copies go out on
+// time.  A choked subtree therefore starves alone — the property tests
+// assert its cousins see bit-for-bit full delivery.
+//
+// Everything is deterministic from (topology seed, multicast seed, plan):
+// timers with equal deadlines fire in arming order, loss draws happen in
+// event order from one seeded generator, and RunHash() folds the complete
+// observable outcome (deliveries, drops, repairs, join latencies) into one
+// value the replay tests compare across runs.
+#ifndef PANDORA_SRC_OVERLAY_MULTICAST_H_
+#define PANDORA_SRC_OVERLAY_MULTICAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/repair.h"
+#include "src/overlay/topology.h"
+#include "src/overlay/tree.h"
+#include "src/runtime/random.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+struct MulticastParams {
+  Duration segment_interval = Millis(4);  // live audio cadence (segment/constants.h)
+  int64_t segment_bytes = 68;             // E16 wire image of a live audio segment
+  Duration repair_delay = Millis(10);     // leave detection + re-parent latency
+  // Per-lane backlog (in copies) before a copy is shed.  A relay bursts all
+  // of its children's copies at one instant, so the budget must exceed the
+  // fanout: a full burst is normal and drains before the next segment, while
+  // a lane that cannot drain between segments backs up past any budget.
+  int64_t queue_budget = 16;
+};
+
+struct OverlayReceiverStats {
+  int64_t delivered = 0;
+  int64_t dropped_queue = 0;   // parent lane over budget — P5 drop, not block
+  int64_t dropped_loss = 0;    // access-link loss
+  int64_t dropped_late = 0;    // duplicate / out-of-order after a re-parent
+  int64_t missed_absent = 0;   // copy arrived while churned out
+  Time last_delivery = 0;
+};
+
+struct OverlayRepairEvent {
+  Time at = 0;
+  int tree = 0;
+  int node = 0;        // orphan root or (re)joiner
+  int new_parent = 0;  // receiver id or kOverlaySource
+};
+
+class OverlayMulticast {
+ public:
+  // `trees` must outlive the multicast and is mutated by churn.
+  OverlayMulticast(Scheduler* sched, const OverlayTopology* topology, StripedTrees* trees,
+                   MulticastParams params, uint64_t seed);
+
+  // Arms the source cadence; segments are emitted every interval until
+  // `emit_until`.  Every receiver present at start has its join clock
+  // running from time zero.
+  void Start(Time emit_until);
+
+  // Churn entry points (called by OverlayChurnDriver, tests, benches).
+  // Leave detaches immediately and schedules the subtree repair after
+  // repair_delay; Join attaches as a leaf and starts the join-to-first-
+  // segment clock.  Ops against a receiver already in that state count as
+  // skipped, like FaultDriver faults against closed circuits.
+  void Leave(int r);
+  void Join(int r);
+
+  // --- Observability --------------------------------------------------------
+
+  int64_t emitted() const { return next_seq_; }
+  int64_t emitted_on_tree(int t) const { return emitted_by_tree_[static_cast<size_t>(t)]; }
+  const OverlayReceiverStats& stats(int r) const { return stats_[static_cast<size_t>(r)]; }
+  int64_t delivered_on_tree(int r, int t) const {
+    return delivered_by_tree_[static_cast<size_t>(r) * static_cast<size_t>(trees_->stripes) +
+                              static_cast<size_t>(t)];
+  }
+  const std::vector<Duration>& join_latencies() const { return join_latencies_; }
+  const std::vector<OverlayRepairEvent>& repair_log() const { return repair_log_; }
+  int64_t repairs() const { return repairs_; }
+  int64_t churn_skipped() const { return churn_skipped_; }
+  const TreeRepair& repair() const { return repair_; }
+
+  // FNV-1a over every observable outcome of the run: per-receiver delivery
+  // and drop counts, per-stripe deliveries, last-delivery stamps, join
+  // latencies, and the repair log.  Two runs of the same (topology, params,
+  // seed, plan) must agree bit-for-bit.
+  uint64_t RunHash() const;
+
+ private:
+  void Emit();
+  void Deliver(int tree, int node, int64_t seq);
+  // Relays one copy from `parent` (kOverlaySource for the root) to `child`
+  // on `tree`, applying lane serialization, queue budget and link loss.
+  void RelayTo(int tree, int parent, int child, int64_t seq);
+  void RepairNow(int r);
+  Time& lane_busy(int tree, int node) {
+    return lane_busy_[static_cast<size_t>(node) * static_cast<size_t>(trees_->stripes) +
+                      static_cast<size_t>(tree)];
+  }
+
+  Scheduler* sched_;
+  const OverlayTopology* topology_;
+  StripedTrees* trees_;
+  MulticastParams params_;
+  TreeRepair repair_;
+  Rng loss_rng_;  // drawn only for lossy links, in deterministic event order
+
+  int64_t next_seq_ = 0;
+  Time emit_until_ = 0;
+  std::vector<int64_t> emitted_by_tree_;
+  std::vector<OverlayReceiverStats> stats_;
+  std::vector<int64_t> delivered_by_tree_;  // [r * stripes + t]
+  // Highest sequence played per (receiver, stripe).  A re-parent can leave
+  // copies from the old path in flight alongside the new parent's feed;
+  // like the wire path's SequenceTracker, the receiver plays only strictly
+  // increasing sequence numbers and sheds the overlap as dropped_late.
+  std::vector<int64_t> last_played_seq_;    // [r * stripes + t]
+  std::vector<Time> lane_busy_;             // [r * stripes + t], uplink lane busy-until
+  std::vector<Duration> lane_service_;      // per receiver: us per copy on one lane
+  std::vector<Time> join_time_;             // per receiver: last (re)join instant
+  std::vector<uint8_t> awaiting_first_;     // join clock armed, first delivery pending
+  std::vector<Duration> join_latencies_;
+  std::vector<OverlayRepairEvent> repair_log_;
+  int64_t repairs_ = 0;
+  int64_t churn_skipped_ = 0;
+  TraceSiteId join_hist_site_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_OVERLAY_MULTICAST_H_

@@ -1,0 +1,77 @@
+// TreeRepair: re-parenting around receiver churn, one tree at a time.
+//
+// A departure is two structural moments, not one.  At onset the leaver is
+// DETACHED: its parent stops relaying to it instantly (nothing upstream
+// blocks — P5), but its former children still point at it, so their
+// subtrees go dark on that one stripe.  After the repair delay (failure
+// detection plus control-plane round trip, modeled as a constant by the
+// caller) REPAIR re-attaches each orphaned subtree — root intact, interior
+// untouched — to the nearest ancestor of the leaver with a spare slot,
+// falling back to an interior-group scan and finally the source.
+//
+// The P6 payoff of interior-disjoint striping is visible right here: the
+// leaver had children in at most ONE tree (its interior tree), so repair
+// touches exactly one stripe and the other k-1 trees' structures are
+// bit-identical before and after — the property tests assert that, and the
+// bench shows it as audio that keeps flowing mid-repair.
+#ifndef PANDORA_SRC_OVERLAY_REPAIR_H_
+#define PANDORA_SRC_OVERLAY_REPAIR_H_
+
+#include <vector>
+
+#include "src/overlay/tree.h"
+
+namespace pandora {
+
+struct RepairAction {
+  int tree = 0;
+  int orphan = 0;      // root of the re-attached subtree (or the joiner)
+  int new_parent = 0;  // receiver id or kOverlaySource
+};
+
+class TreeRepair {
+ public:
+  TreeRepair(const OverlayTopology* topology, StripedTrees* trees)
+      : topology_(topology), trees_(trees) {}
+
+  // Onset: removes r from every tree (its parents stop feeding it).  Its
+  // children keep their stale parent pointers until Repair.  Returns false
+  // (no-op) if r is already absent.
+  bool Detach(int r);
+
+  // Completion: re-attaches every subtree orphaned by r's departure.
+  // Safe to call when r had no children (returns no actions).
+  std::vector<RepairAction> Repair(int r);
+
+  // Rejoin: attaches r as a leaf in every tree.  Returns empty if r is
+  // already present.  r immediately counts as interior-group capacity in
+  // its own tree again.
+  std::vector<RepairAction> Join(int r);
+
+  // Re-attachments that found every candidate full and overloaded the
+  // source.  Zero in every test scenario; counted rather than crashed so a
+  // pathological storm degrades instead of aborting a bench.
+  int64_t overflow() const { return overflow_; }
+
+ private:
+  // True when x's parent chain in tree t reaches the source — i.e. x is in
+  // the live tree, not in a dangling orphaned subtree.
+  bool Rooted(int t, int x) const;
+  // True when x is inside the subtree of `root` in tree t.
+  bool InSubtree(int t, int root, int x) const;
+  // Picks a parent with a free slot for `orphan` in tree t, preferring the
+  // ancestor chain starting at `hint` (the leaver's old parent).
+  int FindParent(int t, int orphan, int hint);
+  void Link(int t, int node, int p);
+
+  const OverlayTopology* topology_;
+  StripedTrees* trees_;
+  // Leaver's old parent per (tree, receiver), recorded at Detach so Repair
+  // can start its ancestor climb where the subtree used to hang.
+  std::vector<int> detach_parent_;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_OVERLAY_REPAIR_H_

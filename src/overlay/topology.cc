@@ -1,0 +1,65 @@
+#include "src/overlay/topology.h"
+
+#include "src/runtime/check.h"
+#include "src/runtime/random.h"
+
+namespace pandora {
+
+OverlayTopology GenerateTopology(const TopologyParams& params) {
+  PANDORA_CHECK(params.receivers > 0);
+  PANDORA_CHECK(params.fanout >= 2);
+  PANDORA_CHECK(!params.classes.empty());
+
+  double total_fraction = 0.0;
+  for (const LinkClass& cls : params.classes) {
+    total_fraction += cls.fraction;
+  }
+  PANDORA_CHECK(total_fraction > 0.0);
+
+  OverlayTopology topology;
+  topology.params = params;
+  topology.links.reserve(static_cast<size_t>(params.receivers));
+
+  Rng rng(params.seed);
+  for (int r = 0; r < params.receivers; ++r) {
+    // Tier draw by cumulative fraction, then per-receiver latency spread
+    // inside the tier.  Two draws per receiver, always, so the stream
+    // position (and therefore every later receiver's link) is independent
+    // of which tier earlier receivers landed in.
+    const double pick = rng.Uniform(0.0, total_fraction);
+    const double spread = rng.Uniform(0.0, 1.0);
+    double cumulative = 0.0;
+    const LinkClass* chosen = &params.classes.back();
+    for (const LinkClass& cls : params.classes) {
+      cumulative += cls.fraction;
+      if (pick < cumulative) {
+        chosen = &cls;
+        break;
+      }
+    }
+    OverlayLink link = chosen->link;
+    link.latency += static_cast<Duration>(spread * static_cast<double>(chosen->latency_spread));
+    topology.links.push_back(link);
+  }
+  return topology;
+}
+
+uint64_t TopologyHash(const OverlayTopology& topology) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, topology.params.seed);
+  hash = FnvMix(hash, static_cast<uint64_t>(topology.params.receivers));
+  hash = FnvMix(hash, static_cast<uint64_t>(topology.params.fanout));
+  for (const OverlayLink& link : topology.links) {
+    hash = FnvMix(hash, static_cast<uint64_t>(link.bits_per_second));
+    hash = FnvMix(hash, static_cast<uint64_t>(link.latency));
+    // Loss rates are exact binary fractions or small literals; hashing the
+    // bit pattern keeps the golden stable across compilers.
+    uint64_t loss_bits = 0;
+    static_assert(sizeof(loss_bits) == sizeof(link.loss_rate));
+    __builtin_memcpy(&loss_bits, &link.loss_rate, sizeof(loss_bits));
+    hash = FnvMix(hash, loss_bits);
+  }
+  return hash;
+}
+
+}  // namespace pandora

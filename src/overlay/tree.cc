@@ -1,0 +1,200 @@
+#include "src/overlay/tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "src/runtime/check.h"
+
+namespace pandora {
+namespace {
+
+// One attach step of the heap-style fill: take the oldest parent with a
+// free slot, hang `node` off it.  The (parent, slot) sequence this produces
+// depends only on counts and fanout — never on which receiver occupies a
+// position — which is what makes the two policies share a shape.
+struct FillState {
+  std::deque<int> open;  // parents with spare slots; front is oldest
+  int fanout = 0;
+  std::vector<int>* parent = nullptr;
+  std::vector<std::vector<int>>* children = nullptr;
+  std::vector<int>* root_children = nullptr;
+  std::vector<int> slots_used;  // per receiver; root tracked separately
+  int root_slots_used = 0;
+
+  void Attach(int node, bool interior) {
+    while (!open.empty()) {
+      int head = open.front();
+      int used = head == kOverlaySource ? root_slots_used : slots_used[static_cast<size_t>(head)];
+      if (used < fanout) {
+        break;
+      }
+      open.pop_front();
+    }
+    PANDORA_CHECK(!open.empty());
+    int p = open.front();
+    if (p == kOverlaySource) {
+      ++root_slots_used;
+      root_children->push_back(node);
+    } else {
+      ++slots_used[static_cast<size_t>(p)];
+      (*children)[static_cast<size_t>(p)].push_back(node);
+    }
+    (*parent)[static_cast<size_t>(node)] = p;
+    if (interior) {
+      open.push_back(node);
+    }
+  }
+};
+
+}  // namespace
+
+StripedTrees TreeBuilder::Build(const OverlayTopology& topology, int stripes, TreePolicy policy) {
+  const int n = topology.receiver_count();
+  PANDORA_CHECK(n > 0);
+  PANDORA_CHECK(stripes >= 1);
+  const int fanout = topology.params.fanout;
+
+  StripedTrees trees;
+  trees.stripes = stripes;
+  trees.fanout = fanout;
+  trees.policy = policy;
+  trees.parent.assign(static_cast<size_t>(stripes), std::vector<int>(static_cast<size_t>(n), kOverlayDetached));
+  trees.children.assign(static_cast<size_t>(stripes),
+                        std::vector<std::vector<int>>(static_cast<size_t>(n)));
+  trees.root_children.assign(static_cast<size_t>(stripes), {});
+
+  for (int t = 0; t < stripes; ++t) {
+    // Interior group t relays; everyone else is a leaf in this tree.
+    std::vector<int> interior;
+    std::vector<int> leaves;
+    for (int r = 0; r < n; ++r) {
+      (r % stripes == t ? interior : leaves).push_back(r);
+    }
+    // Capacity: every receiver needs a slot, and only the source plus the
+    // interior group supply them.
+    PANDORA_CHECK(static_cast<int64_t>(fanout) * (static_cast<int64_t>(interior.size()) + 1) >=
+                  n);
+    if (policy == TreePolicy::kNearOptimalDelay) {
+      std::stable_sort(interior.begin(), interior.end(), [&](int a, int b) {
+        return topology.links[static_cast<size_t>(a)].latency <
+               topology.links[static_cast<size_t>(b)].latency;
+      });
+    }
+
+    FillState fill;
+    fill.fanout = fanout;
+    fill.parent = &trees.parent[static_cast<size_t>(t)];
+    fill.children = &trees.children[static_cast<size_t>(t)];
+    fill.root_children = &trees.root_children[static_cast<size_t>(t)];
+    fill.slots_used.assign(static_cast<size_t>(n), 0);
+    fill.open.push_back(kOverlaySource);
+    // Interiors first (they open slots as they land), then the leaves.
+    for (int r : interior) {
+      fill.Attach(r, /*interior=*/true);
+    }
+    for (int r : leaves) {
+      fill.Attach(r, /*interior=*/false);
+    }
+  }
+  return trees;
+}
+
+bool SpansAll(const StripedTrees& trees) {
+  const int n = trees.receiver_count();
+  for (int t = 0; t < trees.stripes; ++t) {
+    for (int r = 0; r < n; ++r) {
+      if (trees.absent(r)) {
+        continue;
+      }
+      int hops = 0;
+      int at = r;
+      while (at != kOverlaySource) {
+        if (at == kOverlayDetached || ++hops > n) {
+          return false;
+        }
+        at = trees.parent[static_cast<size_t>(t)][static_cast<size_t>(at)];
+      }
+    }
+  }
+  return true;
+}
+
+bool InteriorDisjoint(const StripedTrees& trees) {
+  const int n = trees.receiver_count();
+  for (int t = 0; t < trees.stripes; ++t) {
+    for (int r = 0; r < n; ++r) {
+      if (!trees.children[static_cast<size_t>(t)][static_cast<size_t>(r)].empty() &&
+          trees.interior_tree(r) != t) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool RespectsFanout(const StripedTrees& trees) {
+  const int n = trees.receiver_count();
+  for (int t = 0; t < trees.stripes; ++t) {
+    if (static_cast<int>(trees.root_children[static_cast<size_t>(t)].size()) > trees.fanout) {
+      return false;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (static_cast<int>(trees.children[static_cast<size_t>(t)][static_cast<size_t>(r)].size()) >
+          trees.fanout) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsAcyclic(const StripedTrees& trees) {
+  const int n = trees.receiver_count();
+  for (int t = 0; t < trees.stripes; ++t) {
+    for (int r = 0; r < n; ++r) {
+      int hops = 0;
+      int at = r;
+      while (at != kOverlaySource && at != kOverlayDetached) {
+        if (++hops > n) {
+          return false;
+        }
+        at = trees.parent[static_cast<size_t>(t)][static_cast<size_t>(at)];
+      }
+    }
+  }
+  return true;
+}
+
+DelayStats ComputeDelayStats(const OverlayTopology& topology, const StripedTrees& trees) {
+  const int n = trees.receiver_count();
+  DelayStats stats;
+  int64_t samples = 0;
+  double sum = 0.0;
+  std::vector<Duration> delay(static_cast<size_t>(n), 0);
+  for (int t = 0; t < trees.stripes; ++t) {
+    // Children always attach after their parent in Build, but churn can
+    // reorder ids arbitrarily, so walk breadth-first from the roots.
+    std::deque<int> frontier;
+    for (int r : trees.root_children[static_cast<size_t>(t)]) {
+      delay[static_cast<size_t>(r)] = topology.links[static_cast<size_t>(r)].latency;
+      frontier.push_back(r);
+    }
+    while (!frontier.empty()) {
+      int at = frontier.front();
+      frontier.pop_front();
+      const Duration d = delay[static_cast<size_t>(at)];
+      sum += static_cast<double>(d);
+      stats.max_us = std::max(stats.max_us, d);
+      ++samples;
+      for (int c : trees.children[static_cast<size_t>(t)][static_cast<size_t>(at)]) {
+        delay[static_cast<size_t>(c)] = d + topology.links[static_cast<size_t>(c)].latency;
+        frontier.push_back(c);
+      }
+    }
+  }
+  stats.mean_us = samples > 0 ? sum / static_cast<double>(samples) : 0.0;
+  return stats;
+}
+
+}  // namespace pandora

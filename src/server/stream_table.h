@@ -10,6 +10,7 @@
 #ifndef PANDORA_SRC_SERVER_STREAM_TABLE_H_
 #define PANDORA_SRC_SERVER_STREAM_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -81,6 +82,30 @@ class StreamTable {
     if (std::erase(route->destinations, destination) > 0) {
       ++version_;
     }
+  }
+
+  // Re-parents a stream in ONE table mutation: `from` is replaced by `to`
+  // in place, so there is no intermediate state where the stream is routed
+  // to neither (the overlay's repair hook — a churn re-parent must never
+  // open a delivery gap of its own).  If `to` is already routed, `from` is
+  // simply removed.  Returns false (no mutation) when `from` is not routed.
+  bool MoveDestination(StreamId stream, DestinationId from, DestinationId to) {
+    StreamRoute* route = Find(stream);
+    if (route == nullptr) {
+      return false;
+    }
+    auto it = std::find(route->destinations.begin(), route->destinations.end(), from);
+    if (it == route->destinations.end()) {
+      return false;
+    }
+    if (std::find(route->destinations.begin(), route->destinations.end(), to) !=
+        route->destinations.end()) {
+      route->destinations.erase(it);
+    } else {
+      *it = to;
+    }
+    ++version_;
+    return true;
   }
 
   void RemoveVci(StreamId stream, Vci vci) {

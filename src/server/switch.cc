@@ -54,6 +54,10 @@ void Switch::CloseRoute(StreamId stream, DestinationId destination) {
   }
 }
 
+void Switch::MoveRoute(StreamId stream, DestinationId from, DestinationId to) {
+  table_.MoveDestination(stream, from, to);
+}
+
 void Switch::HandleCommand(const Command& command) {
   switch (command.verb) {
     case CommandVerb::kOpenRoute:
@@ -63,6 +67,10 @@ void Switch::HandleCommand(const Command& command) {
       break;
     case CommandVerb::kCloseRoute:
       CloseRoute(command.stream, static_cast<DestinationId>(command.arg0));
+      break;
+    case CommandVerb::kMoveRoute:
+      MoveRoute(command.stream, static_cast<DestinationId>(command.arg0),
+                static_cast<DestinationId>(command.arg1));
       break;
     case CommandVerb::kReportStatus:
       reporter_.ReportNow("switch.status", ReportSeverity::kInfo,

@@ -69,6 +69,10 @@ class Switch {
   void OpenRoute(StreamId stream, DestinationId destination, bool incoming, bool audio,
                  Vci out_vci = 0);
   void CloseRoute(StreamId stream, DestinationId destination);
+  // Overlay re-parent hook: swaps one destination for another in a single
+  // table mutation, so a mid-repair segment is switched to exactly one of
+  // the two parents — never both, never neither (P6).
+  void MoveRoute(StreamId stream, DestinationId from, DestinationId to);
   // Removes one network copy of a split stream; the network destination
   // itself is closed only when no VCIs remain (principle 6: the other
   // copies flow on undisturbed).

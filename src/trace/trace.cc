@@ -54,9 +54,9 @@ int64_t BucketUpperBound(int i) {
   return (int64_t{1} << i) - 1;
 }
 
-// Smallest bucket upper bound covering quantile `q` — a conservative
-// (upper-bound) percentile estimate from the power-of-two buckets.
-int64_t ApproxQuantile(const TraceHistogram& h, double q) {
+}  // namespace
+
+int64_t TraceHistogramQuantile(const TraceHistogram& h, double q) {
   if (h.count == 0) {
     return 0;
   }
@@ -70,8 +70,6 @@ int64_t ApproxQuantile(const TraceHistogram& h, double q) {
   }
   return h.max;
 }
-
-}  // namespace
 
 void TraceRecorder::Enable(size_t max_events) {
   if (max_events > capacity_) {
@@ -296,9 +294,9 @@ std::string TraceRecorder::ExportJson() const {
     out += ",\"mean\":";
     out += std::to_string(h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
     out += ",\"p50\":";
-    out += std::to_string(ApproxQuantile(h, 0.50));
+    out += std::to_string(TraceHistogramQuantile(h, 0.50));
     out += ",\"p99\":";
-    out += std::to_string(ApproxQuantile(h, 0.99));
+    out += std::to_string(TraceHistogramQuantile(h, 0.99));
     out += ",\"buckets\":[";
     for (int i = 0; i < kTraceHistogramBuckets; ++i) {
       if (i != 0) {

@@ -68,6 +68,12 @@ struct TraceHistogram {
   std::array<uint64_t, kTraceHistogramBuckets> buckets{};
 };
 
+// Smallest bucket upper bound covering quantile `q` (clamped to the observed
+// max) — a conservative percentile estimate from the power-of-two buckets.
+// Benches report gate metrics (e.g. p99 join-to-first-segment latency)
+// through this, so regressions show up even when only the histogram is kept.
+int64_t TraceHistogramQuantile(const TraceHistogram& h, double q);
+
 class TraceRecorder {
  public:
   static constexpr size_t kDefaultCapacity = 1u << 20;  // ~40 MB of events

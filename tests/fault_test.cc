@@ -251,6 +251,35 @@ TEST(FaultDriverTest, BridgedCircuitQualityFaultsAreSkipped) {
   EXPECT_EQ(tracker->missing_total(), 0u);
 }
 
+TEST(FaultDriverTest, ReceiverChurnClausesAreSkippedNotApplied) {
+  Simulation sim;
+  PandoraBox& a = sim.AddBox(BoxOptions("a"));
+  PandoraBox& b = sim.AddBox(BoxOptions("b"));
+  sim.Start();
+  StreamId at_b = sim.SendAudio(a, b);
+
+  // Mixed plan: churn clauses target overlay receivers, which the
+  // Simulation-level driver has no registry for.  They must count as
+  // skipped — the call-level clause still applies and restores.
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("@500ms churn recv=12 for=200ms;"
+                             " @1s burst-loss call=0 value=0.25 for=200ms;"
+                             " @900ms churn recv=31",
+                             &plan));
+  FaultDriver driver(&sim, plan);
+  driver.Start();
+  sim.RunFor(Seconds(2));
+
+  EXPECT_TRUE(driver.quiescent());
+  EXPECT_EQ(driver.applied(), 1u);
+  EXPECT_EQ(driver.skipped(), 2u);
+  EXPECT_EQ(driver.restored(), 1u);
+  // The call is alive and streaming after the mixed storm.
+  const SequenceTracker* tracker = b.audio_receiver().TrackerFor(at_b);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_GT(tracker->received(), 0u);
+}
+
 TEST(FaultDriverTest, CircuitDownLosesOnlyDuringEpisode) {
   Simulation sim;
   PandoraBox& a = sim.AddBox(BoxOptions("a"));

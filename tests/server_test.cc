@@ -232,6 +232,45 @@ TEST(SwitchTest, ReconfigurationDoesNotDisturbExistingCopy) {
   EXPECT_LT(got_b.size(), 40u);  // only the middle window
 }
 
+TEST(SwitchTest, MoveRouteHandsOverWithoutAGapOrDuplicate) {
+  // The overlay repair hook: kMoveRoute re-parents one destination in a
+  // single table mutation, so there is never a route-less window (a gap)
+  // nor an instant with both routes live (a duplicate).
+  SwitchRig rig;
+  rig.Start();
+  rig.sw.OpenRoute(5, rig.dest_a, true, true);
+  std::vector<uint32_t> got_a;
+  std::vector<uint32_t> got_b;
+  auto feeder = [](Scheduler* s, SwitchRig* rig) -> Process {
+    for (uint32_t i = 0; i < 60; ++i) {
+      SegmentRef ref = rig->MakeRef(5, i);
+      co_await rig->sw.input().Send(std::move(ref));
+      co_await s->WaitFor(Millis(1));
+    }
+  };
+  auto mover = [](Scheduler* s, SwitchRig* rig) -> Process {
+    co_await s->WaitUntil(Millis(30));
+    co_await rig->sw.commands().Send(
+        Command{CommandVerb::kMoveRoute, 5, rig->dest_a, rig->dest_b});
+  };
+  rig.sched.Spawn(feeder(&rig.sched, &rig), "feeder");
+  rig.sched.Spawn(mover(&rig.sched, &rig), "mover");
+  rig.sched.Spawn(DrainBuffer(&rig.sched, &rig.out_a, &got_a), "drainA");
+  rig.sched.Spawn(DrainBuffer(&rig.sched, &rig.out_b, &got_b), "drainB");
+  rig.sched.RunFor(Millis(100));
+  // A's prefix plus B's suffix is the whole stream, each segment exactly once.
+  ASSERT_EQ(got_a.size() + got_b.size(), 60u);
+  for (uint32_t i = 0; i < got_a.size(); ++i) {
+    EXPECT_EQ(got_a[i], i);
+  }
+  for (uint32_t i = 0; i < got_b.size(); ++i) {
+    EXPECT_EQ(got_b[i], static_cast<uint32_t>(got_a.size()) + i);
+  }
+  EXPECT_GT(got_b.size(), 10u);  // the handover actually happened mid-flow
+  // Moving a stream that is not routed to `from` mutates nothing.
+  EXPECT_FALSE(rig.sw.table().MoveDestination(5, rig.dest_a, rig.dest_b));
+}
+
 TEST(SwitchTest, SustainedOverloadShedsOldestStreamFirst) {
   // Principle 3 via the AdaptiveDegrader: two streams into one slow
   // destination; the older stream takes the loss.

@@ -291,6 +291,32 @@ TEST(TraceRecorderTest, HistogramBucketsAndQuantiles) {
   EXPECT_EQ(total, 5u);
 }
 
+TEST(TraceRecorderTest, HistogramQuantileIsAConservativeUpperBound) {
+  // TraceHistogramQuantile backs the bench gates: it reports the upper edge
+  // of the power-of-2 bucket holding the requested rank, never below the
+  // true value and never above the recorded max.
+  TraceRecorder rec;
+  Time clock = 0;
+  rec.BindClock(&clock);
+  rec.Enable();
+  TraceSiteId hist = 0;
+  for (int64_t v = 1; v <= 100; ++v) {
+    PANDORA_TRACE_HISTOGRAM(&rec, hist, std::string("lat"), "us", v);
+  }
+  ASSERT_EQ(rec.histograms().size(), 1u);
+  const TraceHistogram& h = rec.histograms()[0];
+  const int64_t p50 = TraceHistogramQuantile(h, 0.5);
+  const int64_t p99 = TraceHistogramQuantile(h, 0.99);
+  EXPECT_GE(p50, 50);
+  EXPECT_LE(p50, 100);
+  EXPECT_GE(p99, 99);
+  EXPECT_LE(p99, h.max);
+  EXPECT_LE(p50, p99);
+  // Degenerate histogram: no samples means no estimate.
+  TraceHistogram empty;
+  EXPECT_EQ(TraceHistogramQuantile(empty, 0.99), 0);
+}
+
 TEST(TraceRecorderTest, ExportClosesOpenSpans) {
   TraceRecorder rec;
   Time clock = 0;

@@ -1,0 +1,34 @@
+// Known-bad fixture: overlay repair code borrowing a child-list reference
+// across a suspension.  TreeRepair::Detach and Join splice those vectors,
+// so any pointer or reference held over a co_await may be stale by resume
+// (rule suspension-borrow), and a retained awaiter-field address trips the
+// frame-relocation rule just like in src/runtime/.
+#include <coroutine>
+#include <vector>
+
+#include "src/overlay/tree.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+Process RepairPulse(Scheduler* sched, StripedTrees* trees, int tree, int node) {
+  std::vector<int>& kids = trees->children[tree][node];
+  co_await sched->WaitUntil(sched->now() + Millis(10));
+  // The repair that ran during the wait may have spliced this vector.
+  kids.push_back(node);  // EXPECT-LINT: suspension-borrow
+  co_return;
+}
+
+struct BadRepairAwaiter {
+  int orphan;
+  int* parked;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    parked = &orphan;  // EXPECT-LINT: awaiter-retained-address
+    (void)h;
+  }
+  void await_resume() const {}
+};
+
+}  // namespace pandora

@@ -1,0 +1,23 @@
+// Known-good fixture: overlay code that re-fetches tree state after every
+// suspension instead of borrowing across it, and finishes all uses of a
+// borrow before the first co_await.
+#include <vector>
+
+#include "src/overlay/tree.h"
+#include "src/runtime/scheduler.h"
+
+namespace pandora {
+
+Process RepairPulse(Scheduler* sched, StripedTrees* trees, int tree, int node) {
+  // All uses of the borrow precede the suspension: nothing goes stale.
+  const std::vector<int>& kids = trees->children[tree][node];
+  const size_t before = kids.size();
+  co_await sched->WaitUntil(sched->now() + Millis(10));
+  // Re-fetch after the wait; the repair may have spliced the lists.
+  const size_t after = trees->children[tree][node].size();
+  (void)before;
+  (void)after;
+  co_return;
+}
+
+}  // namespace pandora
