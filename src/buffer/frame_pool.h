@@ -10,10 +10,18 @@
 // global heap), and freed frames park on a per-class free list so
 // steady-state spawn/exit churn never touches malloc.
 //
-// Single-threaded by repo contract (pandora-lint bans threads in src/), so
-// the free lists need no synchronisation.  Under AddressSanitizer the pool
-// degrades to a passthrough: recycling would defeat ASan's use-after-free
-// quarantine and report the retained free lists as leaks.
+// The free lists are per executor thread (`thread_local`): under the
+// sharded M:N scheduler (src/runtime/shard_set.h) every worker recycles the
+// frames of the shards it runs, and the static shard-to-worker assignment
+// means a shard's spawn/exit churn stays on one worker's lists — no
+// synchronisation, no cross-thread frees in steady state.  A frame that
+// does migrate (allocated on the main thread before Run, recycled inside a
+// worker window) simply seeds the recycler that freed it; blocks are plain
+// heap storage, so which thread's list holds a free block never affects
+// behaviour, only which thread skips its next malloc.  Under
+// AddressSanitizer the pool degrades to a passthrough: recycling would
+// defeat ASan's use-after-free quarantine and report the retained free
+// lists as leaks.
 #ifndef PANDORA_SRC_BUFFER_FRAME_POOL_H_
 #define PANDORA_SRC_BUFFER_FRAME_POOL_H_
 
@@ -104,10 +112,11 @@ class FramePool {
   static_assert(sizeof(FreeNode) <= sizeof(Header) + kGranule);
 
   static FreeNode*& FreeListHead(std::size_t cls) {
-    // Frame recycling is an allocator fast path; under the sharded scheduler
-    // each shard gets its own free lists (no cross-shard frees: a frame dies
-    // on the shard that spawned it).
-    PANDORA_SHARD_LOCAL static FreeNode* heads[kNumClasses] = {};
+    // Frame recycling is an allocator fast path.  thread_local + zero-init
+    // means no guard variable and no synchronisation: each ShardSet worker
+    // (and the main thread) owns its lists outright, and the barrier
+    // protocol hands shards between threads with full happens-before.
+    PANDORA_SHARD_LOCAL static thread_local FreeNode* heads[kNumClasses] = {};
     return heads[cls];
   }
 };

@@ -2,23 +2,25 @@
 
 namespace pandora {
 
-Simulation::Simulation(uint64_t seed) : sched_(), reports_(), net_(&sched_, seed) {
+Simulation::Simulation(uint64_t seed)
+    : shards_(), reports_(), net_(&shards_.scheduler(), seed) {
   // One timeline: the control plane's reports land on the same trace as the
   // telemetry recorded by the runtime/buffers/network.
-  reports_.BindTrace(sched_.trace());
+  reports_.BindTrace(shards_.scheduler().trace());
 }
 
 Simulation::~Simulation() {
   // Destroy every coroutine frame before the boxes (whose pools and
   // channels the frames reference) go away.
-  sched_.Shutdown();
+  shards_.Shutdown();
 }
 
 PandoraBox& Simulation::AddBox(PandoraBox::Options options) {
   if (options.mic_stream == kInvalidStream) {
     options.mic_stream = AllocateStream();
   }
-  boxes_.push_back(std::make_unique<PandoraBox>(&sched_, &net_, std::move(options), &reports_));
+  boxes_.push_back(
+      std::make_unique<PandoraBox>(&shards_.scheduler(), &net_, std::move(options), &reports_));
   if (started_) {
     boxes_.back()->Start();
   }

@@ -15,6 +15,7 @@
 #include "src/core/box.h"
 #include "src/net/atm.h"
 #include "src/runtime/scheduler.h"
+#include "src/runtime/shard_set.h"
 
 namespace pandora {
 
@@ -48,18 +49,24 @@ class Simulation {
   explicit Simulation(uint64_t seed = 1);
   ~Simulation();
 
-  Scheduler& scheduler() { return sched_; }
+  // The facade scheduler every box runs on (shard 0 of the shard set).  A
+  // Simulation models one box cluster and keeps it on a single shard, so
+  // the legacy fast path makes these runs bit-identical to the pre-shard
+  // engine; worlds that span shards drive a ShardSet directly (see
+  // tests/shard_harness.h).
+  Scheduler& scheduler() { return shards_.scheduler(); }
+  ShardSet& shard_set() { return shards_; }
   AtmNetwork& network() { return net_; }
   ReportCollector& reports() { return reports_; }
-  Time now() const { return sched_.now(); }
+  Time now() const { return shards_.now(); }
 
   PandoraBox& AddBox(PandoraBox::Options options);
 
   // Starts every box (call after adding boxes, before Run*).
   void Start();
 
-  void RunFor(Duration d) { sched_.RunFor(d); }
-  void RunUntil(Time t) { sched_.RunUntil(t); }
+  void RunFor(Duration d) { shards_.RunFor(d); }
+  void RunUntil(Time t) { shards_.RunUntil(t); }
 
   StreamId AllocateStream() { return next_stream_++; }
 
@@ -122,7 +129,7 @@ class Simulation {
   // Re-plumbs one suspended leg whose endpoints are both alive again.
   void ReestablishCall(CallRecord& call);
 
-  Scheduler sched_;
+  ShardSet shards_;
   ReportCollector reports_;
   AtmNetwork net_;
   std::vector<std::unique_ptr<PandoraBox>> boxes_;

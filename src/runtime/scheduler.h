@@ -124,6 +124,24 @@ class Scheduler {
   // cancel-unlink guarantee: cancelled timers leave immediately).
   size_t pending_timer_count() const { return wheel_.pending_count(); }
 
+  // Simulated time of the next thing this scheduler would do: now() if any
+  // process is runnable, else the earliest pending timer deadline (clamped
+  // to now(); the clock never moves backwards), else kNever.  The ShardSet
+  // conservative-sync loop derives each window from the minimum of these
+  // across shards.
+  Time NextEventTime() const {
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (ready_head_[p] != nullptr) {
+        return now_;
+      }
+    }
+    const Time deadline = wheel_.NextDeadline();
+    if (deadline == kNever) {
+      return kNever;
+    }
+    return deadline < now_ ? now_ : deadline;
+  }
+
   // --- Running -------------------------------------------------------------
 
   // Runs until no process is runnable and no timer is pending.

@@ -1,23 +1,25 @@
-// Shard-readiness annotations for mutable static state.
+// Shard annotations for mutable static state.
 //
-// ROADMAP item 1 turns the single-threaded simulator into a sharded M:N
-// scheduler: each Pandora box / switch domain becomes a shard with its own
-// timer wheel, slab and run queue, executed by a pool of OS threads.  At
-// that point every mutable namespace-scope or function-local static in src/
-// is either a data race or a source of cross-shard nondeterminism — the two
-// failure modes the golden-hash and chaos-replay gates exist to catch.
+// The sharded M:N scheduler (src/runtime/shard_set.h, ROADMAP item 1) runs
+// shards — each its own timer wheel, slab and run queue — on a pool of OS
+// worker threads.  Every mutable namespace-scope or function-local static
+// in src/ is therefore either a data race or a source of cross-shard
+// nondeterminism — the two failure modes the golden-hash and chaos-replay
+// gates exist to catch.
 //
 // tools/lint/shard_audit.py therefore requires every non-const static in
 // src/ to either be constexpr/const or to carry exactly one of these
 // annotations, which make the sharding intent explicit and grep-able:
 //
 //   PANDORA_SHARD_LOCAL
-//       This state must be replicated per shard when threads land (thread-
-//       local, or keyed off the owning shard).  The annotation is the
-//       work-list entry for the sharding PR: `shard_audit --json` inventories
-//       every occurrence so the refactor can be diffed against it.
+//       This state is replicated per executor thread.  Now that the worker
+//       pool is real, the annotation is no longer an IOU: the declaration
+//       must actually be `thread_local` (shards are statically assigned to
+//       workers, so per-thread storage is per-shard-group storage), and the
+//       audit's `shard-local-not-threadlocal` rule fails anything annotated
+//       but not replicated.
 //
-//         PANDORA_SHARD_LOCAL static FreeNode* heads[kNumClasses] = {};
+//         PANDORA_SHARD_LOCAL static thread_local FreeNode* heads[kNumClasses] = {};
 //
 //   PANDORA_SHARD_SHARED(reason)
 //       This state is deliberately cross-shard (a true global).  The reason

@@ -1,0 +1,309 @@
+#include "src/runtime/shard_set.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "src/runtime/check.h"
+#include "src/trace/trace.h"
+
+namespace pandora {
+
+ShardSet::ShardSet(ShardSetOptions options) : options_(options) {
+  PANDORA_CHECK(options_.shards >= 1, "a ShardSet needs at least one shard");
+  PANDORA_CHECK(options_.lookahead >= 1,
+                "conservative sync needs at least one microsecond of lookahead");
+  threads_ = std::clamp(options_.threads, 1, options_.shards);
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Scheduler>());
+  }
+  outboxes_.resize(shards_.size());
+  shard_errors_.resize(shards_.size());
+  if (threads_ > 1) {
+    workers_.reserve(static_cast<size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) {
+      workers_.emplace_back([this, w] { WorkerMain(w); });
+    }
+  }
+}
+
+ShardSet::~ShardSet() {
+  StopWorkers();
+  Shutdown();
+}
+
+void ShardSet::Post(int src, int dst, Time when, TimerCallback fire) {
+  PANDORA_CHECK(src >= 0 && src < shard_count(), "Post: source shard out of range");
+  PANDORA_CHECK(dst >= 0 && dst < shard_count(), "Post: destination shard out of range");
+  if (src == dst) {
+    // Shard-local: arm directly, keeping the legacy arm-order FIFO semantics
+    // (and, with shards=1, bit-identical behaviour to a bare Scheduler).
+    shards_[static_cast<size_t>(dst)]->AddTimer(when, fire);
+    return;
+  }
+  // Lookahead contract: the destination may already have run up to
+  // window_end_, so a delivery at or before it would rewrite history.
+  PANDORA_CHECK(when > window_end_,
+                "cross-shard Post inside the conservative window (latency < lookahead?)");
+  PANDORA_CHECK(when >= shards_[static_cast<size_t>(src)]->now(),
+                "cross-shard Post into the source shard's past");
+  Outbox& outbox = outboxes_[static_cast<size_t>(src)];
+  MailboxEntry entry;
+  entry.when = when;
+  entry.seq = outbox.next_seq++;
+  entry.src = src;
+  entry.dst = dst;
+  entry.fire = fire;
+  outbox.entries.push_back(entry);
+}
+
+void ShardSet::DrainMailboxes() {
+  drain_scratch_.clear();
+  for (Outbox& outbox : outboxes_) {
+    drain_scratch_.insert(drain_scratch_.end(), outbox.entries.begin(), outbox.entries.end());
+    outbox.entries.clear();  // keeps capacity: steady-state drains don't allocate
+  }
+  if (drain_scratch_.empty()) {
+    return;
+  }
+  // (when, src, seq) is unique per entry, so this is a total order and the
+  // destination wheels see one deterministic arm sequence regardless of how
+  // many threads produced the entries.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const MailboxEntry& a, const MailboxEntry& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.src != b.src) {
+                return a.src < b.src;
+              }
+              return a.seq < b.seq;
+            });
+  for (const MailboxEntry& entry : drain_scratch_) {
+    shards_[static_cast<size_t>(entry.dst)]->AddTimer(entry.when, entry.fire);
+  }
+  cross_shard_messages_ += drain_scratch_.size();
+  drain_scratch_.clear();
+}
+
+Time ShardSet::MinNextEvent() const {
+  Time t = kNever;
+  for (const auto& shard : shards_) {
+    const Time next = shard->NextEventTime();
+    t = next < t ? next : t;
+  }
+  return t;
+}
+
+void ShardSet::RunShardsInline(Time window_end) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    try {
+      shards_[i]->RunUntil(window_end);
+    } catch (...) {
+      shard_errors_[i] = std::current_exception();
+    }
+  }
+}
+
+void ShardSet::RunWindow(Time window_end) {
+  ++windows_;
+  if (workers_.empty()) {
+    window_end_ = window_end;
+    RunShardsInline(window_end);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_end_ = window_end;
+      workers_busy_ = threads_;
+      ++round_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_busy_ == 0; });
+  }
+  RethrowFirstShardError();
+}
+
+void ShardSet::WorkerMain(int worker_index) {
+  uint64_t seen_round = 0;
+  for (;;) {
+    Time window_end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_round] { return stop_ || round_ != seen_round; });
+      if (stop_) {
+        return;
+      }
+      seen_round = round_;
+      window_end = window_end_;
+    }
+    // Static assignment: shard i always runs on worker i % threads, so
+    // results cannot depend on which worker drains faster and each shard's
+    // frame churn stays on one thread's FramePool free lists.
+    for (int i = worker_index; i < shard_count(); i += threads_) {
+      try {
+        shards_[static_cast<size_t>(i)]->RunUntil(window_end);
+      } catch (...) {
+        shard_errors_[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_busy_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ShardSet::RethrowFirstShardError() {
+  std::exception_ptr first;
+  // Lowest shard index wins, every time: which error escapes must not depend
+  // on thread timing.  Later shards' errors are dropped, matching a single
+  // Scheduler run that stops at its first escaping exception.
+  for (std::exception_ptr& err : shard_errors_) {
+    if (err != nullptr) {
+      if (first == nullptr) {
+        first = err;
+      }
+      err = nullptr;
+    }
+  }
+  if (first != nullptr) {
+    std::rethrow_exception(first);
+  }
+}
+
+void ShardSet::RunUntilQuiescent() {
+  if (legacy()) {
+    shards_[0]->RunUntilQuiescent();
+    return;
+  }
+  for (;;) {
+    DrainMailboxes();
+    const Time t_min = MinNextEvent();
+    if (t_min == kNever) {
+      return;
+    }
+    Time window_end = t_min + options_.lookahead - 1;
+    if (window_end < t_min) {  // arithmetic overflow near kNever
+      window_end = t_min;
+    }
+    RunWindow(window_end);
+  }
+}
+
+void ShardSet::RunUntil(Time limit) {
+  if (legacy()) {
+    shards_[0]->RunUntil(limit);
+    return;
+  }
+  for (;;) {
+    DrainMailboxes();
+    const Time t_min = MinNextEvent();
+    if (t_min > limit) {
+      break;
+    }
+    Time window_end = t_min + options_.lookahead - 1;
+    if (window_end > limit || window_end < t_min) {
+      window_end = limit;
+    }
+    RunWindow(window_end);
+  }
+  // Nothing left at or before `limit`: advance every clock to the limit so
+  // callers see the same now() a bare Scheduler would report.  Inline on the
+  // coordinator — no events fire, the barrier already synchronised.
+  for (auto& shard : shards_) {
+    shard->RunUntil(limit);
+  }
+  window_end_ = limit > window_end_ ? limit : window_end_;
+}
+
+void ShardSet::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  // Undelivered mailbox entries die with the world; their captures are
+  // trivially-copyable by TimerCallback's contract, so dropping is safe.
+  for (Outbox& outbox : outboxes_) {
+    outbox.entries.clear();
+  }
+  for (auto& shard : shards_) {
+    shard->Shutdown();
+  }
+}
+
+size_t ShardSet::undrained_messages() const {
+  size_t n = 0;
+  for (const Outbox& outbox : outboxes_) {
+    n += outbox.entries.size();
+  }
+  return n;
+}
+
+uint64_t ShardSet::ShardDigest(int i) const {
+  PANDORA_CHECK(i >= 0 && i < shard_count());
+  const Scheduler& shard = *shards_[static_cast<size_t>(i)];
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(shard.context_switches());
+  mix(static_cast<uint64_t>(shard.now()));
+  mix(shard.pending_timer_count());
+  mix(shard.live_process_count());
+  mix(outboxes_[static_cast<size_t>(i)].next_seq);
+  return h;
+}
+
+void ShardSet::EnableTrace(size_t max_events_per_shard) {
+  for (auto& shard : shards_) {
+    shard->trace()->Enable(max_events_per_shard);
+  }
+}
+
+std::string ShardSet::ExportMergedTraceJson() const {
+  TraceRecorder merged;
+  std::string prefix;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    prefix = "s";
+    prefix += std::to_string(i);
+    prefix += ':';
+    merged.MergeFrom(*shards_[i]->trace(), prefix);
+  }
+  return merged.ExportJson();
+}
+
+bool ShardSet::ExportMergedTraceTo(const std::string& path) const {
+  TraceRecorder merged;
+  std::string prefix;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    prefix = "s";
+    prefix += std::to_string(i);
+    prefix += ':';
+    merged.MergeFrom(*shards_[i]->trace(), prefix);
+  }
+  return merged.ExportJsonTo(path);
+}
+
+void ShardSet::StopWorkers() {
+  if (workers_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace pandora

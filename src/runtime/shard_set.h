@@ -1,0 +1,202 @@
+// ShardSet: the sharded M:N parallel scheduler (ROADMAP item 1).
+//
+// The paper's Pandora boxes are independent machines on an ATM LAN; the
+// reproduction so far multiplexed every box onto one single-threaded
+// event loop.  A ShardSet partitions the simulation into *shards* — each
+// shard is a full Scheduler (its own timer wheel, process slab, ready
+// queues, trace recorder, and, via thread-local FramePool free lists, its
+// own coroutine-frame recycler) — and executes them on a pool of OS worker
+// threads under conservative time synchronization:
+//
+//   window    All shards agree on a horizon W = min(next event over all
+//             shards) + lookahead - 1 and run [.., W] in parallel, each on
+//             its own worker, touching only its own state.
+//   barrier   Workers rendezvous; the coordinator drains every outbox.
+//   drain     Cross-shard messages (sequence-stamped mailbox entries) are
+//             merged in (deliver_time, src_shard, seq) order and armed as
+//             ordinary timers on their destination shards.
+//
+// Safety: a cross-shard message produced by an event at time t carries a
+// delivery time >= t + lookahead.  Every event in the window satisfies
+// t >= min(next event) = W - lookahead + 1, so deliveries land strictly
+// after W — no shard can have run past a message it should have seen.
+// Lookahead therefore must not exceed the minimum cross-shard link latency;
+// in the Pandora world that latency comes free from LinkModel/HopQuality
+// (cross-shard traffic always crosses a link with nonzero delay).
+//
+// Determinism: within a window each shard's dispatch order is a pure
+// function of its own state (the Scheduler is sequential); the drain order
+// is a pure function of the messages' (deliver_time, src_shard, seq) keys,
+// which are assigned by each source shard's own deterministic execution.
+// Thread count and OS scheduling therefore cannot perturb dispatch order:
+// threads=1 and threads=8 replay byte-identically, which
+// tests/shard_determinism_test.cc pins.
+//
+// Legacy mode: shards=1 bypasses the window machinery entirely —
+// RunUntil/RunFor delegate straight to the single Scheduler and Post arms a
+// plain timer — so a one-shard ShardSet is bit-identical to the pre-shard
+// engine (the existing chaos/overlay goldens run unchanged through it).
+//
+// This header and shard_set.cc are the single sanctioned home of OS
+// threading primitives inside src/ (pandora-lint thread-primitives rule):
+// worker threads never touch simulation state outside the barrier protocol.
+#ifndef PANDORA_SRC_RUNTIME_SHARD_SET_H_
+#define PANDORA_SRC_RUNTIME_SHARD_SET_H_
+
+// This file is on pandora-lint's THREAD_SANCTIONED_FILES list: the thread
+// primitives below are the reason the ban exists everywhere else.
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/callback.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/time.h"
+
+namespace pandora {
+
+struct ShardSetOptions {
+  // Number of shards (independent Schedulers).  1 = legacy single-engine
+  // mode, bit-identical to a bare Scheduler.
+  int shards = 1;
+  // OS worker threads executing the shards; clamped to [1, shards].  Shard
+  // i is statically assigned to worker i % threads, so a shard's frame-pool
+  // churn stays on one thread's free lists and results never depend on
+  // which worker finishes first.
+  int threads = 1;
+  // Conservative-sync lookahead.  Must be <= the minimum cross-shard
+  // message latency (Post enforces per message); larger lookahead = fewer
+  // barriers.
+  Duration lookahead = Millis(1);
+};
+
+class ShardSet {
+ public:
+  explicit ShardSet(ShardSetOptions options = {});
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int thread_count() const { return threads_; }
+  Duration lookahead() const { return options_.lookahead; }
+
+  Scheduler& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const Scheduler& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+  // Legacy accessor: the facade scheduler existing single-shard callers use.
+  Scheduler& scheduler() { return shard(0); }
+
+  // All shard clocks agree at every barrier (and after every Run* call).
+  Time now() const { return shard(0).now(); }
+
+  // Queues `fire` to run on shard `dst` at simulated time `when`, stamped
+  // with the source shard's next mailbox sequence number.  Must be called
+  // either from code executing on shard `src` (its worker owns the outbox
+  // row during a window) or from the coordinating thread between Run*
+  // calls.  Cross-shard deliveries must respect the lookahead contract:
+  // `when` must lie strictly beyond the current window (checked).
+  // Same-shard posts arm a plain timer immediately, preserving the legacy
+  // arm-order semantics shard-local traffic always had.
+  void Post(int src, int dst, Time when, TimerCallback fire);
+
+  // Runs windows until every shard is quiescent and all mailboxes are empty.
+  void RunUntilQuiescent();
+  // Runs windows until the simulated clock reaches `limit`; on return every
+  // shard's now() == limit (or the quiescence point advanced to limit).
+  void RunUntil(Time limit);
+  void RunFor(Duration d) { RunUntil(now() + d); }
+
+  // Destroys all shards' live frames and timers (shard-index order) and
+  // drops undelivered mailbox entries.  Joins nothing: workers stay parked
+  // for reuse until destruction.
+  void Shutdown();
+
+  // --- Introspection ---------------------------------------------------------
+
+  // Barrier rounds executed (0 in legacy mode).
+  uint64_t windows() const { return windows_; }
+  // Cross-shard mailbox entries delivered to destination wheels.
+  uint64_t cross_shard_messages() const { return cross_shard_messages_; }
+  // Mailbox entries accepted but not yet drained to a destination wheel.
+  size_t undrained_messages() const;
+
+  // Order-sensitive digest of one shard's execution so far: folds context
+  // switches, clock, and mailbox sequence state.  Equal digests across two
+  // runs mean the shard dispatched the same number of slices to the same
+  // simulated time with the same cross-shard traffic — the cheap half of
+  // the determinism story (tests fold per-message observables on top).
+  uint64_t ShardDigest(int i) const;
+
+  // Enables every shard's trace recorder (per-shard buffers; merged on
+  // export so one Perfetto timeline shows all shards as separate tracks).
+  void EnableTrace(size_t max_events_per_shard);
+  std::string ExportMergedTraceJson() const;
+  bool ExportMergedTraceTo(const std::string& path) const;
+
+ private:
+  struct MailboxEntry {
+    Time when = 0;
+    uint64_t seq = 0;  // per-source send order; ties broken by src below
+    int32_t src = 0;
+    int32_t dst = 0;
+    TimerCallback fire;
+  };
+
+  // Per-source outbox row.  A row is written only by the worker executing
+  // its shard (or the coordinator between rounds) and drained only by the
+  // coordinator at a barrier, so rows need no locks; the barrier's mutex
+  // provides the happens-before edge.
+  struct Outbox {
+    std::vector<MailboxEntry> entries;
+    uint64_t next_seq = 0;
+  };
+
+  bool legacy() const { return shards_.size() == 1; }
+  // Merges every outbox into destination wheels in (when, src, seq) order.
+  void DrainMailboxes();
+  // Earliest next event over all shards (mailboxes are already drained into
+  // wheels, so shard NextEventTime covers them).
+  Time MinNextEvent() const;
+  // Runs one window [.., window_end] across all shards, on the worker pool
+  // when it exists, inline otherwise; rethrows the lowest-shard process
+  // error afterwards.
+  void RunWindow(Time window_end);
+  void RunShardsInline(Time window_end);
+  void WorkerMain(int worker_index);
+  void StopWorkers();
+  void RethrowFirstShardError();
+
+  ShardSetOptions options_;
+  int threads_ = 1;
+  std::vector<std::unique_ptr<Scheduler>> shards_;
+  std::vector<Outbox> outboxes_;              // index = src shard
+  std::vector<MailboxEntry> drain_scratch_;   // reused merge buffer
+  std::vector<std::exception_ptr> shard_errors_;
+  uint64_t windows_ = 0;
+  uint64_t cross_shard_messages_ = 0;
+  // Window currently (or most recently) executed; cross-shard posts must
+  // deliver strictly after it.  Published before workers are released.
+  Time window_end_ = 0;
+  bool shut_down_ = false;
+
+  // --- Worker-pool barrier protocol (multi-shard only) -----------------------
+  // Coordinator publishes (round_, window_end_) under mu_ and wakes workers;
+  // each worker runs its statically-assigned shards to window_end_, then
+  // reports done.  stop_ tears the pool down.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t round_ = 0;
+  int workers_busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_RUNTIME_SHARD_SET_H_

@@ -288,6 +288,45 @@ void TimerWheel::CompactHeap() {
   heap_cancelled_ = 0;
 }
 
+Time TimerWheel::NextDeadline() const {
+  if (pending_ == 0) {
+    return kNever;
+  }
+  Time best = kNever;
+  // Same search order as PopDue, without mutating: the earliest wheel
+  // deadline is in level 0's lowest occupied slot, or — with level 0 empty —
+  // in the first nonempty higher level's lowest slot (all of a level's
+  // occupied slots decode at or past the cursor with a shared prefix, so
+  // lower absolute index means earlier window).  One slot list is walked
+  // because only the cursor slot may hold past-deadline parkers whose
+  // `when` undercuts the slot's decoded time.
+  const int s0 = LowestSetSlot(0);
+  if (s0 >= 0) {
+    for (const TimerNode* node = slots_[0][s0].head; node != nullptr; node = node->next) {
+      best = node->when < best ? node->when : best;
+    }
+  } else {
+    for (int level = 1; level < kLevels; ++level) {
+      const int slot = LowestSetSlot(level);
+      if (slot >= 0) {
+        for (const TimerNode* node = slots_[level][slot].head; node != nullptr;
+             node = node->next) {
+          best = node->when < best ? node->when : best;
+        }
+        break;
+      }
+    }
+  }
+  // The heap top may be a lazily-cancelled corpse; scan past them (the heap
+  // stays small: only deadlines beyond the wheel's 2^32 us span live here).
+  for (const TimerNode* node : heap_) {
+    if (node->where == TimerNode::Where::kHeap && node->when < best) {
+      best = node->when;
+    }
+  }
+  return best;
+}
+
 void TimerWheel::Clear() {
   for (int level = 0; level < kLevels; ++level) {
     for (int w = 0; w < kWordsPerLevel; ++w) {

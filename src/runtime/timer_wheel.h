@@ -96,6 +96,13 @@ class TimerWheel {
   // Drops every pending timer (scheduler shutdown).
   void Clear();
 
+  // Earliest pending deadline without detaching anything (kNever if empty).
+  // The sharded scheduler's conservative-sync loop peeks every shard's
+  // horizon each window, so this must not mutate cursor or heap.  A
+  // past-deadline node parked in the cursor slot reports its original
+  // `when`; callers clamp against their own clock.
+  Time NextDeadline() const;
+
   std::size_t pending_count() const { return pending_; }
 
  private:

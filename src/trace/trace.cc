@@ -148,6 +148,50 @@ void TraceRecorder::RecordHistogram(TraceSiteId hist, int64_t value) {
   ++h.buckets[bucket];
 }
 
+void TraceRecorder::MergeFrom(const TraceRecorder& other, std::string_view prefix) {
+  std::vector<TraceSiteId> site_map(other.sites_.size());
+  std::string renamed;
+  for (size_t i = 0; i < other.sites_.size(); ++i) {
+    renamed.assign(prefix);
+    renamed += other.sites_[i].name;
+    site_map[i] = InternSiteArgs(renamed, other.sites_[i].arg1, other.sites_[i].arg2);
+  }
+  const uint64_t async_base = async_seq_;
+  async_seq_ += other.async_seq_;
+  events_.reserve(events_.size() + other.events_.size());
+  for (const Event& ev : other.events_) {
+    Event copy = ev;
+    copy.site = site_map[ev.site - 1];
+    if (ev.ph == kTracePhaseAsyncBegin || ev.ph == kTracePhaseAsyncEnd) {
+      copy.value += static_cast<int64_t>(async_base);
+    }
+    events_.push_back(copy);
+  }
+  if (capacity_ < events_.size()) {
+    capacity_ = events_.size();
+  }
+  dropped_ += other.dropped_;
+  for (const TraceHistogram& h : other.histograms_) {
+    renamed.assign(prefix);
+    renamed += h.name;
+    TraceHistogram& mine = histograms_[InternHistogram(renamed, h.unit) - 1];
+    if (h.count != 0) {
+      if (mine.count == 0) {
+        mine.min = h.min;
+        mine.max = h.max;
+      } else {
+        mine.min = std::min(mine.min, h.min);
+        mine.max = std::max(mine.max, h.max);
+      }
+      mine.count += h.count;
+      mine.sum += h.sum;
+      for (int i = 0; i < kTraceHistogramBuckets; ++i) {
+        mine.buckets[i] += h.buckets[i];
+      }
+    }
+  }
+}
+
 std::string TraceRecorder::ExportJson() const {
   // Stable sort by timestamp so every track reads monotonically while
   // same-instant events keep their recording order (determinism).

@@ -141,6 +141,15 @@ class TraceRecorder {
   // Writes ExportJson() to `path`; false on I/O error.
   bool ExportJsonTo(const std::string& path) const;
 
+  // Copies every event, site and histogram from `other` into this recorder,
+  // re-interning names with `prefix` prepended (so "tx.audio" from shard 2
+  // becomes "s2:tx.audio" and lands on its own process track) and offsetting
+  // async ids past this recorder's to keep rendezvous pairs correlated.
+  // Same-name histograms accumulate.  ShardSet merges per-shard buffers
+  // through this into one exportable timeline; the merge target needs no
+  // clock and never records live.
+  void MergeFrom(const TraceRecorder& other, std::string_view prefix);
+
   const std::vector<TraceHistogram>& histograms() const { return histograms_; }
 
  private:

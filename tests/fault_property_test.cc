@@ -17,6 +17,12 @@
 // PANDORA_CHAOS_SEED_BASE offsets the seed range (the chaos_sweep CTest
 // target runs this suite under 9 distinct bases); PANDORA_CHAOS_PLANS
 // overrides the plan count (default 200).
+//
+// The ShardedChaosReplay suite at the bottom is the sharded engine's chaos
+// leg: random fault plans against the multi-shard storm harness at
+// threads=8, every storm run twice and required to replay bit-exact.
+// PANDORA_CHAOS_SHARD_PLANS overrides its plan count (default 50); a
+// dedicated chaos_sweep seed base drives it in the sweep.
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -27,6 +33,7 @@
 #include "src/core/simulation.h"
 #include "src/fault/driver.h"
 #include "src/fault/plan.h"
+#include "tests/shard_harness.h"
 
 namespace pandora {
 namespace {
@@ -282,6 +289,62 @@ TEST(ChaosCorruptionStorm, DecodeFailuresNeverCrashABoxOrStallAudio) {
   EXPECT_GT(tracker->suspects(), 0u);
   CheckP2(world, "scripted corruption storm");
 }
+
+// --- Sharded chaos leg ------------------------------------------------------
+
+int EnvShardPlanCount() {
+  const char* count = std::getenv("PANDORA_CHAOS_SHARD_PLANS");
+  return count == nullptr ? 50 : std::atoi(count);
+}
+
+class ShardedChaosReplay : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedChaosReplay, RandomPlanReplaysBitExactAtEightThreads) {
+  if (GetParam() >= EnvShardPlanCount()) {
+    GTEST_SKIP() << "beyond PANDORA_CHAOS_SHARD_PLANS";
+  }
+  const uint64_t seed = EnvSeedBase() + static_cast<uint64_t>(GetParam()) + 1;
+  RandomPlanOptions plan_options;
+  plan_options.start = Millis(100);
+  plan_options.horizon = Millis(700);
+  plan_options.min_events = 3;
+  plan_options.max_events = 8;
+  plan_options.box_count = 24;  // targets map onto the storm's 24 actors
+  plan_options.call_count = 4;
+  plan_options.min_episode = Millis(40);
+  plan_options.max_episode = Millis(250);
+  const FaultPlan plan = RandomFaultPlan(seed, plan_options);
+  SCOPED_TRACE("sharded storm under plan seed " + std::to_string(seed) + ": " +
+               FormatFaultPlan(plan));
+
+  ShardStormOptions opt;
+  opt.shards = 8;
+  opt.threads = 8;
+  opt.total_actors = 24;
+  opt.seed = seed;
+  opt.duration = Millis(900);
+  opt.plan = &plan;
+
+  // Two cold runs, eight OS threads each: every per-shard order-sensitive
+  // hash, every counter and the window/mailbox bookkeeping must match — the
+  // M:N engine's replay guarantee holds under whatever this plan throws.
+  const ShardStormResult first = RunShardStorm(opt);
+  const ShardStormResult second = RunShardStorm(opt);
+  EXPECT_TRUE(first == second);
+  EXPECT_GT(first.deliveries, 0u);
+
+  // And the partition must stay invisible: the same storm collapsed onto
+  // one shard (the legacy engine) sees the identical traffic.
+  ShardStormOptions single = opt;
+  single.shards = 1;
+  single.threads = 1;
+  const ShardStormResult legacy = RunShardStorm(single);
+  EXPECT_EQ(legacy.merged_hash, first.merged_hash);
+  EXPECT_EQ(legacy.deliveries, first.deliveries);
+  EXPECT_EQ(legacy.drops, first.drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyPlans, ShardedChaosReplay, ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace pandora

@@ -1,0 +1,247 @@
+// Shard-invariance determinism suite for the M:N scheduler (ShardSet).
+//
+// The contract under test, from DESIGN.md section 13: per-shard dispatch
+// order is a pure function of (seed, plan, shard assignment) — never of the
+// executor thread count — and the single-shard configuration is bit-
+// identical to a bare Scheduler, so every pre-shard golden keeps its bytes.
+//
+// Three configurations of the same storm are compared:
+//
+//   threads=1 / shards=1     the legacy engine (delegation fast path)
+//   threads=1 / shards=8     conservative windows, no worker pool
+//   threads=8 / shards=8     conservative windows on 8 OS threads
+//
+// The last two must agree on EVERYTHING (per-shard order-sensitive hashes,
+// window count, cross-shard message count, context switches): M:N execution
+// is pure bookkeeping.  The first must agree on the partition-invariant
+// merged hash and every traffic total: conservative sync delivers the same
+// multiset of (time, payload) per link that the sequential engine does.
+#include <gtest/gtest.h>
+
+#include "src/fault/plan.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/shard_set.h"
+#include "src/runtime/time.h"
+#include "tests/shard_harness.h"
+
+namespace pandora {
+namespace {
+
+ShardStormOptions BaseStorm(uint64_t seed) {
+  ShardStormOptions opt;
+  opt.shards = 8;
+  opt.threads = 1;
+  opt.total_actors = 32;
+  opt.seed = seed;
+  opt.duration = Seconds(1);
+  return opt;
+}
+
+TEST(ShardDeterminism, ThreadCountIsInvisible) {
+  // Same partition, 1 vs 8 executor threads: every observable — including
+  // the order-sensitive per-shard chains and the scheduler digests — must be
+  // byte-identical.  This is the M:N core guarantee.
+  ShardStormOptions sequential = BaseStorm(0xA11CE);
+  ShardStormOptions threaded = sequential;
+  threaded.threads = 8;
+
+  const ShardStormResult a = RunShardStorm(sequential);
+  const ShardStormResult b = RunShardStorm(threaded);
+
+  ASSERT_EQ(a.shard_hashes.size(), 8u);
+  for (size_t s = 0; s < a.shard_hashes.size(); ++s) {
+    EXPECT_EQ(a.shard_hashes[s], b.shard_hashes[s]) << "shard " << s << " diverged";
+  }
+  EXPECT_TRUE(a == b);
+  // The storm was real: traffic crossed shards and forwarders churned.
+  EXPECT_GT(a.deliveries, 1000u);
+  EXPECT_GT(a.cross_shard_messages, 1000u);
+  EXPECT_GT(a.replies, 0u);
+  EXPECT_GT(a.windows, 0u);
+}
+
+TEST(ShardDeterminism, PartitionIsInvisibleToObservables) {
+  // 1 shard vs 8 shards (either thread count): the partition may only change
+  // which wheel arms a timer, never what any actor observes.  Totals and the
+  // commutative merged hash pin the multiset of deliveries per link.
+  ShardStormOptions single = BaseStorm(0xBEEF);
+  single.shards = 1;
+  ShardStormOptions eight = BaseStorm(0xBEEF);
+  ShardStormOptions eight_mt = eight;
+  eight_mt.threads = 8;
+
+  const ShardStormResult one = RunShardStorm(single);
+  const ShardStormResult seq = RunShardStorm(eight);
+  const ShardStormResult par = RunShardStorm(eight_mt);
+
+  EXPECT_EQ(one.merged_hash, seq.merged_hash);
+  EXPECT_EQ(one.merged_hash, par.merged_hash);
+  EXPECT_EQ(one.sends, seq.sends);
+  EXPECT_EQ(one.deliveries, seq.deliveries);
+  EXPECT_EQ(one.drops, seq.drops);
+  EXPECT_EQ(one.replies, seq.replies);
+  EXPECT_GT(one.deliveries, 1000u);
+  // The single-shard run went down the legacy fast path: no windows, no
+  // mailboxes — the pre-shard engine, byte for byte.
+  EXPECT_EQ(one.windows, 0u);
+  EXPECT_EQ(one.cross_shard_messages, 0u);
+  EXPECT_GT(seq.cross_shard_messages, 0u);
+}
+
+TEST(ShardDeterminism, ReplayIsBitExactAcrossRuns) {
+  // Two cold runs of the identical threaded configuration, fault plan and
+  // all: process slabs, wheels, pools and worker pool are rebuilt from
+  // scratch, and every hash must still come out identical.
+  RandomPlanOptions plan_options;
+  plan_options.start = Millis(100);
+  plan_options.horizon = Millis(700);
+  plan_options.min_events = 4;
+  plan_options.max_events = 8;
+  plan_options.box_count = 32;
+  plan_options.call_count = 4;
+  plan_options.min_episode = Millis(50);
+  plan_options.max_episode = Millis(200);
+  const FaultPlan plan = RandomFaultPlan(0xD15EA5E, plan_options);
+
+  ShardStormOptions opt = BaseStorm(0xF00D);
+  opt.threads = 8;
+  opt.plan = &plan;
+
+  const ShardStormResult first = RunShardStorm(opt);
+  const ShardStormResult second = RunShardStorm(opt);
+  EXPECT_TRUE(first == second);
+  EXPECT_GT(first.deliveries, 0u);
+}
+
+TEST(ShardDeterminism, ChaosOverlayIsPartitionInvariant) {
+  // A scripted storm with every materialised fault kind: crashes + restarts
+  // (kill sweeps mid-window), churn, burst loss and a jitter storm.  The
+  // merged hash must survive repartitioning even while actors die and their
+  // forwarders are swept.
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.at = Millis(200);
+  crash.kind = FaultKind::kBoxCrash;
+  crash.target = 3;
+  crash.duration = Millis(150);
+  plan.events.push_back(crash);
+  FaultEvent churn;
+  churn.at = Millis(300);
+  churn.kind = FaultKind::kChurn;
+  churn.target = 13;
+  churn.duration = Millis(200);
+  plan.events.push_back(churn);
+  FaultEvent loss;
+  loss.at = Millis(350);
+  loss.kind = FaultKind::kBurstLoss;
+  loss.value = 0.4;
+  loss.duration = Millis(250);
+  plan.events.push_back(loss);
+  FaultEvent jitter;
+  jitter.at = Millis(500);
+  jitter.kind = FaultKind::kJitterStorm;
+  jitter.value = 900;  // up to 900us of extra (still lookahead-safe) latency
+  jitter.duration = Millis(300);
+  plan.events.push_back(jitter);
+
+  ShardStormOptions single = BaseStorm(0xCAFE);
+  single.shards = 1;
+  single.plan = &plan;
+  ShardStormOptions eight_mt = BaseStorm(0xCAFE);
+  eight_mt.threads = 8;
+  eight_mt.plan = &plan;
+
+  const ShardStormResult one = RunShardStorm(single);
+  const ShardStormResult par = RunShardStorm(eight_mt);
+
+  // The overlay engaged identically in both partitions.
+  EXPECT_EQ(one.crashes, 2u);
+  EXPECT_EQ(one.restarts, 2u);
+  EXPECT_GT(one.drops, 0u);
+  EXPECT_EQ(par.crashes, one.crashes);
+  EXPECT_EQ(par.restarts, one.restarts);
+  EXPECT_EQ(par.drops, one.drops);
+  EXPECT_EQ(par.sends, one.sends);
+  EXPECT_EQ(par.deliveries, one.deliveries);
+  EXPECT_EQ(par.merged_hash, one.merged_hash);
+}
+
+TEST(ShardDeterminism, SingleShardIsBitIdenticalToBareScheduler) {
+  // The golden-compatibility proof: the identical coroutine workload on a
+  // bare Scheduler and on ShardSet{shards=1} must agree on the full
+  // execution fingerprint — clock, context switches, pending timers, event
+  // chain.  This is why every pre-shard golden (chaos_golden, the trace and
+  // core goldens) is untouched by this refactor: Simulation now runs on a
+  // ShardSet, and this path adds zero perturbation.
+  auto pinger = [](Scheduler* sched, uint64_t* chain, int id, int rounds) -> Process {
+    for (int i = 0; i < rounds; ++i) {
+      co_await sched->WaitFor(Micros(100 + 37 * id));
+      *chain = FnvMix(*chain, static_cast<uint64_t>(sched->now()) ^ static_cast<uint64_t>(id));
+      if ((i & 3) == 0) {
+        co_await sched->Yield();
+        *chain = FnvMix(*chain, 0x5eedull + static_cast<uint64_t>(id));
+      }
+    }
+  };
+  struct Fingerprint {
+    uint64_t chain = 1469598103934665603ull;
+    uint64_t switches = 0;
+    Time now = 0;
+    size_t pending = 0;
+    size_t live = 0;
+  };
+  const auto drive = [&](Scheduler& sched, auto run_until) {
+    Fingerprint fp;
+    for (int id = 0; id < 16; ++id) {
+      sched.Spawn(pinger(&sched, &fp.chain, id, 40), "pinger",
+                  (id & 1) != 0 ? Priority::kHigh : Priority::kLow);
+    }
+    run_until(Millis(30));
+    fp.switches = sched.context_switches();
+    fp.now = sched.now();
+    fp.pending = sched.pending_timer_count();
+    fp.live = sched.live_process_count();
+    return fp;
+  };
+
+  Scheduler bare;
+  const Fingerprint a = drive(bare, [&](Time t) { bare.RunUntil(t); });
+  bare.Shutdown();
+
+  ShardSet set(ShardSetOptions{});  // shards=1, threads=1
+  const Fingerprint b = drive(set.scheduler(), [&](Time t) { set.RunUntil(t); });
+
+  EXPECT_EQ(a.chain, b.chain);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.pending, b.pending);
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_NE(a.switches, 0u);
+  // Legacy mode never opened a window or touched a mailbox.
+  EXPECT_EQ(set.windows(), 0u);
+  EXPECT_EQ(set.cross_shard_messages(), 0u);
+  set.Shutdown();
+}
+
+TEST(ShardDeterminism, LookaheadScalesWindowCountNotObservables) {
+  // Doubling the lookahead halves (roughly) the number of windows but must
+  // not change what any actor sees: the window size is an engine tuning
+  // knob, not a semantic one.  (Links in the storm carry latency >= the
+  // configured lookahead, so both settings satisfy the contract.)
+  ShardStormOptions tight = BaseStorm(0x1DEA);
+  tight.lookahead = Millis(1);
+  tight.base_latency = Millis(1);  // pin link latency across the sweep
+  tight.duration = Millis(500);
+  ShardStormOptions wide = tight;
+  wide.lookahead = Micros(500);  // same links, smaller safe horizon
+
+  const ShardStormResult a = RunShardStorm(tight);
+  const ShardStormResult c = RunShardStorm(wide);
+  EXPECT_GT(c.windows, a.windows);
+  EXPECT_EQ(a.merged_hash, c.merged_hash);
+  EXPECT_EQ(a.sends, c.sends);
+  EXPECT_EQ(a.deliveries, c.deliveries);
+}
+
+}  // namespace
+}  // namespace pandora

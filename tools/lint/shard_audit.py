@@ -24,6 +24,16 @@ Anything mutable and unannotated is an error (rule `mutable-global`), as is
 a PANDORA_SHARD_SHARED with an empty reason (`shard-shared-reason`) or use
 of the macros without including src/runtime/shard.h (`missing-include`).
 
+Since the sharded M:N scheduler landed (src/runtime/shard_set.h), the
+PANDORA_SHARD_LOCAL promise is no longer an IOU: shards run on real OS
+worker threads, and the one sanctioned replication mechanism for static
+storage is `thread_local` (shards are statically assigned to workers, so
+per-thread is per-shard-group).  A mutable static annotated
+PANDORA_SHARD_LOCAL without `thread_local` storage is therefore a data race
+shipping under a stale annotation (rule `shard-local-not-threadlocal`).
+Every entry now also records whether it is thread_local, so the JSON diff
+shows replication state per commit.
+
 `--json FILE` dumps the full inventory (annotated entries included) so CI
 can archive it per commit; the sharding PR is reviewed against that diff.
 
@@ -219,9 +229,11 @@ def _audit_statics(ctx, fn_spans, cls_spans, preproc, entries, report):
         name = _declared_name(head)
         kind = _innermost_kind(m.start(), fn_spans, cls_spans)
         mutable = _head_is_mutable(head)
+        # `thread_local` may sit on either side of `static`.
+        tls = bool(re.search(r"\bthread_local\b", code[prefix_start:end]))
         annotation, reason = _statement_annotation(ctx, prefix_start, m.start())
-        _record(ctx, entries, report, line, name, kind, mutable, annotation,
-                reason, code[prefix_start:end + 1])
+        _record(ctx, entries, report, line, name, kind, mutable, tls,
+                annotation, reason, code[prefix_start:end + 1])
 
 
 def _masked_namespace_scope(ctx, fn_spans, cls_spans, preproc):
@@ -296,18 +308,20 @@ def _audit_namespace_vars(ctx, fn_spans, cls_spans, preproc, entries, report):
         line = line_of(masked, stmt_begin)
         name = _declared_name(head)
         mutable = _head_is_mutable(head)
+        tls = bool(re.search(r"\bthread_local\b", head))
         _record(ctx, entries, report, line, name, "namespace_var", mutable,
-                annotation, reason, body)
+                tls, annotation, reason, body)
 
 
-def _record(ctx, entries, report, line, name, kind, mutable, annotation,
-            reason, declaration):
+def _record(ctx, entries, report, line, name, kind, mutable, thread_local,
+            annotation, reason, declaration):
     entries.append({
         "file": ctx.relpath,
         "line": line,
         "name": name,
         "kind": kind,
         "mutable": mutable,
+        "thread_local": thread_local,
         "annotation": annotation,
         "reason": reason,
         "declaration": " ".join(declaration.split())[:160],
@@ -317,13 +331,19 @@ def _record(ctx, entries, report, line, name, kind, mutable, annotation,
     if annotation is None:
         report(line, "mutable-global",
                f"mutable {kind.replace('_', ' ')} `{name}` is a data race "
-               "under the sharded scheduler (ROADMAP item 1); make it "
-               "const/constexpr or annotate PANDORA_SHARD_LOCAL / "
+               "under the sharded scheduler (src/runtime/shard_set.h); make "
+               "it const/constexpr or annotate PANDORA_SHARD_LOCAL / "
                "PANDORA_SHARD_SHARED(reason)")
     elif annotation == "shard-shared" and not reason:
         report(line, "shard-shared-reason",
                f"PANDORA_SHARD_SHARED on `{name}` needs a reason string "
                "saying how cross-shard access stays safe")
+    elif annotation == "shard-local" and not thread_local:
+        report(line, "shard-local-not-threadlocal",
+               f"PANDORA_SHARD_LOCAL on `{name}` is a stale promise now that "
+               "shards run on OS worker threads: per-shard static storage "
+               "must be `thread_local` (the FramePool free lists are the "
+               "model shape) or become per-Scheduler instance state")
 
 
 def audit_file(relpath, text):

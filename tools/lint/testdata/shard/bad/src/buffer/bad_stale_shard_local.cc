@@ -1,0 +1,16 @@
+// Known-bad fixture for shard_audit: PANDORA_SHARD_LOCAL written back when
+// it was an IOU on a single-threaded runtime, never upgraded when the
+// sharded scheduler landed.  Without `thread_local` the storage is shared
+// by every worker thread — a data race hiding under a reassuring macro.
+#include "src/runtime/shard.h"
+
+namespace pandora {
+
+PANDORA_SHARD_LOCAL int g_frames_recycled = 0;  // EXPECT-AUDIT: shard-local-not-threadlocal
+
+int NextFrameSeq() {
+  PANDORA_SHARD_LOCAL static int seq = 0;  // EXPECT-AUDIT: shard-local-not-threadlocal
+  return ++seq;
+}
+
+}  // namespace pandora

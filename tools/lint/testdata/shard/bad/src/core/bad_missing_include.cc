@@ -3,6 +3,6 @@
 
 namespace pandora {
 
-PANDORA_SHARD_LOCAL static int g_scratch = 0;  // EXPECT-AUDIT: missing-include
+PANDORA_SHARD_LOCAL static int g_scratch = 0;  // EXPECT-AUDIT: missing-include  // EXPECT-AUDIT: shard-local-not-threadlocal
 
 }  // namespace pandora

@@ -1,0 +1,33 @@
+// Known-good fixture for shard_audit: the per-shard pool shape.  Mirrors
+// src/buffer/frame_pool.h after the sharded scheduler landed — a recycler's
+// free-list heads are a function-local `static thread_local` array under
+// PANDORA_SHARD_LOCAL, so each ShardSet worker owns its lists outright and
+// the audit records the entry as mutable + thread_local with no findings.
+#include "src/runtime/shard.h"
+
+namespace pandora {
+namespace {
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+constexpr int kNumClasses = 64;
+
+FreeNode*& FreeListHead(int cls) {
+  PANDORA_SHARD_LOCAL static thread_local FreeNode* heads[kNumClasses] = {};
+  return heads[cls];
+}
+
+}  // namespace
+
+void* TakeBlock(int cls) {
+  FreeNode*& head = FreeListHead(cls);
+  FreeNode* node = head;
+  if (node != nullptr) {
+    head = node->next;
+  }
+  return node;
+}
+
+}  // namespace pandora

@@ -1,5 +1,6 @@
 // Known-good fixture for shard_audit: immutables need nothing; every
-// mutable static carries an annotation; class-statics and prototypes are
+// mutable static carries an annotation; shard-local storage is genuinely
+// thread_local now that shards run on OS worker threads; class-statics and prototypes are
 // classified without noise.
 #include "src/runtime/shard.h"
 
@@ -9,7 +10,7 @@ namespace {
 constexpr int kMaxBoxes = 64;
 const char* const kDefaultName = "box";
 
-PANDORA_SHARD_LOCAL int g_spawn_count = 0;
+PANDORA_SHARD_LOCAL thread_local int g_spawn_count = 0;
 
 PANDORA_SHARD_SHARED("written once before Scheduler::Run, read-only after")
 BoxConfig* g_config = nullptr;
@@ -17,7 +18,7 @@ BoxConfig* g_config = nullptr;
 }  // namespace
 
 int NextTicket() {
-  PANDORA_SHARD_LOCAL static int ticket = 0;
+  PANDORA_SHARD_LOCAL static thread_local int ticket = 0;
   return ++ticket;
 }
 
