@@ -13,22 +13,78 @@
 //     balanced fill on mean source->receiver delay (rearrangement bound).
 //   - Join-to-first-segment latency under a seeded 100+-event churn storm
 //     stays bounded (p99 reported, gated in CI against BENCH_overlay.json).
+//   - Sharded (Part 4): the SAME churn storm at 10^5 receivers spanning a
+//     ShardSet stays allocation-free per delivered copy in steady state, and
+//     every worker-thread count reproduces one observable run hash.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/fault/plan.h"
 #include "src/overlay/churn.h"
 #include "src/overlay/multicast.h"
+#include "src/overlay/sharded.h"
 #include "src/overlay/topology.h"
 #include "src/overlay/tree.h"
+#include "src/runtime/shard_set.h"
+
+// --- global counting allocator ----------------------------------------------
+// Same shape as bench_shard's: the Part 4 measured region is multi-threaded
+// (shard workers), so the count is a relaxed atomic — exact in total, order
+// irrelevant.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n == 0 ? 1 : n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace pandora;
 
 constexpr int kReceivers = 10'000;
+constexpr int kShardedReceivers = 100'000;
 constexpr uint64_t kTopologySeed = 1993;
 constexpr uint64_t kLossSeed = 404;
 
@@ -70,12 +126,122 @@ RepairRunResult RunSingleRepair(int stripes, TreePolicy policy) {
   return result;
 }
 
+struct ShardedStormScore {
+  double deliveries_per_sec = 0.0;  // wall-clock rate over the measured window
+  double allocs_per_delivery = 0.0;
+  uint64_t run_hash = 0;
+  Duration join_p50 = 0;
+  Duration join_p99 = 0;
+  int64_t repairs = 0;
+  int64_t emitted = 0;
+};
+
+int64_t TotalDelivered(const ShardedOverlayMulticast& multicast, int receivers) {
+  int64_t total = 0;
+  for (int r = 0; r < receivers; ++r) {
+    total += multicast.stats(r).delivered;
+  }
+  return total;
+}
+
+// Part 4 worker: the Part 3 churn storm, scaled to 10^5 receivers and spread
+// across a ShardSet.  Warm to the storm's onset at 1 s of simulated time
+// (free lists, mailbox and log capacity all reach steady state on the
+// initial join wave), then run to quiescence under wall-clock + allocation
+// counters.
+ShardedStormScore RunShardedStorm(int shards, int threads, bool traced) {
+  TopologyParams params;
+  params.seed = kTopologySeed;
+  params.receivers = kShardedReceivers;
+  OverlayTopology topology = GenerateTopology(params);
+  StripedTrees trees = TreeBuilder::Build(topology, 2, TreePolicy::kBalancedFanout);
+
+  ChurnStormOptions storm;
+  storm.receiver_count = kShardedReceivers;
+  storm.start = Seconds(1);
+  storm.horizon = Seconds(3);
+  storm.min_events = 96;
+  storm.max_events = 128;
+  storm.permanent_fraction = 0.05;
+  FaultPlan plan = RandomChurnPlan(/*seed=*/7, storm);
+
+  ShardSetOptions shard_options;
+  shard_options.shards = shards;
+  shard_options.threads = threads;
+  shard_options.lookahead = Millis(1);  // == the fastest access-link latency
+  ShardSet set(shard_options);
+  if (traced) {
+    set.EnableTrace(1 << 15);
+  }
+  ShardedOverlayMulticast multicast(&set, &topology, &trees, MulticastParams{}, kLossSeed);
+  ShardedOverlayChurnDriver churn(&set, &multicast, plan);
+  multicast.Start(/*emit_until=*/Millis(3800));
+  churn.Start();
+  set.RunUntil(Seconds(1));
+
+  const int64_t delivered_before = TotalDelivered(multicast, kShardedReceivers);
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto wall_before = std::chrono::steady_clock::now();
+  set.RunUntilQuiescent();
+  const auto wall_after = std::chrono::steady_clock::now();
+  const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const int64_t delivered = TotalDelivered(multicast, kShardedReceivers) - delivered_before;
+
+  ShardedStormScore score;
+  const double wall_s = std::chrono::duration<double>(wall_after - wall_before).count();
+  score.deliveries_per_sec = wall_s > 0 ? static_cast<double>(delivered) / wall_s : 0.0;
+  score.allocs_per_delivery =
+      delivered > 0 ? static_cast<double>(allocs) / static_cast<double>(delivered) : 0.0;
+  score.run_hash = multicast.RunHash();
+  score.repairs = multicast.repairs();
+  score.emitted = multicast.emitted();
+  std::vector<Duration> joins = multicast.JoinLatencies();
+  std::sort(joins.begin(), joins.end());
+  if (!joins.empty()) {
+    score.join_p50 = joins[joins.size() / 2];
+    score.join_p99 = joins[(joins.size() * 99) / 100];
+  }
+  if (traced && !set.ExportMergedTraceTo(BenchState().trace_path)) {
+    std::fprintf(stderr, "failed to write merged trace to %s\n", BenchState().trace_path.c_str());
+  }
+  return score;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchParseArgs(argc, argv);
+  // --shards=N / --threads=M pin the Part 4 spanning configuration (and skip
+  // the single-engine parts, which a sharded CI leg re-measures for nothing).
+  int only_shards = 0;
+  int only_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--shards=", 0) == 0) {
+      only_shards = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      only_threads = std::atoi(arg.c_str() + 10);
+    }
+  }
   BenchHeader("E18", "overlay trees: multiple-tree striping, churn repair, join latency",
               "P5/P6 transitively: repair of one stripe never disturbs the others");
+
+  if (only_shards > 0 || only_threads > 0) {
+    const int shards = only_shards > 0 ? only_shards : 8;
+    const int threads = only_threads > 0 ? only_threads : 1;
+    const ShardedStormScore score = RunShardedStorm(shards, threads, BenchTraceRequested());
+    const std::string tag =
+        std::to_string(shards) + " shards, " + std::to_string(threads) + " threads ";
+    BenchRow("sharded receivers", kShardedReceivers, "", "(10^5-receiver spanning overlay)");
+    BenchRow(tag + "deliveries/sec", score.deliveries_per_sec, "ev/s");
+    BenchRow(tag + "allocs/delivery", score.allocs_per_delivery, "alloc");
+    BenchRow(tag + "join p50", static_cast<double>(score.join_p50), "us");
+    BenchRow(tag + "join p99", static_cast<double>(score.join_p99), "us");
+    BenchRow(tag + "run hash", static_cast<double>(score.run_hash % 1000000), "");
+    BenchRow("hardware threads", static_cast<double>(std::thread::hardware_concurrency()),
+             "cpus");
+    return BenchFinish();
+  }
 
   // --- Part 1: audio loss during a single-tree repair, k = 1 vs. striped.
   const RepairRunResult k1 = RunSingleRepair(1, TreePolicy::kBalancedFanout);
@@ -146,6 +312,37 @@ int main(int argc, char** argv) {
              "(low 6 digits; bit-exact replay is asserted by tests)");
     BenchExportTrace(sched);
   }
+
+  // --- Part 4: the same storm at 10^5 receivers spanning 8 shards.  The
+  // worker-thread sweep must reproduce one observable run hash (windowed
+  // conservative sync: OS scheduling cannot perturb outcomes) and stay
+  // allocation-free per delivered copy in steady state.
+  {
+    BenchRow("sharded receivers", kShardedReceivers, "", "(10^5-receiver spanning overlay)");
+    uint64_t base_hash = 0;
+    for (const int threads : {1, 2, 8}) {
+      // The 8-thread leg carries the merged per-shard trace when requested.
+      const ShardedStormScore score =
+          RunShardedStorm(/*shards=*/8, threads, threads == 8 && BenchTraceRequested());
+      const std::string tag = "8 shards, " + std::to_string(threads) + " threads ";
+      BenchRow(tag + "deliveries/sec", score.deliveries_per_sec, "ev/s");
+      BenchRow(tag + "allocs/delivery", score.allocs_per_delivery, "alloc",
+               "(gated: must stay 0.000)");
+      if (threads == 1) {
+        base_hash = score.run_hash;
+        BenchRow(tag + "join p50", static_cast<double>(score.join_p50), "us");
+        BenchRow(tag + "join p99", static_cast<double>(score.join_p99), "us",
+                 "(gated: a regression here is a repair-path stall)");
+        BenchRow(tag + "re-parents", static_cast<double>(score.repairs), "");
+        BenchRow(tag + "run hash", static_cast<double>(score.run_hash % 1000000), "");
+      } else if (score.run_hash != base_hash) {
+        std::fprintf(stderr, "FATAL: sharded overlay run hash diverged at %d threads\n",
+                     threads);
+        return 1;
+      }
+    }
+  }
+  BenchRow("hardware threads", static_cast<double>(std::thread::hardware_concurrency()), "cpus");
 
   return BenchFinish();
 }

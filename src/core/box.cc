@@ -113,7 +113,8 @@ PandoraBox::PandoraBox(Scheduler* sched, AtmNetwork* net, Options options,
       options_(std::move(options)),
       report_sink_(report_sink),
       port_(net->AddPort(options_.name + ".port", options_.network_egress_bps,
-                         options_.pool_buffers, report_sink)),
+                         options_.pool_buffers, report_sink,
+                         options_.shard < 0 ? 0 : options_.shard)),
       mic_stream_(options_.mic_stream) {
   boards_ = std::make_unique<Boards>(sched_, net_, port_, options_, mic_source(), report_sink_);
 }

@@ -88,6 +88,11 @@ class PandoraBox {
     // Attach a repository (recording reverses P1 on this box).
     bool with_repository = false;
     RepositoryOptions repository;
+    // ShardSet shard this box (all its boards, processes and its port) lives
+    // on.  -1 asks Simulation's seeded placement policy to choose; a
+    // concrete index pins the box (DESIGN.md §14).  Ignored outside a
+    // Simulation-built world.
+    int shard = -1;
   };
 
   PandoraBox(Scheduler* sched, AtmNetwork* net, Options options, ReportSink* report_sink);
@@ -139,6 +144,9 @@ class PandoraBox {
   // --- Observability ----------------------------------------------------------
 
   const std::string& name() const { return options_.name; }
+  // Shard this box was placed on (0 unless a spanning Simulation resolved
+  // Options::shard to something else before construction).
+  int shard() const { return options_.shard < 0 ? 0 : options_.shard; }
   AudioMixer& mixer() { return boards().mixer_; }
   CodecOutput& codec_out() { return boards().codec_out_; }
   AudioReceiver& audio_receiver() { return boards().receiver_; }

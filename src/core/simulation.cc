@@ -1,12 +1,36 @@
 #include "src/core/simulation.h"
 
-namespace pandora {
+#include "src/runtime/check.h"
 
-Simulation::Simulation(uint64_t seed)
-    : shards_(), reports_(), net_(&shards_.scheduler(), seed) {
-  // One timeline: the control plane's reports land on the same trace as the
-  // telemetry recorded by the runtime/buffers/network.
-  reports_.BindTrace(shards_.scheduler().trace());
+namespace pandora {
+namespace {
+
+ShardSetOptions ToShardSetOptions(const SimulationOptions& options) {
+  ShardSetOptions shard_options;
+  shard_options.shards = options.shards;
+  shard_options.threads = options.threads;
+  shard_options.lookahead = options.lookahead;
+  return shard_options;
+}
+
+}  // namespace
+
+Simulation::Simulation(uint64_t seed) : Simulation(SimulationOptions{.seed = seed}) {}
+
+Simulation::Simulation(const SimulationOptions& options)
+    : shards_(ToShardSetOptions(options)),
+      reports_(),
+      net_(&shards_, options.seed),
+      placement_rng_(options.seed ^ 0x9e3779b97f4a7c15ull) {
+  // One collector per shard, each bound to its shard's recorder: the control
+  // plane's reports land on the same timeline as the telemetry recorded by
+  // the runtime/buffers/network of that shard, and a collector is only ever
+  // written by its own shard's worker (or the coordinator at a barrier).
+  reports_.reserve(static_cast<size_t>(shards_.shard_count()));
+  for (int s = 0; s < shards_.shard_count(); ++s) {
+    reports_.push_back(std::make_unique<ReportCollector>());
+    reports_.back()->BindTrace(shards_.shard(s).trace());
+  }
 }
 
 Simulation::~Simulation() {
@@ -19,8 +43,23 @@ PandoraBox& Simulation::AddBox(PandoraBox::Options options) {
   if (options.mic_stream == kInvalidStream) {
     options.mic_stream = AllocateStream();
   }
-  boxes_.push_back(
-      std::make_unique<PandoraBox>(&shards_.scheduler(), &net_, std::move(options), &reports_));
+  // Resolve placement: a pinned shard must exist; -1 draws from the seeded
+  // placement stream (uniform over shards) so un-pinned worlds spread out
+  // deterministically per seed, and shard_count()==1 stays on the fast path
+  // without consuming a draw.
+  if (options.shard < 0) {
+    options.shard = shards_.shard_count() > 1
+                        ? static_cast<int>(placement_rng_.UniformInt(0, shards_.shard_count() - 1))
+                        : 0;
+  }
+  PANDORA_CHECK(options.shard < shards_.shard_count(),
+                "PandoraBox::Options::shard out of range for this Simulation's ShardSet");
+  const int shard = options.shard;
+  const std::string name = options.name;
+  boxes_.push_back(std::make_unique<PandoraBox>(&shards_.shard(shard), &net_, std::move(options),
+                                                reports_[static_cast<size_t>(shard)].get()));
+  // First add wins for duplicate names, matching the old linear scan.
+  box_index_.emplace(name, boxes_.size() - 1);
   if (started_) {
     boxes_.back()->Start();
   }
@@ -125,12 +164,8 @@ void Simulation::HangUpAudio(PandoraBox& src, PandoraBox& dst, StreamId at_dst) 
 }
 
 PandoraBox* Simulation::FindBox(const std::string& name) {
-  for (auto& box : boxes_) {
-    if (box->name() == name) {
-      return box.get();
-    }
-  }
-  return nullptr;
+  auto it = box_index_.find(name);
+  return it == box_index_.end() ? nullptr : boxes_[it->second].get();
 }
 
 void Simulation::CrashBox(PandoraBox& box) {

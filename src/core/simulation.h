@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/box.h"
@@ -23,6 +24,20 @@ namespace pandora {
 struct CallPath {
   std::vector<NetHop*> hops;
   HopQuality direct;
+};
+
+// World-building options: how many shards the world spans, how many OS
+// worker threads execute them, and the conservative-sync lookahead.  The
+// defaults build the classic single-shard world (bit-identical to the
+// pre-shard engine).  In a spanning world every cross-shard call needs a
+// final-stage propagation >= lookahead (AtmNetwork::OpenCircuit checks), so
+// either use link latencies >= the default 1 ms or dial `lookahead` down to
+// the minimum cross-shard link latency (DESIGN.md §14).
+struct SimulationOptions {
+  uint64_t seed = 1;
+  int shards = 1;
+  int threads = 1;
+  Duration lookahead = Millis(1);
 };
 
 class Simulation {
@@ -47,17 +62,26 @@ class Simulation {
   };
 
   explicit Simulation(uint64_t seed = 1);
+  explicit Simulation(const SimulationOptions& options);
   ~Simulation();
 
-  // The facade scheduler every box runs on (shard 0 of the shard set).  A
-  // Simulation models one box cluster and keeps it on a single shard, so
-  // the legacy fast path makes these runs bit-identical to the pre-shard
-  // engine; worlds that span shards drive a ShardSet directly (see
-  // tests/shard_harness.h).
+  // Shard 0's scheduler — the coordinator.  With the default options the
+  // whole world lives here and the ShardSet's legacy fast path keeps runs
+  // bit-identical to the pre-shard engine.  With `SimulationOptions::shards
+  // > 1` the Simulation *spans* the set: each box (boards, port, processes)
+  // runs on its resolved Options::shard, cross-shard circuits ride the
+  // ShardSet mailboxes under the lookahead contract, and host-side entry
+  // points (plumbing, crash/restart, record/play) must run on the
+  // coordinator — between Run* calls or inside a ShardSet::PostGlobal
+  // stop-the-world callback, which is how the fault driver injects churn.
   Scheduler& scheduler() { return shards_.scheduler(); }
   ShardSet& shard_set() { return shards_; }
   AtmNetwork& network() { return net_; }
-  ReportCollector& reports() { return reports_; }
+  // Host-side report log.  Reports are collected per shard (a collector is
+  // not thread-safe); `reports()` is shard 0's, which in a single-shard
+  // world — and for every host-plumbed control report — is all of them.
+  ReportCollector& reports() { return *reports_[0]; }
+  ReportCollector& reports_for(int shard) { return *reports_.at(static_cast<size_t>(shard)); }
   Time now() const { return shards_.now(); }
 
   PandoraBox& AddBox(PandoraBox::Options options);
@@ -130,9 +154,14 @@ class Simulation {
   void ReestablishCall(CallRecord& call);
 
   ShardSet shards_;
-  ReportCollector reports_;
+  std::vector<std::unique_ptr<ReportCollector>> reports_;  // one per shard
   AtmNetwork net_;
+  // Placement policy for boxes that leave Options::shard at -1: a seeded
+  // stream independent of the traffic RNGs, so adding instrumentation never
+  // reshuffles the world.
+  Rng placement_rng_;
   std::vector<std::unique_ptr<PandoraBox>> boxes_;
+  std::unordered_map<std::string, size_t> box_index_;  // name → boxes_ index
   std::vector<CallRecord> calls_;
   StreamId next_stream_ = 1;
   bool started_ = false;

@@ -15,9 +15,49 @@ FaultDriver::FaultDriver(Simulation* sim, FaultPlan plan, FaultDriverOptions opt
 void FaultDriver::Start() {
   PANDORA_CHECK(!started_);
   started_ = true;
+  if (sim_->shard_set().shard_count() > 1) {
+    // Spanning world: every step runs stop-the-world on the coordinator
+    // (see the header).  Nothing is due yet, so this only arms the first
+    // global event — or declares an empty plan quiescent immediately.
+    ArmNextGlobal();
+    return;
+  }
   // High priority: an onset scheduled for time T is applied before ordinary
   // traffic processing at T, so the fault's first victim is deterministic.
   sim_->scheduler().Spawn(Run(), options_.name, Priority::kHigh);
+}
+
+void FaultDriver::ArmNextGlobal() {
+  Time next = kNever;
+  if (next_event_ < plan_.events.size()) {
+    next = plan_.events[next_event_].at;
+  }
+  if (!restores_.empty()) {
+    next = std::min(next, restores_.front().at);
+  }
+  if (next == kNever) {
+    quiescent_ = true;
+    quiescent_at_ = sim_->now();
+    TraceFault("quiescent", 0, static_cast<int64_t>(applied_));
+    return;
+  }
+  FaultDriver* self = this;
+  sim_->shard_set().PostGlobal(next, TimerCallback([self] { self->StepGlobal(); }));
+}
+
+void FaultDriver::StepGlobal() {
+  // Same intra-instant order as Run(): restores before onsets, so a plan
+  // may end one episode and begin another on the same microsecond and see
+  // the healthy state in between.
+  const Time now = sim_->now();
+  while (!restores_.empty() && restores_.front().at <= now) {
+    ApplyRestore(PopRestore());
+  }
+  while (next_event_ < plan_.events.size() && plan_.events[next_event_].at <= now) {
+    Apply(plan_.events[next_event_]);
+    ++next_event_;
+  }
+  ArmNextGlobal();
 }
 
 void FaultDriver::BeginEpisode(const FaultEvent& event, EpisodeState& episode) {

@@ -9,6 +9,14 @@
 // plan against the same topology, every apply and restore lands on the same
 // microsecond, so chaos runs replay bit-identically.
 //
+// In a shard-spanning Simulation the driver cannot live as a process on any
+// one shard: a crash kills processes and closes circuits on whatever shards
+// the victim's calls touch.  There it runs each step as a
+// ShardSet::PostGlobal stop-the-world callback on the coordinator — every
+// worker parked at the event's exact microsecond — which keeps the same
+// apply/restore ordering and the same bit-exact replay guarantee,
+// independent of the worker-thread count.
+//
 // Events whose target no longer makes sense when their onset arrives — the
 // call was hung up, its circuit is already closed, the box is already down
 // — are counted as skipped, not errors: a random plan is allowed to race
@@ -83,6 +91,11 @@ class FaultDriver {
   };
 
   Process Run();
+  // Stop-the-world path (shard-spanning worlds): each step applies every
+  // restore and onset due at the coordinator's current instant, then arms
+  // the next PostGlobal for the next due time.
+  void ArmNextGlobal();
+  void StepGlobal();
   void Apply(const FaultEvent& event);
   void ApplyRestore(const Restore& restore);
   // Opens one episode of `event`'s kind on its target: a timed event heaps
@@ -98,6 +111,7 @@ class FaultDriver {
   std::vector<Restore> restores_;  // min-heap on (at, order)
   std::map<std::pair<FaultKind, int>, EpisodeState> episodes_;
   uint64_t next_restore_order_ = 0;
+  size_t next_event_ = 0;  // cursor into plan_.events (stop-the-world path)
   size_t applied_ = 0;
   size_t skipped_ = 0;
   size_t restored_ = 0;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
+
+#include "src/runtime/check.h"
 
 namespace pandora {
 
 AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps,
-                 size_t wire_buffers, ReportSink* report_sink)
+                 size_t wire_buffers, ReportSink* report_sink, int shard)
     : sched_(sched),
       net_(net),
       name_(std::move(name)),
@@ -14,7 +17,8 @@ AtmPort::AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t eg
       tx_(sched, name_ + ".tx"),
       rx_(sched, name_ + ".rx"),
       wire_pool_(sched, name_ + ".wire", wire_buffers, report_sink),
-      egress_(sched, name_ + ".egress", egress_bps) {}
+      egress_(sched, name_ + ".egress", egress_bps),
+      shard_(shard) {}
 
 Process AtmPort::TxProc() {
   for (;;) {
@@ -26,9 +30,12 @@ Process AtmPort::TxProc() {
     const size_t bytes = out.wire->bytes.size();
     co_await egress_.Transmit(bytes);
     ++sent_;
-    net_->bytes_on_wire_ += bytes;
-    PANDORA_TRACE_COUNTER(sched_->trace(), net_->trace_wire_bytes_, "net.bytes_on_wire",
-                          static_cast<int64_t>(net_->bytes_on_wire_));
+    // This shard's slice of the wire-byte counter: single-writer, and the
+    // trace site id belongs to this shard's recorder.
+    net_->bytes_on_wire_[static_cast<size_t>(shard_)] += bytes;
+    PANDORA_TRACE_COUNTER(sched_->trace(), net_->trace_wire_bytes_[static_cast<size_t>(shard_)],
+                          "net.bytes_on_wire",
+                          static_cast<int64_t>(net_->bytes_on_wire_[static_cast<size_t>(shard_)]));
 
     auto it = net_->circuits_.find({this, out.vci});
     if (it == net_->circuits_.end()) {
@@ -46,19 +53,61 @@ Process AtmPort::TxProc() {
   }
 }
 
-AtmNetwork::AtmNetwork(Scheduler* sched, uint64_t seed) : sched_(sched), rng_(seed) {}
+AtmNetwork::AtmNetwork(Scheduler* sched, uint64_t seed) : sched_(sched), rng_(seed) {
+  total_delivered_.assign(1, 0);
+  total_lost_.assign(1, 0);
+  total_corrupted_.assign(1, 0);
+  bytes_on_wire_.assign(1, 0);
+  trace_wire_bytes_.assign(1, 0);
+  transfers_.resize(1);
+}
+
+AtmNetwork::AtmNetwork(ShardSet* shards, uint64_t seed)
+    : sched_(&shards->scheduler()), rng_(seed), shards_(shards) {
+  const size_t n = static_cast<size_t>(shards->shard_count());
+  // Shard 0 forwards with the legacy stream (`rng_`): a shards=1 network is
+  // bit-identical to the Scheduler constructor.  The other shards draw from
+  // independently-seeded streams — forking rng_ here would perturb shard 0.
+  extra_rngs_.reserve(n > 0 ? n - 1 : 0);
+  for (size_t i = 1; i < n; ++i) {
+    extra_rngs_.push_back(Rng(seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(i)));
+  }
+  total_delivered_.assign(n, 0);
+  total_lost_.assign(n, 0);
+  total_corrupted_.assign(n, 0);
+  bytes_on_wire_.assign(n, 0);
+  trace_wire_bytes_.assign(n, 0);
+  transfers_.resize(n);
+  if (n > 1) {
+    shards_->AddBarrierTask(this);
+  }
+}
+
+AtmNetwork::~AtmNetwork() {
+  if (shards_ != nullptr && shards_->shard_count() > 1) {
+    shards_->RemoveBarrierTask(this);
+  }
+}
 
 AtmPort* AtmNetwork::AddPort(const std::string& name, int64_t egress_bps, size_t wire_buffers,
-                             ReportSink* report_sink) {
+                             ReportSink* report_sink, int shard) {
+  PANDORA_CHECK(shard == 0 || (shards_ != nullptr && shard < shards_->shard_count()),
+                "port placed on a shard this network does not span");
+  Scheduler* sched = shards_ != nullptr ? &shards_->shard(shard) : sched_;
   ports_.push_back(
-      std::make_unique<AtmPort>(sched_, this, name, egress_bps, wire_buffers, report_sink));
+      std::make_unique<AtmPort>(sched, this, name, egress_bps, wire_buffers, report_sink, shard));
   AtmPort* port = ports_.back().get();
-  sched_->Spawn(port->TxProc(), name + ".txproc", Priority::kHigh);
+  sched->Spawn(port->TxProc(), name + ".txproc", Priority::kHigh);
   return port;
 }
 
-NetHop* AtmNetwork::AddHop(const std::string& name, const HopQuality& quality) {
-  hops_.push_back(std::make_unique<NetHop>(sched_, name, quality, rng_.Fork()));
+NetHop* AtmNetwork::AddHop(const std::string& name, const HopQuality& quality, int shard) {
+  PANDORA_CHECK(shard == 0 || (shards_ != nullptr && shard < shards_->shard_count()),
+                "hop placed on a shard this network does not span");
+  Scheduler* sched = shards_ != nullptr ? &shards_->shard(shard) : sched_;
+  // Shard 0 hops keep the legacy fork-from-rng_ stream; other shards fork
+  // from their own shard's stream so shard 0 stays bit-identical.
+  hops_.push_back(std::make_unique<NetHop>(sched, name, quality, RngFor(shard).Fork(), shard));
   return hops_.back().get();
 }
 
@@ -71,6 +120,23 @@ void AtmNetwork::OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<Ne
   circuit->generation = ++next_generation_;
   circuit->trace_name = dst->name() + ".net.vci" + std::to_string(vci);
   circuit->stage_last_exit.assign(std::max<size_t>(1, circuit->path.size()), 0);
+  // Forwarding runs on the source port's shard: every bridged hop must live
+  // there too (its gate belongs to that shard's scheduler).
+  for (const NetHop* hop : circuit->path) {
+    PANDORA_CHECK(hop->shard == src->shard_,
+                  "bridged hop on a different shard than the circuit's source port");
+  }
+  if (dst->shard_ != src->shard_) {
+    // Cross-shard: the fabric exit posts into the destination shard's
+    // mailbox, so the final stage's propagation is the lookahead floor —
+    // anything smaller would ask the destination to rewrite a window it may
+    // already have executed (ShardSet::Post re-checks per delivery).
+    PANDORA_CHECK(shards_ != nullptr, "cross-shard circuit on a network without a ShardSet");
+    const Duration final_propagation =
+        circuit->path.empty() ? circuit->direct.propagation : circuit->path.back()->quality.propagation;
+    PANDORA_CHECK(final_propagation >= shards_->lookahead(),
+                  "cross-shard circuit latency below the ShardSet lookahead floor");
+  }
   circuits_[{src, vci}] = std::move(circuit);
 }
 
@@ -82,21 +148,30 @@ void AtmNetwork::SetPortUp(AtmPort* port, bool up) {
     // Discard deliveries already parked on the rx channel: their forwarders
     // resume and finish normally, but the segments never reach a box (the
     // dropped NetRx releases its wire buffer back to the source pool).
+    // Control-plane context (between Run* calls, or stop-the-world in a
+    // spanning world), so touching the port's shard state here is safe.
     while (port->rx_.TryReceive().has_value()) {
       ++port->rx_discarded_;
-      ++total_lost_;
+      ++total_lost_[static_cast<size_t>(port->shard_)];
     }
   }
 }
 
 void AtmNetwork::RestartPort(AtmPort* port) {
-  sched_->Spawn(port->TxProc(), port->name_ + ".txproc", Priority::kHigh);
+  port->sched_->Spawn(port->TxProc(), port->name_ + ".txproc", Priority::kHigh);
 }
 
 bool AtmNetwork::SetCircuitQuality(AtmPort* src, Vci vci, const HopQuality& quality) {
   auto it = circuits_.find({src, vci});
   if (it == circuits_.end() || !it->second->path.empty()) {
     return false;  // closed, or bridged: ForwardProc never reads `direct` then
+  }
+  if (it->second->dst->shard_ != src->shard_) {
+    // Storms may squeeze bandwidth, add jitter or loss — but never shrink a
+    // cross-shard link below the lookahead floor (the fault kinds all
+    // preserve propagation; a direct caller must too).
+    PANDORA_CHECK(shards_ != nullptr && quality.propagation >= shards_->lookahead(),
+                  "cross-shard circuit quality below the ShardSet lookahead floor");
   }
   it->second->direct = quality;
   return true;
@@ -131,7 +206,7 @@ AtmNetwork::Circuit* AtmNetwork::FindCircuit(AtmPort* src, Vci vci) {
   return it == circuits_.end() ? nullptr : it->second.get();
 }
 
-bool AtmNetwork::CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit) {
+bool AtmNetwork::CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit, int shard) {
   if (wire->bytes.empty()) {
     return true;  // nothing to damage
   }
@@ -149,12 +224,18 @@ bool AtmNetwork::CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit) {
       static_cast<uint8_t>(1u << static_cast<unsigned>(bit % 8));
   wire = std::move(*scratch);
   ++circuit->stats.corrupted;
-  ++total_corrupted_;
+  ++total_corrupted_[static_cast<size_t>(shard)];
   return true;
 }
 
 Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
-  const Time departed = sched_->now();
+  // Everything below runs on the SOURCE port's shard: its scheduler, its
+  // slice of the counters, its rng (shard 0's is the legacy stream).  The
+  // destination only becomes involved at the fabric exit.
+  Scheduler* sched = src->sched_;
+  const int shard = src->shard_;
+  Rng& rng = RngFor(shard);
+  const Time departed = sched->now();
   const size_t bytes = wire->bytes.size();
   // One cheap header peek for telemetry — which sequence number a loss or
   // corrupt event struck.  The full decode happens only at the destination
@@ -166,7 +247,7 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
 
   Circuit* circuit = FindCircuit(src, vci);
   if (circuit == nullptr) {
-    ++total_lost_;  // closed before this forwarder first ran
+    ++total_lost_[static_cast<size_t>(shard)];  // closed before this forwarder first ran
     co_return;
   }
   // Every re-fetch below must also land on this incarnation: a crash and
@@ -178,8 +259,8 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
   // An administratively-down circuit loses everything offered to it.
   if (!circuit->up) {
     ++circuit->stats.lost;
-    ++total_lost_;
-    PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
+    ++total_lost_[static_cast<size_t>(shard)];
+    PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
                            "seq", seq, "bytes", static_cast<int64_t>(bytes));
     co_return;
   }
@@ -191,10 +272,10 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
   // ForwardProcs start in send order (spawned FIFO by the port), so each
   // stage's bookkeeping executes in send order too.
   if (circuit->path.empty()) {
-    if (rng_.Bernoulli(circuit->direct.loss_rate)) {
+    if (rng.Bernoulli(circuit->direct.loss_rate)) {
       ++circuit->stats.lost;
-      ++total_lost_;
-      PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+      ++total_lost_[static_cast<size_t>(shard)];
+      PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss,
                              circuit->trace_name + ".loss", "seq", seq, "bytes",
                              static_cast<int64_t>(bytes));
       co_return;
@@ -202,31 +283,38 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
     // Bit corruption (line noise): the damaged copy still travels and is
     // delivered for the destination decoder to reject.  The rate check
     // short-circuits so healthy circuits draw nothing (determinism).
-    if (circuit->direct.corrupt_rate > 0 && rng_.Bernoulli(circuit->direct.corrupt_rate)) {
-      if (!CorruptInFlight(wire, rng_, circuit)) {
+    if (circuit->direct.corrupt_rate > 0 && rng.Bernoulli(circuit->direct.corrupt_rate)) {
+      if (!CorruptInFlight(wire, rng, circuit, shard)) {
         ++circuit->stats.lost;
-        ++total_lost_;
-        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+        ++total_lost_[static_cast<size_t>(shard)];
+        PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss,
                                circuit->trace_name + ".loss", "seq", seq, "bytes",
                                static_cast<int64_t>(bytes));
         co_return;
       }
-      PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_corrupt,
+      PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_corrupt,
                              circuit->trace_name + ".corrupt", "seq", seq, "bytes",
                              static_cast<int64_t>(bytes));
     }
     Duration jitter = circuit->direct.jitter_max > 0
-                          ? static_cast<Duration>(rng_.Uniform(
+                          ? static_cast<Duration>(rng.Uniform(
                                 0.0, static_cast<double>(circuit->direct.jitter_max)))
                           : 0;
     Time exit_at =
-        std::max(sched_->now() + circuit->direct.propagation + jitter,
+        std::max(sched->now() + circuit->direct.propagation + jitter,
                  circuit->stage_last_exit[0] + 1);
     circuit->stage_last_exit[0] = exit_at;
-    co_await sched_->WaitUntil(exit_at);
+    if (circuit->dst->shard_ != shard) {
+      // Cross-shard fabric exit: no final wait here — the delivery time
+      // rides the mailbox instead (exit_at clears the lookahead contract
+      // because OpenCircuit pinned propagation >= lookahead).
+      DeliverCrossShard(circuit, src, vci, exit_at, seq, bytes, std::move(wire), departed);
+      co_return;
+    }
+    co_await sched->WaitUntil(exit_at);
     circuit = FindCircuit(src, vci);
     if (circuit == nullptr || circuit->generation != generation) {
-      ++total_lost_;  // closed (or re-opened for a new call) while in flight
+      ++total_lost_[static_cast<size_t>(shard)];  // closed (or re-opened) while in flight
       co_return;
     }
   } else {
@@ -235,22 +323,22 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
       if (hop->rng.Bernoulli(hop->quality.loss_rate) ||
           hop->gate.current_queue_delay() > hop->quality.max_queue) {
         ++circuit->stats.lost;
-        ++total_lost_;
-        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+        ++total_lost_[static_cast<size_t>(shard)];
+        PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss,
                                circuit->trace_name + ".loss", "seq", seq, "bytes",
                                static_cast<int64_t>(bytes));
         co_return;
       }
       if (hop->quality.corrupt_rate > 0 && hop->rng.Bernoulli(hop->quality.corrupt_rate)) {
-        if (!CorruptInFlight(wire, hop->rng, circuit)) {
+        if (!CorruptInFlight(wire, hop->rng, circuit, shard)) {
           ++circuit->stats.lost;
-          ++total_lost_;
-          PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss,
+          ++total_lost_[static_cast<size_t>(shard)];
+          PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss,
                                  circuit->trace_name + ".loss", "seq", seq, "bytes",
                                  static_cast<int64_t>(bytes));
           co_return;
         }
-        PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_corrupt,
+        PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_corrupt,
                                circuit->trace_name + ".corrupt", "seq", seq, "bytes",
                                static_cast<int64_t>(bytes));
       }
@@ -258,12 +346,13 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
       // sharing the hop (contention); reservations are made in program
       // order, which per circuit is send order by induction.
       co_await hop->gate.Transmit(bytes);
-      bytes_on_wire_ += bytes;
-      PANDORA_TRACE_COUNTER(sched_->trace(), trace_wire_bytes_, "net.bytes_on_wire",
-                            static_cast<int64_t>(bytes_on_wire_));
+      bytes_on_wire_[static_cast<size_t>(shard)] += bytes;
+      PANDORA_TRACE_COUNTER(sched->trace(), trace_wire_bytes_[static_cast<size_t>(shard)],
+                            "net.bytes_on_wire",
+                            static_cast<int64_t>(bytes_on_wire_[static_cast<size_t>(shard)]));
       circuit = FindCircuit(src, vci);
       if (circuit == nullptr || circuit->generation != generation) {
-        ++total_lost_;  // closed (or re-opened for a new call) while in flight
+        ++total_lost_[static_cast<size_t>(shard)];  // closed (or re-opened) while in flight
         co_return;
       }
       // Re-borrow the hop from the re-fetched circuit: the bridged path is
@@ -274,13 +363,20 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
                             ? static_cast<Duration>(hop->rng.Uniform(
                                   0.0, static_cast<double>(hop->quality.jitter_max)))
                             : 0;
-      Time exit_at = std::max(sched_->now() + hop->quality.propagation + jitter,
+      Time exit_at = std::max(sched->now() + hop->quality.propagation + jitter,
                               circuit->stage_last_exit[i] + 1);
       circuit->stage_last_exit[i] = exit_at;
-      co_await sched_->WaitUntil(exit_at);
+      if (i + 1 == circuit->path.size() && circuit->dst->shard_ != shard) {
+        // Last hop of a cross-shard bridged path: the exit posts into the
+        // destination shard instead of waiting here (the hop's propagation
+        // is the lookahead floor, pinned at OpenCircuit).
+        DeliverCrossShard(circuit, src, vci, exit_at, seq, bytes, std::move(wire), departed);
+        co_return;
+      }
+      co_await sched->WaitUntil(exit_at);
       circuit = FindCircuit(src, vci);
       if (circuit == nullptr || circuit->generation != generation) {
-        ++total_lost_;
+        ++total_lost_[static_cast<size_t>(shard)];
         co_return;
       }
     }
@@ -293,25 +389,121 @@ Process AtmNetwork::ForwardProc(AtmPort* src, Vci vci, WireRef wire) {
   if (!circuit->dst->up_) {
     ++circuit->dst->rx_discarded_;
     ++circuit->stats.lost;
-    ++total_lost_;
-    PANDORA_TRACE_INSTANT2(sched_->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
+    ++total_lost_[static_cast<size_t>(shard)];
+    PANDORA_TRACE_INSTANT2(sched->trace(), circuit->trace_loss, circuit->trace_name + ".loss",
                            "seq", seq, "bytes", static_cast<int64_t>(bytes));
     co_return;
   }
   ++circuit->stats.delivered;
-  ++total_delivered_;
-  circuit->stats.latency.Add(static_cast<double>(sched_->now() - departed));
+  ++total_delivered_[static_cast<size_t>(shard)];
+  circuit->stats.latency.Add(static_cast<double>(sched->now() - departed));
   // Per-(stream, network-hop) transit latency, keyed by the destination VCI.
-  PANDORA_TRACE_HISTOGRAM(sched_->trace(), circuit->trace_hist,
-                          circuit->trace_name + ".latency", "us", sched_->now() - departed);
+  PANDORA_TRACE_HISTOGRAM(sched->trace(), circuit->trace_hist,
+                          circuit->trace_name + ".latency", "us", sched->now() - departed);
   if (circuit->last_rx_time >= 0) {
-    circuit->stats.inter_arrival.Add(static_cast<double>(sched_->now() - circuit->last_rx_time));
+    circuit->stats.inter_arrival.Add(static_cast<double>(sched->now() - circuit->last_rx_time));
   }
-  circuit->last_rx_time = sched_->now();
+  circuit->last_rx_time = sched->now();
   NetRx delivery;
   delivery.vci = vci;
   delivery.wire = std::move(wire);
   co_await circuit->dst->rx().Send(std::move(delivery));
+}
+
+void AtmNetwork::DeliverCrossShard(Circuit* circuit, AtmPort* src, Vci vci, Time exit_at,
+                                   int64_t seq, size_t bytes, WireRef wire, Time departed) {
+  const int shard = src->shard_;
+  AtmPort* dst = circuit->dst;
+  // The destination link state only changes at stop-the-world instants
+  // (SetPortUp is control-plane), so this read is stable for the whole
+  // window.  A port that is down NOW loses the segment at the exit, exactly
+  // like the same-shard tail; a port that goes down between this post and
+  // the arrival window is handled again in ArriveTransfer (that corner
+  // counts as a delivery here and a discard there — documented in §14).
+  if (!dst->up_) {
+    ++circuit->stats.lost;
+    ++total_lost_[static_cast<size_t>(shard)];
+    PANDORA_TRACE_INSTANT2(src->sched_->trace(), circuit->trace_loss,
+                           circuit->trace_name + ".loss", "seq", seq, "bytes",
+                           static_cast<int64_t>(bytes));
+    return;
+  }
+  // Fabric-exit accounting on the source shard, which owns the circuit: the
+  // delivery instant is exit_at by construction (the posted timer fires then).
+  ++circuit->stats.delivered;
+  ++total_delivered_[static_cast<size_t>(shard)];
+  circuit->stats.latency.Add(static_cast<double>(exit_at - departed));
+  PANDORA_TRACE_HISTOGRAM(src->sched_->trace(), circuit->trace_hist,
+                          circuit->trace_name + ".latency", "us", exit_at - departed);
+  if (circuit->last_rx_time >= 0) {
+    circuit->stats.inter_arrival.Add(static_cast<double>(exit_at - circuit->last_rx_time));
+  }
+  circuit->last_rx_time = exit_at;
+
+  // Copy the encoded bytes into a transfer record: WireRef refcounts are
+  // shard-local, so the handle itself must not cross the boundary.  Records
+  // recycle through the lane's free list, so a warmed lane allocates nothing.
+  TransferLane& lane = transfers_[static_cast<size_t>(shard)];
+  WireTransfer record;
+  if (!lane.free.empty()) {
+    record = std::move(lane.free.back());
+    lane.free.pop_back();
+  }
+  record.bytes.assign(wire->bytes.begin(), wire->bytes.end());
+  record.vci = vci;
+  record.dst = dst;
+  record.consumed = false;
+  lane.live.push_back(std::move(record));
+  WireTransfer* slot = &lane.live.back();
+  AtmNetwork* net = this;
+  shards_->Post(shard, dst->shard_, exit_at,
+                TimerCallback([net, slot] { net->ArriveTransfer(slot); }));
+  // `wire` releases here, on the owning shard.
+}
+
+void AtmNetwork::ArriveTransfer(WireTransfer* transfer) {
+  // Destination-shard timer context, at the posted exit_at.
+  AtmPort* dst = transfer->dst;
+  transfer->consumed = true;  // the next barrier recycles the record
+  if (!dst->up_) {
+    // Went down at a stop-the-world instant while the bytes were in flight.
+    ++dst->rx_discarded_;
+    ++total_lost_[static_cast<size_t>(dst->shard_)];
+    return;
+  }
+  // Re-home the bytes into the destination port's pool (the source pool's
+  // refcounts must stay on the source shard).  A starved pool discards, the
+  // same back-pressure answer a down port gets.
+  std::optional<WireRef> wire = dst->wire_pool_.TryAllocate();
+  if (!wire.has_value()) {
+    ++dst->rx_discarded_;
+    ++total_lost_[static_cast<size_t>(dst->shard_)];
+    return;
+  }
+  (*wire)->bytes = transfer->bytes;
+  NetRx delivery;
+  delivery.vci = transfer->vci;
+  delivery.wire = std::move(*wire);
+  // rx().Send may park while the box drains; suspend in a process, exactly
+  // like the tail of ForwardProc.
+  dst->sched_->Spawn(DeliverProc(dst, std::move(delivery)), dst->fwd_name_, Priority::kHigh);
+}
+
+Process AtmNetwork::DeliverProc(AtmPort* dst, NetRx delivery) {
+  co_await dst->rx().Send(std::move(delivery));
+}
+
+void AtmNetwork::OnShardBarrier() {
+  // Coordinator context, workers parked: consumption flags written by
+  // destination shards during the window are visible now.  Only the front
+  // is popped — later consumed records wait for their elders so that live
+  // pointers handed to mailboxes stay stable (deque guarantees).
+  for (TransferLane& lane : transfers_) {
+    while (!lane.live.empty() && lane.live.front().consumed) {
+      lane.free.push_back(std::move(lane.live.front()));
+      lane.live.pop_front();
+    }
+  }
 }
 
 }  // namespace pandora

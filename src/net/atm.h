@@ -21,10 +21,21 @@
 // box decodes (DESIGN.md §9).  Per-hop byte accounting therefore uses the
 // true encoded size, and damage (corrupt_rate) flips bits in the actual
 // wire image for the receiver's decoder to catch.
+//
+// Sharding (DESIGN.md §14): when constructed over a ShardSet, every port
+// lives on one shard and all forwarding for a circuit runs on the SOURCE
+// port's shard (its rng, its trace recorder, its slice of the network
+// counters).  A cross-shard circuit hands the encoded bytes to the
+// destination shard through ShardSet::Post at the fabric-exit instant; the
+// final-stage propagation delay is the lookahead floor, validated at
+// OpenCircuit (and re-checked by Post itself).  The payload crosses the
+// boundary as a byte copy into a capacity-recycled transfer record —
+// WireRef refcounts are shard-local and never shared between threads.
 #ifndef PANDORA_SRC_NET_ATM_H_
 #define PANDORA_SRC_NET_ATM_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +46,7 @@
 #include "src/runtime/random.h"
 #include "src/runtime/resource.h"
 #include "src/runtime/scheduler.h"
+#include "src/runtime/shard_set.h"
 #include "src/runtime/stats.h"
 #include "src/segment/constants.h"
 #include "src/segment/wire.h"
@@ -62,12 +74,18 @@ struct HopQuality {
 // simultaneous circuits queue on its gate.
 class NetHop {
  public:
-  NetHop(Scheduler* sched, std::string name, const HopQuality& quality, Rng rng)
-      : quality(quality), gate(sched, std::move(name), quality.bits_per_second), rng(rng) {}
+  NetHop(Scheduler* sched, std::string name, const HopQuality& quality, Rng rng, int shard = 0)
+      : quality(quality),
+        gate(sched, std::move(name), quality.bits_per_second),
+        rng(rng),
+        shard(shard) {}
 
   HopQuality quality;
   BandwidthGate gate;
   Rng rng;
+  // Shard whose scheduler owns the gate; every circuit through this hop must
+  // originate on the same shard (hop traversal is source-shard work).
+  int shard = 0;
 };
 
 // What the box's network output handler hands to its port: an encoded
@@ -89,7 +107,7 @@ class AtmNetwork;
 class AtmPort {
  public:
   AtmPort(Scheduler* sched, AtmNetwork* net, std::string name, int64_t egress_bps,
-          size_t wire_buffers, ReportSink* report_sink);
+          size_t wire_buffers, ReportSink* report_sink, int shard = 0);
 
   // Box-side channels.  Transmission passes a refcounted handle to encoded
   // bytes drawn from this port's wire pool; the source box's segment buffer
@@ -107,6 +125,9 @@ class AtmPort {
   BandwidthGate& egress() { return egress_; }
 
   const std::string& name() const { return name_; }
+  // ShardSet shard whose Scheduler runs this port's processes (0 for a
+  // legacy single-scheduler network).
+  int shard() const { return shard_; }
   uint64_t sent() const { return sent_; }
   uint64_t unrouted() const { return unrouted_; }
   // Link state (AtmNetwork::SetPortUp).  A down port receives nothing:
@@ -130,6 +151,7 @@ class AtmPort {
   Channel<NetRx> rx_;
   WirePool wire_pool_;
   BandwidthGate egress_;
+  int shard_ = 0;
   bool up_ = true;
   uint64_t sent_ = 0;
   uint64_t unrouted_ = 0;
@@ -148,16 +170,26 @@ struct CircuitStats {
   StatAccumulator inter_arrival;  // spacing at destination (us), for jitter
 };
 
-class AtmNetwork {
+class AtmNetwork : public ShardBarrierTask {
  public:
   AtmNetwork(Scheduler* sched, uint64_t seed = 1);
+  // Shard-spanning fabric: ports may be placed on any of `shards`' shards
+  // and cross-shard circuits ride the mailboxes.  With shards=1 this is
+  // bit-identical to the Scheduler constructor (same rng stream, same
+  // dispatch).  The network must be destroyed before the ShardSet.
+  AtmNetwork(ShardSet* shards, uint64_t seed = 1);
+  ~AtmNetwork() override;
 
   AtmPort* AddPort(const std::string& name, int64_t egress_bps = 20'000'000,
-                   size_t wire_buffers = 256, ReportSink* report_sink = nullptr);
-  NetHop* AddHop(const std::string& name, const HopQuality& quality);
+                   size_t wire_buffers = 256, ReportSink* report_sink = nullptr, int shard = 0);
+  NetHop* AddHop(const std::string& name, const HopQuality& quality, int shard = 0);
 
   // Opens a circuit; `path` lists intermediate hops (may be empty for a
-  // direct LAN connection with `direct` quality).
+  // direct LAN connection with `direct` quality).  Every hop must live on
+  // the source port's shard, and when the destination port lives on another
+  // shard the final stage's propagation must cover the ShardSet lookahead —
+  // the conservative-sync contract that lets the fabric exit post straight
+  // into the destination shard's next window (both checked).
   void OpenCircuit(AtmPort* src, Vci vci, AtmPort* dst, std::vector<NetHop*> path = {},
                    const HopQuality& direct = HopQuality{});
   void CloseCircuit(AtmPort* src, Vci vci);
@@ -195,13 +227,19 @@ class AtmNetwork {
   void SetHopQuality(NetHop* hop, const HopQuality& quality);
 
   const CircuitStats* StatsFor(AtmPort* src, Vci vci) const;
-  uint64_t total_delivered() const { return total_delivered_; }
-  uint64_t total_lost() const { return total_lost_; }
+  // Network totals are kept per shard (each slice written only by its own
+  // worker) and summed here; call between Run* calls or at a barrier.
+  uint64_t total_delivered() const { return SumCounter(total_delivered_); }
+  uint64_t total_lost() const { return SumCounter(total_lost_); }
   // Segments delivered carrying in-flight bit damage.
-  uint64_t total_corrupted() const { return total_corrupted_; }
+  uint64_t total_corrupted() const { return SumCounter(total_corrupted_); }
   // True encoded bytes pushed through transmission stages (source egress
   // plus every store-and-forward hop traversal).
-  uint64_t bytes_on_wire() const { return bytes_on_wire_; }
+  uint64_t bytes_on_wire() const { return SumCounter(bytes_on_wire_); }
+
+  // Barrier task: recycles cross-shard transfer records whose consumption
+  // the barrier just made visible (coordinator context, workers parked).
+  void OnShardBarrier() override;
 
  private:
   friend class AtmPort;
@@ -243,20 +281,65 @@ class AtmNetwork {
   // sibling handles of the same buffer (multi-destination fanout) keep the
   // pristine bytes.  Draws the bit index from `rng`.  Returns false when
   // the wire pool has no scratch buffer — the strike then drops the
-  // segment instead (the caller counts it as lost).
-  bool CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit);
+  // segment instead (the caller counts it as lost).  `shard` is the source
+  // port's shard, which owns the corruption counters being charged.
+  bool CorruptInFlight(WireRef& wire, Rng& rng, Circuit* circuit, int shard);
+
+  // One segment crossing a shard boundary: the encoded bytes are copied in
+  // on the source shard (WireRef refcounts are shard-local), consumed on the
+  // destination shard, and the record recycled — capacity intact — by the
+  // coordinator once a barrier has made the consumption visible.
+  struct WireTransfer {
+    std::vector<uint8_t> bytes;
+    Vci vci = 0;
+    AtmPort* dst = nullptr;
+    bool consumed = false;
+  };
+  // Per-source-shard transfer queue.  `live` is appended by the source
+  // shard's worker during windows and popped by the coordinator at barriers;
+  // `free` recycles records the opposite way.  The two sides never run
+  // concurrently (barrier-separated), and deque references are stable, so
+  // the destination shard's consumption writes race with nothing.
+  struct TransferLane {
+    std::deque<WireTransfer> live;
+    std::vector<WireTransfer> free;
+  };
+
+  // Fabric-exit handoff for a cross-shard circuit: source-shard accounting
+  // at `exit_at`, then the bytes ride the mailbox to the destination shard.
+  void DeliverCrossShard(Circuit* circuit, AtmPort* src, Vci vci, Time exit_at, int64_t seq,
+                         size_t bytes, WireRef wire, Time departed);
+  // Destination-shard arrival (timer context): re-homes the bytes into the
+  // destination port's pool and hands them to the box.
+  void ArriveTransfer(WireTransfer* transfer);
+  Process DeliverProc(AtmPort* dst, NetRx delivery);
+
+  // Per-shard forwarding rng.  Shard 0 is the legacy stream (bit-identity);
+  // the others are independently seeded.
+  Rng& RngFor(int shard) { return shard == 0 ? rng_ : extra_rngs_[static_cast<size_t>(shard - 1)]; }
+  static uint64_t SumCounter(const std::vector<uint64_t>& v) {
+    uint64_t n = 0;
+    for (uint64_t x : v) {
+      n += x;
+    }
+    return n;
+  }
 
   Scheduler* sched_;
   Rng rng_;
+  ShardSet* shards_ = nullptr;  // null for a legacy single-scheduler network
+  std::vector<Rng> extra_rngs_;  // shards 1..N-1
   std::vector<std::unique_ptr<AtmPort>> ports_;
   std::vector<std::unique_ptr<NetHop>> hops_;
   std::map<std::pair<AtmPort*, Vci>, std::unique_ptr<Circuit>> circuits_;
+  std::vector<TransferLane> transfers_;  // index = source shard
   uint64_t next_generation_ = 0;
-  uint64_t total_delivered_ = 0;
-  uint64_t total_lost_ = 0;
-  uint64_t total_corrupted_ = 0;
-  uint64_t bytes_on_wire_ = 0;
-  TraceSiteId trace_wire_bytes_ = 0;
+  // Index = shard; single-writer during windows, summed at the control plane.
+  std::vector<uint64_t> total_delivered_;
+  std::vector<uint64_t> total_lost_;
+  std::vector<uint64_t> total_corrupted_;
+  std::vector<uint64_t> bytes_on_wire_;
+  std::vector<TraceSiteId> trace_wire_bytes_;  // per-shard recorder intern ids
 };
 
 }  // namespace pandora

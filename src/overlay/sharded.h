@@ -1,0 +1,177 @@
+// ShardedOverlayMulticast: the striped distribution data plane, spanning a
+// ShardSet.
+//
+// OverlayMulticast (multicast.h) runs a whole city on one Scheduler.  This
+// variant partitions the receiver population across the set's shards —
+// receiver r lives on shard r % shards — and keeps the exact same overlay
+// semantics:
+//
+//  * A relay executes on the PARENT's shard (the paper's switch duplicates
+//    copies where the stream is): lane serialization and the queue-budget
+//    drop decision read and write only parent-owned state.
+//  * A delivery executes on the CHILD's shard.  Same-shard hops arm a plain
+//    timer; cross-shard hops ride the ShardSet mailbox at depart + access
+//    latency, which satisfies the lookahead contract because every access
+//    link's latency is >= the set's lookahead (checked at construction —
+//    the overlay's link latencies ARE the conservative-sync slack).
+//  * Drop accounting belongs to the child.  A parent-side drop (queue shed,
+//    link loss, absent child) on a cross-shard edge posts a notice that
+//    charges the child's counters on the child's own shard, so every
+//    per-receiver counter keeps a single writer.
+//
+// Loss draws are STATELESS: instead of one generator consumed in event
+// order (whose stream would depend on how receivers interleave across
+// shards), each (tree, child, seq) copy hashes to its own uniform draw.
+// Every per-receiver outcome is therefore independent of the partition; the
+// aggregate RunHash folds state in receiver order plus a time-sorted join
+// log, so one seed yields one hash across thread counts.
+//
+// Churn is control-plane: Leave/Join/repair mutate the shared StripedTrees,
+// which the data plane reads during windows, so the churn driver runs every
+// event as a ShardSet::PostGlobal stop-the-world callback (workers parked,
+// all clocks at the event's instant) — the overlay twin of the fault
+// driver's spanning mode.
+#ifndef PANDORA_SRC_OVERLAY_SHARDED_H_
+#define PANDORA_SRC_OVERLAY_SHARDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/plan.h"
+#include "src/overlay/multicast.h"
+#include "src/overlay/repair.h"
+#include "src/overlay/topology.h"
+#include "src/overlay/tree.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/shard_set.h"
+
+namespace pandora {
+
+class ShardedOverlayMulticast {
+ public:
+  // `trees` must outlive the multicast and is mutated only at stop-the-world
+  // instants (Leave/Join/repair).  With a one-shard set this degenerates to
+  // the single-engine data plane (every hop is same-shard).
+  ShardedOverlayMulticast(ShardSet* shards, const OverlayTopology* topology, StripedTrees* trees,
+                          MulticastParams params, uint64_t seed);
+
+  // Arms the source cadence on shard 0; segments are emitted every interval
+  // until `emit_until`.  Every receiver present at start has its join clock
+  // running from the current instant.
+  void Start(Time emit_until);
+
+  // Churn entry points.  Must run at a stop-the-world instant: from the
+  // coordinator between Run* calls, or inside a PostGlobal callback (the
+  // ShardedOverlayChurnDriver).  They mutate the shared trees.
+  void Leave(int r);
+  void Join(int r);
+
+  int shard_of(int r) const { return r % shards_->shard_count(); }
+
+  // --- Observability (coordinator-side: between Run* calls) -----------------
+
+  int64_t emitted() const { return next_seq_; }
+  int64_t emitted_on_tree(int t) const { return emitted_by_tree_[static_cast<size_t>(t)]; }
+  const OverlayReceiverStats& stats(int r) const { return stats_[static_cast<size_t>(r)]; }
+  int64_t delivered_on_tree(int r, int t) const {
+    return delivered_by_tree_[static_cast<size_t>(r) * static_cast<size_t>(trees_->stripes) +
+                              static_cast<size_t>(t)];
+  }
+  int64_t repairs() const { return repairs_; }
+  int64_t churn_skipped() const { return churn_skipped_; }
+  const std::vector<OverlayRepairEvent>& repair_log() const { return repair_log_; }
+  const TreeRepair& repair() const { return repair_; }
+
+  // Join-to-first-segment latencies, merged across shards and sorted by
+  // (completion time, receiver) — a canonical order no partition perturbs.
+  std::vector<Duration> JoinLatencies() const;
+
+  // FNV-1a over every observable outcome, folded in receiver order (and the
+  // canonical join order above): equal across thread counts by the window
+  // determinism argument, and across shard counts because no draw or
+  // counter depends on cross-receiver event interleaving.
+  uint64_t RunHash() const;
+
+ private:
+  // A completed join clock: receiver and the instant/latency of its first
+  // delivery.  Logged per shard (each appended only by its owner), merged
+  // at observation time.
+  struct JoinRecord {
+    Time at = 0;
+    int receiver = 0;
+    Duration latency = 0;
+  };
+  enum DropKind : int { kDropQueue = 0, kDropLoss = 1, kDropAbsent = 2 };
+
+  void Emit();
+  void Deliver(int tree, int node, int64_t seq);
+  // Relays one copy from `parent` (kOverlaySource for the root) toward
+  // `child`; runs on the parent's shard.
+  void RelayTo(int tree, int parent, int child, int64_t seq);
+  // Charges a parent-side drop to the child, on the child's shard.
+  void CountDrop(int child, int kind);
+  void RepairNow(int r);
+  // Stateless per-copy loss draw — a pure function of (seed, tree, child,
+  // seq), independent of event order and shard layout.
+  bool LossDraw(int tree, int child, int64_t seq, double loss_rate) const;
+  Scheduler* sched_of(int r) { return scheds_[static_cast<size_t>(shard_of(r))]; }
+  Time& lane_busy(int tree, int node) {
+    return lane_busy_[static_cast<size_t>(node) * static_cast<size_t>(trees_->stripes) +
+                      static_cast<size_t>(tree)];
+  }
+
+  ShardSet* shards_;
+  std::vector<Scheduler*> scheds_;  // scheds_[s] == &shards_->shard(s)
+  const OverlayTopology* topology_;
+  StripedTrees* trees_;
+  MulticastParams params_;
+  TreeRepair repair_;
+  uint64_t seed_;
+
+  int64_t next_seq_ = 0;  // written only by shard 0's Emit chain
+  Time emit_until_ = 0;
+  std::vector<int64_t> emitted_by_tree_;
+  // Per-receiver state: indexed by receiver id, written only by the owning
+  // shard during windows (or by the coordinator stop-the-world).
+  std::vector<OverlayReceiverStats> stats_;
+  std::vector<int64_t> delivered_by_tree_;  // [r * stripes + t]
+  std::vector<int64_t> last_played_seq_;    // [r * stripes + t]
+  std::vector<Time> lane_busy_;             // [r * stripes + t]
+  std::vector<Duration> lane_service_;      // per receiver: us per copy per lane
+  std::vector<Time> join_time_;
+  std::vector<uint8_t> awaiting_first_;
+  // Per-shard completed-join logs (outer index = shard; single writer).
+  std::vector<std::vector<JoinRecord>> join_log_;
+  std::vector<TraceSiteId> join_hist_sites_;  // per shard (per-recorder ids)
+  // Control-plane state: coordinator-only.
+  std::vector<OverlayRepairEvent> repair_log_;
+  int64_t repairs_ = 0;
+  int64_t churn_skipped_ = 0;
+};
+
+// Applies FaultPlan churn to a ShardedOverlayMulticast.  Every leave/rejoin
+// is armed as a PostGlobal stop-the-world event at Start, in plan order, so
+// coincident events replay exactly as listed — the spanning twin of
+// OverlayChurnDriver.
+class ShardedOverlayChurnDriver {
+ public:
+  ShardedOverlayChurnDriver(ShardSet* shards, ShardedOverlayMulticast* multicast, FaultPlan plan);
+
+  void Start();
+
+  int64_t departures() const { return departures_; }
+  int64_t rejoins() const { return rejoins_; }
+  int64_t ignored() const { return ignored_; }
+
+ private:
+  ShardSet* shards_;
+  ShardedOverlayMulticast* multicast_;
+  FaultPlan plan_;
+  int64_t departures_ = 0;
+  int64_t rejoins_ = 0;
+  int64_t ignored_ = 0;
+};
+
+}  // namespace pandora
+
+#endif  // PANDORA_SRC_OVERLAY_SHARDED_H_

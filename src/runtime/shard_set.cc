@@ -1,6 +1,7 @@
 #include "src/runtime/shard_set.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
@@ -56,6 +57,55 @@ void ShardSet::Post(int src, int dst, Time when, TimerCallback fire) {
   entry.dst = dst;
   entry.fire = fire;
   outbox.entries.push_back(entry);
+}
+
+void ShardSet::PostGlobal(Time when, TimerCallback fire) {
+  if (legacy()) {
+    // One shard: a stop-the-world instant is just a timer on the only world
+    // there is.  Bit-identical to the pre-shard engine by construction.
+    shards_[0]->AddTimer(when, fire);
+    return;
+  }
+  PANDORA_CHECK(when >= window_end_,
+                "PostGlobal into an already-executed window would rewrite history");
+  GlobalEvent event;
+  event.when = when;
+  event.seq = next_global_seq_++;
+  event.fire = fire;
+  global_events_.push_back(event);
+  std::push_heap(global_events_.begin(), global_events_.end(), GlobalEventLater());
+}
+
+void ShardSet::AddBarrierTask(ShardBarrierTask* task) {
+  PANDORA_CHECK(task != nullptr);
+  barrier_tasks_.push_back(task);
+}
+
+void ShardSet::RemoveBarrierTask(ShardBarrierTask* task) {
+  for (size_t i = 0; i < barrier_tasks_.size(); ++i) {
+    if (barrier_tasks_[i] == task) {
+      barrier_tasks_.erase(barrier_tasks_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void ShardSet::RunGlobalEvents(Time upto) {
+  while (!global_events_.empty() && global_events_.front().when <= upto) {
+    std::pop_heap(global_events_.begin(), global_events_.end(), GlobalEventLater());
+    GlobalEvent event = global_events_.back();
+    global_events_.pop_back();
+    // May PostGlobal again (heap push mid-loop is fine) and may mutate any
+    // shard: every worker is parked and every clock has reached event.when.
+    event.fire();
+    ++global_events_run_;
+  }
+}
+
+void ShardSet::RunBarrierTasks() {
+  for (ShardBarrierTask* task : barrier_tasks_) {
+    task->OnShardBarrier();
+  }
 }
 
 void ShardSet::DrainMailboxes() {
@@ -183,14 +233,28 @@ void ShardSet::RunUntilQuiescent() {
   for (;;) {
     DrainMailboxes();
     const Time t_min = MinNextEvent();
-    if (t_min == kNever) {
+    const Time g = NextGlobalTime();
+    if (t_min == kNever && g == kNever) {
       return;
+    }
+    if (g <= t_min) {
+      // Stop-the-world instant: advance every shard through g (shard events
+      // at g dispatch first, on their own shards), then run the due globals
+      // on this thread with the workers parked.
+      RunWindow(g);
+      RunBarrierTasks();
+      RunGlobalEvents(g);
+      continue;
     }
     Time window_end = t_min + options_.lookahead - 1;
     if (window_end < t_min) {  // arithmetic overflow near kNever
       window_end = t_min;
     }
+    if (window_end >= g) {  // never run a shard past a pending global
+      window_end = g - 1;
+    }
     RunWindow(window_end);
+    RunBarrierTasks();
   }
 }
 
@@ -202,14 +266,26 @@ void ShardSet::RunUntil(Time limit) {
   for (;;) {
     DrainMailboxes();
     const Time t_min = MinNextEvent();
-    if (t_min > limit) {
+    const Time g = NextGlobalTime();
+    const Time next = g < t_min ? g : t_min;
+    if (next > limit) {
       break;
+    }
+    if (g <= t_min) {
+      RunWindow(g);
+      RunBarrierTasks();
+      RunGlobalEvents(g);
+      continue;
     }
     Time window_end = t_min + options_.lookahead - 1;
     if (window_end > limit || window_end < t_min) {
       window_end = limit;
     }
+    if (window_end >= g) {
+      window_end = g - 1;
+    }
     RunWindow(window_end);
+    RunBarrierTasks();
   }
   // Nothing left at or before `limit`: advance every clock to the limit so
   // callers see the same now() a bare Scheduler would report.  Inline on the
@@ -230,6 +306,7 @@ void ShardSet::Shutdown() {
   for (Outbox& outbox : outboxes_) {
     outbox.entries.clear();
   }
+  global_events_.clear();
   for (auto& shard : shards_) {
     shard->Shutdown();
   }

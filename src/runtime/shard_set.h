@@ -59,6 +59,18 @@
 
 namespace pandora {
 
+// Coordinator-side callback run at every window barrier (multi-shard mode
+// only), with all workers parked.  The cross-shard data plane uses it to
+// reclaim transfer records whose consumption the barrier just made visible.
+// Not an std::function member by design: the timer hot path and the lint
+// rule both want fixed-size callables, and barrier tasks are long-lived
+// objects anyway.
+class ShardBarrierTask {
+ public:
+  virtual ~ShardBarrierTask() = default;
+  virtual void OnShardBarrier() = 0;
+};
+
 struct ShardSetOptions {
   // Number of shards (independent Schedulers).  1 = legacy single-engine
   // mode, bit-identical to a bare Scheduler.
@@ -104,6 +116,25 @@ class ShardSet {
   // arm-order semantics shard-local traffic always had.
   void Post(int src, int dst, Time when, TimerCallback fire);
 
+  // Queues `fire` to run on the *coordinator* at simulated time `when`, with
+  // every worker parked at a barrier and every shard clock advanced exactly
+  // to `when` — a deterministic stop-the-world instant.  Unlike Post, the
+  // callback may therefore touch state on any shard (crash a box here, close
+  // a circuit there): the barrier provides the happens-before edges in both
+  // directions.  Global events are ordered by (when, submission seq); the
+  // window loop never runs a shard past a pending global.  May be called
+  // from the coordinator between Run* calls or from inside another global
+  // callback (e.g. a fault driver re-arming its next step) — never from a
+  // shard worker.  `when` must not precede the most recent window
+  // (rewriting history is checked, exactly like Post).  In legacy mode this
+  // is a plain shard-0 timer, preserving single-engine semantics.
+  void PostGlobal(Time when, TimerCallback fire);
+
+  // Registers a barrier task (not owned; must outlive the set or be removed).
+  // No-op scaffolding in legacy mode: barriers never happen there.
+  void AddBarrierTask(ShardBarrierTask* task);
+  void RemoveBarrierTask(ShardBarrierTask* task);
+
   // Runs windows until every shard is quiescent and all mailboxes are empty.
   void RunUntilQuiescent();
   // Runs windows until the simulated clock reaches `limit`; on return every
@@ -122,6 +153,9 @@ class ShardSet {
   uint64_t windows() const { return windows_; }
   // Cross-shard mailbox entries delivered to destination wheels.
   uint64_t cross_shard_messages() const { return cross_shard_messages_; }
+  // Stop-the-world callbacks executed (0 in legacy mode, where they ride the
+  // shard-0 wheel and count as ordinary timers).
+  uint64_t global_events_run() const { return global_events_run_; }
   // Mailbox entries accepted but not yet drained to a destination wheel.
   size_t undrained_messages() const;
 
@@ -156,7 +190,27 @@ class ShardSet {
     uint64_t next_seq = 0;
   };
 
+  // A stop-the-world callback and its total order key.  Kept in a min-heap
+  // over (when, seq): submission order breaks time ties, so replay is exact.
+  struct GlobalEvent {
+    Time when = 0;
+    uint64_t seq = 0;
+    TimerCallback fire;
+  };
+  struct GlobalEventLater {
+    bool operator()(const GlobalEvent& a, const GlobalEvent& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
   bool legacy() const { return shards_.size() == 1; }
+  Time NextGlobalTime() const {
+    return global_events_.empty() ? kNever : global_events_.front().when;
+  }
+  // Pops and runs every global event with when <= upto (coordinator context,
+  // workers parked, all shard clocks == upto or beyond their last event).
+  void RunGlobalEvents(Time upto);
+  void RunBarrierTasks();
   // Merges every outbox into destination wheels in (when, src, seq) order.
   void DrainMailboxes();
   // Earliest next event over all shards (mailboxes are already drained into
@@ -176,7 +230,11 @@ class ShardSet {
   std::vector<std::unique_ptr<Scheduler>> shards_;
   std::vector<Outbox> outboxes_;              // index = src shard
   std::vector<MailboxEntry> drain_scratch_;   // reused merge buffer
+  std::vector<GlobalEvent> global_events_;    // min-heap (std::push/pop_heap)
+  std::vector<ShardBarrierTask*> barrier_tasks_;
   std::vector<std::exception_ptr> shard_errors_;
+  uint64_t next_global_seq_ = 0;
+  uint64_t global_events_run_ = 0;
   uint64_t windows_ = 0;
   uint64_t cross_shard_messages_ = 0;
   // Window currently (or most recently) executed; cross-shard posts must

@@ -234,6 +234,21 @@ TEST(SimulationTest, ReportsReachTheHostLog) {
   EXPECT_GE(sim.reports().CountOf("switch.status"), 1u);
 }
 
+TEST(SimulationTest, FindBoxResolvesByNameIndex) {
+  // FindBox is an indexed lookup now, not a linear scan; the observable
+  // contract is unchanged — including first-wins for duplicate names.
+  Simulation sim;
+  PandoraBox& alpha = sim.AddBox(BoxOptions("alpha"));
+  PandoraBox& beta = sim.AddBox(BoxOptions("beta"));
+  EXPECT_EQ(sim.FindBox("alpha"), &alpha);
+  EXPECT_EQ(sim.FindBox("beta"), &beta);
+  EXPECT_EQ(sim.FindBox("gamma"), nullptr);
+  EXPECT_EQ(sim.FindBox(""), nullptr);
+
+  sim.AddBox(BoxOptions("alpha"));  // duplicate: the first box keeps the name
+  EXPECT_EQ(sim.FindBox("alpha"), &alpha);
+}
+
 TEST(SimulationTest, SourceClockDriftAbsorbedAcrossBoxes) {
   Simulation sim;
   PandoraBox::Options a_options = BoxOptions("a");

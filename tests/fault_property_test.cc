@@ -23,9 +23,17 @@
 // threads=8, every storm run twice and required to replay bit-exact.
 // PANDORA_CHAOS_SHARD_PLANS overrides its plan count (default 50); a
 // dedicated chaos_sweep seed base drives it in the sweep.
+//
+// The ShardSpanningChurn suite drives the same random-plan machinery against
+// a real spanning Simulation — PandoraBoxes pinned across a four-shard set,
+// every call crossing a shard boundary, the stop-the-world fault driver
+// firing crashes and restores at barriers.  Each plan runs at 1 and 4 worker
+// threads plus a cold replay, all three required to fingerprint identically.
+// PANDORA_CHAOS_SPAN_PLANS overrides its plan count (default 20).
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -345,6 +353,125 @@ TEST_P(ShardedChaosReplay, RandomPlanReplaysBitExactAtEightThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FiftyPlans, ShardedChaosReplay, ::testing::Range(0, 50));
+
+// --- Shard-spanning Simulation churn leg ------------------------------------
+
+int EnvSpanPlanCount() {
+  const char* count = std::getenv("PANDORA_CHAOS_SPAN_PLANS");
+  return count == nullptr ? 20 : std::atoi(count);
+}
+
+struct SpanningWorld {
+  Simulation sim;
+  std::vector<PandoraBox*> boxes;
+  std::vector<StreamId> at_dst;
+  std::vector<PandoraBox*> dst;
+  explicit SpanningWorld(const SimulationOptions& options) : sim(options) {}
+};
+
+// Four audio-only boxes pinned round-robin across the set's shards, a ring
+// of calls between neighbours — with four shards, every call is cross-shard
+// and rides the mailbox path under the lookahead contract (1 ms propagation
+// = the lookahead floor, so each segment lands in the very next window).
+void BuildSpanningWorld(SpanningWorld& world) {
+  const int shards = world.sim.shard_set().shard_count();
+  for (int i = 0; i < 4; ++i) {
+    PandoraBox::Options options;
+    options.name = "span" + std::to_string(i);
+    options.with_video = false;
+    options.clawback = FastClawback();
+    options.shard = i % shards;
+    world.boxes.push_back(&world.sim.AddBox(options));
+  }
+  world.sim.Start();
+  CallPath wan;
+  wan.direct.propagation = Millis(1);
+  for (int i = 0; i < 4; ++i) {
+    PandoraBox& src = *world.boxes[static_cast<size_t>(i)];
+    PandoraBox& dst = *world.boxes[static_cast<size_t>((i + 1) % 4)];
+    world.at_dst.push_back(world.sim.SendAudio(src, dst, wan));
+    world.dst.push_back(&dst);
+  }
+}
+
+// Order-sensitive digest of everything observable after a spanning storm.
+uint64_t SpanningFingerprint(SpanningWorld& world) {
+  Simulation& sim = world.sim;
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, sim.network().total_delivered());
+  hash = FnvMix(hash, sim.network().total_lost());
+  hash = FnvMix(hash, sim.network().total_corrupted());
+  for (int s = 0; s < sim.shard_set().shard_count(); ++s) {
+    Scheduler& shard = sim.shard_set().shard(s);
+    hash = FnvMix(hash, shard.context_switches());
+    hash = FnvMix(hash, static_cast<uint64_t>(shard.now()));
+    hash = FnvMix(hash, sim.reports_for(s).size());
+  }
+  for (PandoraBox* box : world.boxes) {
+    hash = FnvMix(hash, box->crash_count());
+    hash = FnvMix(hash, box->crashed() ? 1u : box->deep_copies());
+  }
+  for (size_t i = 0; i < world.at_dst.size(); ++i) {
+    if (world.dst[i]->crashed()) {
+      hash = FnvMix(hash, 0xdead);
+      continue;
+    }
+    const SequenceTracker* tracker =
+        world.dst[i]->audio_receiver().TrackerFor(world.at_dst[i]);
+    if (tracker == nullptr) {
+      hash = FnvMix(hash, 0);
+      continue;
+    }
+    hash = FnvMix(hash, tracker->received());
+    hash = FnvMix(hash, tracker->missing_total());
+    hash = FnvMix(hash, tracker->suspects());
+  }
+  return hash;
+}
+
+class ShardSpanningChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardSpanningChurn, SpanningWorldSurvivesChurnThreadInvariantly) {
+  if (GetParam() >= EnvSpanPlanCount()) {
+    GTEST_SKIP() << "beyond PANDORA_CHAOS_SPAN_PLANS";
+  }
+  const uint64_t seed = EnvSeedBase() + static_cast<uint64_t>(GetParam()) + 101;
+  RandomPlanOptions plan_options;
+  plan_options.start = Millis(600);
+  plan_options.horizon = Millis(2000);
+  plan_options.min_events = 3;
+  plan_options.max_events = 6;
+  plan_options.box_count = 4;
+  plan_options.call_count = 4;
+  plan_options.min_episode = Millis(100);
+  plan_options.max_episode = Millis(400);
+  const FaultPlan plan = RandomFaultPlan(seed, plan_options);
+  SCOPED_TRACE("spanning world under plan seed " + std::to_string(seed) + ": " +
+               FormatFaultPlan(plan));
+
+  const auto run = [&](int threads) {
+    SimulationOptions options;
+    options.seed = seed;
+    options.shards = 4;
+    options.threads = threads;
+    SpanningWorld world(options);
+    BuildSpanningWorld(world);
+    FaultDriver driver(&world.sim, plan);
+    driver.Start();
+    world.sim.RunFor(Millis(3200));
+    EXPECT_TRUE(driver.quiescent()) << "fault driver still live at +3.2s";
+    EXPECT_GT(world.sim.shard_set().cross_shard_messages(), 0u);
+    return SpanningFingerprint(world);
+  };
+
+  const uint64_t sequential = run(1);
+  const uint64_t threaded = run(4);
+  const uint64_t replay = run(4);
+  EXPECT_EQ(sequential, threaded) << "thread count leaked into observables";
+  EXPECT_EQ(threaded, replay) << "cold replay diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentyPlans, ShardSpanningChurn, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace pandora

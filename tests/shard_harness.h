@@ -39,6 +39,10 @@
 #include <vector>
 
 #include "src/fault/plan.h"
+// The shared FNV-1a helpers (FnvMix, kFnvOffset) live in the overlay's
+// topology header; tests fold fingerprints with the same primitive the
+// overlay run hash uses.
+#include "src/overlay/topology.h"
 #include "src/runtime/process.h"
 #include "src/runtime/scheduler.h"
 #include "src/runtime/shard_set.h"
@@ -51,14 +55,6 @@ inline uint64_t SplitMix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
-}
-
-inline uint64_t FnvMix(uint64_t h, uint64_t v) {
-  for (int byte = 0; byte < 8; ++byte) {
-    h ^= (v >> (byte * 8)) & 0xff;
-    h *= 1099511628211ull;
-  }
-  return h;
 }
 
 struct ShardStormOptions {

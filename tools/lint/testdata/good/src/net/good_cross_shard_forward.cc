@@ -1,0 +1,61 @@
+// Known-good fixture: the sanctioned cross-shard forwarding shape (the
+// AtmNetwork::ForwardProc / DeliverCrossShard idiom).  Two rules make it
+// safe: every borrow is re-fetched generation-checked after a wait, and the
+// cross-shard exit never suspends between the last fetch and the mailbox
+// post — the delivery time rides the Post's `when`, not a local WaitUntil,
+// and the posted callback captures only the owning network plus a slot
+// whose lifetime the barrier sweep manages.
+#include "src/net/atm.h"
+
+namespace pandora {
+
+Process AtmNetwork::ForwardDirect(AtmPort* src, Vci vci, WireRef wire) {
+  Circuit* circuit = FindCircuit(src, vci);
+  if (circuit == nullptr) {
+    co_return;
+  }
+  const uint64_t generation = circuit->generation;
+  Scheduler* sched = src->sched_;
+  const Time exit_at = sched->now() + circuit->direct.propagation;
+  if (circuit->dst->shard_ != src->shard_) {
+    // Cross-shard exit: no suspension between the fetch above and the post,
+    // so the borrow cannot go stale.  exit_at clears the lookahead contract
+    // because OpenCircuit pinned propagation >= lookahead.
+    DeliverCrossShard(circuit, src, vci, exit_at, 0, wire->bytes.size(),
+                      std::move(wire), exit_at);
+    co_return;
+  }
+  co_await sched->WaitUntil(exit_at);
+  // Same-shard tail: re-fetch after the wait; teardown or re-open during
+  // the flight turns the segment into a loss, never a stale dereference.
+  circuit = FindCircuit(src, vci);
+  if (circuit == nullptr || circuit->generation != generation) {
+    co_return;
+  }
+  circuit->last_rx_time = sched->now();
+  co_return;
+}
+
+Process AtmNetwork::ForwardBridged(AtmPort* src, Vci vci, WireRef wire) {
+  Scheduler* sched = src->sched_;
+  const size_t hops = HopCount(src, vci);
+  for (size_t i = 0; i < hops; ++i) {
+    // Borrowed fresh on every pass: the previous hop's wait cannot leak a
+    // stale pointer into this one.
+    Circuit* circuit = FindCircuit(src, vci);
+    if (circuit == nullptr) {
+      co_return;
+    }
+    const Time exit_at = sched->now() + circuit->path[i]->quality.propagation;
+    if (i + 1 == hops && circuit->dst->shard_ != src->shard_) {
+      // Last hop of a cross-shard bridge: post instead of waiting.
+      DeliverCrossShard(circuit, src, vci, exit_at, 0, wire->bytes.size(),
+                        std::move(wire), exit_at);
+      co_return;
+    }
+    co_await sched->WaitUntil(exit_at);
+  }
+  co_return;
+}
+
+}  // namespace pandora
