@@ -484,6 +484,16 @@ void AtmNetwork::ArriveTransfer(WireTransfer* transfer) {
   NetRx delivery;
   delivery.vci = transfer->vci;
   delivery.wire = std::move(*wire);
+  // Fast path: the box's ingress handler is already parked on rx() — hand
+  // the image over without spawning a process (one dispatch per segment
+  // saved; the batched NetworkInput drains these in bursts).  A parked
+  // receiver implies no parked senders, so this can never jump ahead of a
+  // queued delivery.
+  if (dst->rx_.waiting_receivers() > 0) {
+    const bool handed = dst->rx_.TrySend(std::move(delivery));
+    PANDORA_DCHECK(handed, "rx TrySend failed with a parked receiver");
+    return;
+  }
   // rx().Send may park while the box drains; suspend in a process, exactly
   // like the tail of ForwardProc.
   dst->sched_->Spawn(DeliverProc(dst, std::move(delivery)), dst->fwd_name_, Priority::kHigh);

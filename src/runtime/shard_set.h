@@ -156,6 +156,11 @@ class ShardSet {
   // Stop-the-world callbacks executed (0 in legacy mode, where they ride the
   // shard-0 wheel and count as ordinary timers).
   uint64_t global_events_run() const { return global_events_run_; }
+  // Per-shard window runs skipped because the shard provably had no event in
+  // the window (idle fast path); each skip saves a RunUntil invocation.
+  uint64_t idle_shard_skips() const { return idle_shard_skips_; }
+  // Barriers where every outbox was empty, skipping the merge-and-sort.
+  uint64_t empty_mailbox_barriers() const { return empty_mailbox_barriers_; }
   // Mailbox entries accepted but not yet drained to a destination wheel.
   size_t undrained_messages() const;
 
@@ -212,14 +217,27 @@ class ShardSet {
   void RunGlobalEvents(Time upto);
   void RunBarrierTasks();
   // Merges every outbox into destination wheels in (when, src, seq) order.
+  // Fast path: when no cross-shard traffic occurred in the window (by far the
+  // common case in compute-heavy windows), one empty-check per outbox is the
+  // whole barrier cost — no scratch copy, no sort.
   void DrainMailboxes();
   // Earliest next event over all shards (mailboxes are already drained into
-  // wheels, so shard NextEventTime covers them).
-  Time MinNextEvent() const;
+  // wheels, so shard NextEventTime covers them).  Also refreshes
+  // next_event_cache_, which the immediately following RunWindow uses to
+  // skip shards with nothing due in the window.
+  Time MinNextEvent();
   // Runs one window [.., window_end] across all shards, on the worker pool
   // when it exists, inline otherwise; rethrows the lowest-shard process
-  // error afterwards.
-  void RunWindow(Time window_end);
+  // error afterwards.  With allow_idle_skip, shards whose cached next event
+  // lies beyond window_end are not run at all: they provably have nothing to
+  // dispatch (cross-window traffic lands strictly after window_end by the
+  // lookahead contract), so skipping changes no observable — only the
+  // skipped shard's clock, which lags until the RunUntil tail or the
+  // quiescence catch-up advances it.  The skip decision is a pure function
+  // of cached simulated times, so it is identical across thread counts.
+  // Global windows pass false: RunGlobalEvents' contract is that every clock
+  // has reached the instant before a stop-the-world callback runs.
+  void RunWindow(Time window_end, bool allow_idle_skip);
   void RunShardsInline(Time window_end);
   void WorkerMain(int worker_index);
   void StopWorkers();
@@ -230,6 +248,10 @@ class ShardSet {
   std::vector<std::unique_ptr<Scheduler>> shards_;
   std::vector<Outbox> outboxes_;              // index = src shard
   std::vector<MailboxEntry> drain_scratch_;   // reused merge buffer
+  // Per-shard NextEventTime snapshot taken by MinNextEvent; consumed by the
+  // next RunWindow's idle-skip test.  Coordinator-written before the round
+  // is published, worker-read after — the barrier mutex orders the two.
+  std::vector<Time> next_event_cache_;
   std::vector<GlobalEvent> global_events_;    // min-heap (std::push/pop_heap)
   std::vector<ShardBarrierTask*> barrier_tasks_;
   std::vector<std::exception_ptr> shard_errors_;
@@ -237,6 +259,11 @@ class ShardSet {
   uint64_t global_events_run_ = 0;
   uint64_t windows_ = 0;
   uint64_t cross_shard_messages_ = 0;
+  uint64_t idle_shard_skips_ = 0;
+  uint64_t empty_mailbox_barriers_ = 0;
+  // Whether the current window may skip idle shards (published with
+  // window_end_ under mu_ for the worker pool).
+  bool skip_idle_ = false;
   // Window currently (or most recently) executed; cross-shard posts must
   // deliver strictly after it.  Published before workers are released.
   Time window_end_ = 0;

@@ -1,6 +1,7 @@
 // Tests for the audio subsystem: mu-law codec, signal sources, capture /
 // playout, block handler, receiver, mixer and muting (paper sections 3.2,
 // 3.5, 3.8, 4.3).
+#include <array>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/audio/codec.h"
+#include "src/audio/mix_kernels.h"
 #include "src/audio/mixer.h"
 #include "src/audio/muting.h"
 #include "src/audio/receiver.h"
@@ -21,6 +23,58 @@
 
 namespace pandora {
 namespace {
+
+TEST(MixKernelTest, DecodeTableMatchesReferenceCodecOverFullDomain) {
+  // mix_kernels.h promises its compile-time companding tables compute the
+  // same G.711 function as src/audio/ulaw.cc; the vectorized mixer's
+  // bit-identity to the old fused loop rests on this.
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(kULawDecodeTable[static_cast<size_t>(i)], ULawDecode(static_cast<uint8_t>(i)))
+        << "codeword " << i;
+  }
+}
+
+TEST(MixKernelTest, EncodeTableMatchesReferenceCodecOverFullDomain) {
+  for (int i = -32768; i <= 32767; ++i) {
+    const auto sample = static_cast<int16_t>(i);
+    EXPECT_EQ(kULawEncodeTable[static_cast<uint16_t>(sample)], ULawEncode(sample))
+        << "sample " << i;
+  }
+}
+
+TEST(MixKernelTest, SeparablePassesMatchFusedReferenceMix) {
+  // Mix three µ-law streams through the separable kernels and through a
+  // scalar decode/sum/clamp/encode reference; outputs must be identical
+  // byte-for-byte (including saturation cases driven by the large inputs).
+  std::array<std::array<uint8_t, kAudioBlockSamples>, 3> streams;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < kAudioBlockSamples; ++i) {
+      const int16_t linear = static_cast<int16_t>(((s + 1) * 9000) * ((i % 2 == 0) ? 1 : -1) +
+                                                  i * 137 - s * 55);
+      streams[static_cast<size_t>(s)][static_cast<size_t>(i)] = ULawEncode(linear);
+    }
+  }
+
+  alignas(16) int32_t acc[kAudioBlockSamples] = {};
+  alignas(16) int16_t linear[kAudioBlockSamples];
+  for (const auto& stream : streams) {
+    ULawDecodeBlock<kAudioBlockSamples>(stream.data(), linear);
+    AccumulateBlock<kAudioBlockSamples>(linear, acc);
+  }
+  alignas(16) int16_t clamped[kAudioBlockSamples];
+  uint8_t kernel_out[kAudioBlockSamples];
+  ClampBlock<kAudioBlockSamples>(acc, clamped);
+  ULawEncodeBlock<kAudioBlockSamples>(clamped, kernel_out);
+
+  for (int i = 0; i < kAudioBlockSamples; ++i) {
+    int32_t sum = 0;
+    for (const auto& stream : streams) {
+      sum += ULawDecode(stream[static_cast<size_t>(i)]);
+    }
+    const int32_t sat = sum < -32768 ? -32768 : (sum > 32767 ? 32767 : sum);
+    EXPECT_EQ(kernel_out[i], ULawEncode(static_cast<int16_t>(sat))) << "sample " << i;
+  }
+}
 
 TEST(ULawTest, SilenceAndExtremes) {
   EXPECT_EQ(ULawEncode(0), kULawSilence);

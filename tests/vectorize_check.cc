@@ -1,0 +1,22 @@
+// Probe TU for the mix-kernel vectorization gate (tests/vectorize_check.cmake).
+//
+// Instantiates the separable mix passes exactly as the mixer's tick does
+// (compile-time trip count kAudioBlockSamples).  The gate compiles this TU
+// with the production optimization level plus -fopt-info-vec-optimized and
+// fails if the vector reports for the arithmetic passes (AccumulateBlock,
+// ClampBlock) disappear — e.g. if someone reintroduces a loop-carried
+// dependency or an aliasing escape into the kernels.
+#include "src/audio/mix_kernels.h"
+#include "src/segment/constants.h"
+
+namespace pandora {
+
+void VectorizeProbe(const uint8_t* ulaw, int16_t* linear, int32_t* acc, int16_t* clamped,
+                    uint8_t* out) {
+  ULawDecodeBlock<kAudioBlockSamples>(ulaw, linear);
+  AccumulateBlock<kAudioBlockSamples>(linear, acc);
+  ClampBlock<kAudioBlockSamples>(acc, clamped);
+  ULawEncodeBlock<kAudioBlockSamples>(clamped, out);
+}
+
+}  // namespace pandora

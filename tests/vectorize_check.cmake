@@ -1,0 +1,32 @@
+# Mix-kernel vectorization gate: compiles tests/vectorize_check.cc at the
+# production optimization level with GCC's vectorizer report enabled and
+# fails unless the arithmetic passes of src/audio/mix_kernels.h still
+# vectorize.  Run via ctest (registered in tests/CMakeLists.txt).
+#
+# Inputs: -DCXX=<compiler> -DSRC_DIR=<repo root> -DPROBE=<probe TU>
+#         -DWORK_DIR=<scratch dir>
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -O2 -I${SRC_DIR} -fopt-info-vec-optimized
+          -c ${PROBE} -o ${WORK_DIR}/vectorize_check.o
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vectorize probe failed to compile:\n${err}")
+endif()
+
+# GCC prints one "optimized: loop vectorized" line per vectorized loop, tagged
+# with the mix_kernels.h source line.  AccumulateBlock and ClampBlock must
+# both vectorize; the µ-law table passes are gathers and may legitimately
+# stay scalar.
+string(REGEX MATCHALL "mix_kernels\\.h:[0-9]+:[0-9]+: optimized: (loop|basic block part) vectorized"
+       reports "${out}${err}")
+list(LENGTH reports nvec)
+if(nvec LESS 2)
+  message(FATAL_ERROR
+    "expected >= 2 vectorized mix-kernel loops (AccumulateBlock, ClampBlock), "
+    "got ${nvec}.\nVectorizer output:\n${out}${err}")
+endif()
+message(STATUS "mix kernels vectorized: ${nvec} loops")

@@ -1,0 +1,26 @@
+// Fixture: per-element Send over a materialized batch (rule batched-drain).
+// Every element pays a full dispatch round-trip even when the receiver is
+// already parked — the shape the batched pipeline (DESIGN.md §15) replaces.
+#include "src/buffer/small_vec.h"
+#include "src/runtime/channel.h"
+
+namespace pandora {
+
+Task<void> ShipBatchOneAtATime(Channel<int>* out, SmallVec<int, 16>& batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {  // EXPECT-LINT: batched-drain
+    co_await out->Send(batch[i]);
+  }
+  batch.clear();
+}
+
+Task<void> ShipLocalBatch(Channel<int>* out) {
+  SmallVec<int, 8> pending;
+  pending.push_back(1);
+  while (!pending.empty()) {  // EXPECT-LINT: batched-drain
+    int head = pending[0];
+    pending.pop_front_n(1);
+    co_await out->Send(head);
+  }
+}
+
+}  // namespace pandora

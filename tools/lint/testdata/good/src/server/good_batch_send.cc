@@ -1,0 +1,32 @@
+// Fixture: the sanctioned drain-first shapes (rule batched-drain).
+// TrySendBatch hands the prefix to already-parked receivers without a
+// dispatch; the single rendezvous Send for the head element is the right
+// fallback, not a violation.  A loop that suspends per element on something
+// other than Send (pool allocation) is also fine.
+#include "src/buffer/small_vec.h"
+#include "src/runtime/channel.h"
+
+namespace pandora {
+
+Task<void> ShipBatchDrainFirst(Channel<int>* out, SmallVec<int, 16>& batch) {
+  while (!batch.empty()) {
+    if (out->TrySendBatch(batch) > 0) {
+      continue;  // parked receivers took a prefix with zero dispatches
+    }
+    int head = batch[0];
+    batch.pop_front_n(1);
+    co_await out->Send(head);
+  }
+}
+
+struct FakePool {
+  Task<int> Allocate() { co_return 7; }
+};
+
+Task<void> BurstAllocate(FakePool* pool, SmallVec<int, 16>& slots) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = co_await pool->Allocate();  // suspension, but not a Send
+  }
+}
+
+}  // namespace pandora
